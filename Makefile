@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction workspace.
+
+.PHONY: install test bench tables validate examples all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+tables:
+	pytest benchmarks/ -s --benchmark-disable
+
+validate:
+	python -m repro.cli validate
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+all: test bench validate

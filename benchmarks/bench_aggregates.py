@@ -1,0 +1,99 @@
+"""Extension bench — aggregates directly on bitmaps (Section 5).
+
+The paper defers aggregate algorithms to future work; this bench
+implements and measures them: SUM/AVG/MEDIAN evaluated purely on the
+index versus a full table scan, for both the slice-arithmetic path
+(bit-sliced encoding) and the per-value decomposition (any encoding).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.aggregate.counts import count
+from repro.aggregate.quantiles import median
+from repro.aggregate.sums import sum_bitsliced, sum_encoded
+from repro.index.bitsliced import BitSlicedIndex
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.query.predicates import Range
+from repro.workload.generators import build_table, uniform_column
+
+N = 6000
+M = 100
+
+
+@pytest.fixture(scope="module")
+def agg_table():
+    return build_table(
+        "t", N, {"v": uniform_column(N, M, seed=13, base=1)}
+    )
+
+
+def _scan_sum(table, predicate=None):
+    total = 0
+    for row in table.scan():
+        if predicate is None or predicate.matches(row):
+            total += row["v"]
+    return total
+
+
+class TestAggregates:
+    def test_sum_correctness_and_timing(self, agg_table, benchmark):
+        sliced = BitSlicedIndex(agg_table, "v")
+        encoded = EncodedBitmapIndex(agg_table, "v")
+
+        def run_all():
+            timings = {}
+            started = time.perf_counter()
+            scan_total = _scan_sum(agg_table)
+            timings["table scan"] = (
+                scan_total, time.perf_counter() - started
+            )
+            started = time.perf_counter()
+            slice_total = sum_bitsliced(sliced)
+            timings["bit-sliced arithmetic"] = (
+                slice_total, time.perf_counter() - started
+            )
+            started = time.perf_counter()
+            encoded_total = sum_encoded(encoded)
+            timings["encoded decomposition"] = (
+                encoded_total, time.perf_counter() - started
+            )
+            return timings
+
+        timings = benchmark.pedantic(run_all, iterations=1, rounds=1)
+        print_table(
+            f"SUM(v) over {N} rows, m = {M}",
+            ["method", "result", "seconds"],
+            [
+                (name, f"{total:.0f}", f"{seconds:.4f}")
+                for name, (total, seconds) in timings.items()
+            ],
+        )
+        results = {total for total, _ in timings.values()}
+        assert len(results) == 1  # all three agree
+
+    def test_sum_under_selection(self, agg_table):
+        sliced = BitSlicedIndex(agg_table, "v")
+        predicate = Range("v", 20, 60)
+        selection = sliced.lookup(predicate)
+        assert sum_bitsliced(sliced, selection) == _scan_sum(
+            agg_table, predicate
+        )
+
+    def test_median_off_the_index(self, agg_table, benchmark):
+        encoded = EncodedBitmapIndex(agg_table, "v")
+        result = benchmark(median, encoded)
+        values = sorted(row["v"] for row in agg_table.scan())
+        assert result == values[(len(values) - 1) // 2]
+
+    def test_count_is_one_popcount(self, agg_table, benchmark):
+        encoded = EncodedBitmapIndex(agg_table, "v")
+        predicate = Range("v", 10, 30)
+        total = benchmark(count, encoded, predicate)
+        assert total == sum(
+            1 for row in agg_table.scan() if predicate.matches(row)
+        )

@@ -1,0 +1,167 @@
+"""Section 3.1 — sparsity: (m-1)/m for simple vs ~1/2 for encoded.
+
+Also benchmarks the standard remedy the paper cites (run-length
+compression) to show why encoded bitmaps don't need it: simple
+vectors compress superbly *because* they are sparse, but there are m
+of them; encoded vectors are half-dense (incompressible) but only
+ceil(log2 m) exist.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.cost_models import encoded_sparsity, simple_sparsity
+from repro.bitmap.rle import RunLengthBitmap
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.index.simple_bitmap import SimpleBitmapIndex
+from repro.workload.generators import build_table, uniform_column
+
+M_SWEEP = [4, 16, 64, 256]
+N = 4000
+
+
+def _indexes_for(m):
+    table = build_table(
+        "t", N, {"v": uniform_column(N, m, seed=m)}
+    )
+    return (
+        SimpleBitmapIndex(table, "v"),
+        EncodedBitmapIndex(table, "v"),
+    )
+
+
+class TestSparsity:
+    def test_sparsity_sweep(self, benchmark):
+        def sweep():
+            rows = []
+            for m in M_SWEEP:
+                simple, encoded = _indexes_for(m)
+                rows.append(
+                    (
+                        m,
+                        simple_sparsity(m),
+                        simple.average_sparsity(),
+                        encoded_sparsity(),
+                        1.0 - encoded.average_density(),
+                    )
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+        print_table(
+            "Section 3.1 sparsity (model vs measured, n = 4000)",
+            ["m", "simple model", "simple measured",
+             "encoded model", "encoded measured"],
+            [
+                (m, f"{sm:.3f}", f"{sm_meas:.3f}", f"{em:.2f}",
+                 f"{em_meas:.3f}")
+                for m, sm, sm_meas, em, em_meas in rows
+            ],
+        )
+        for m, sm, sm_meas, em, em_meas in rows:
+            assert sm_meas == pytest.approx(sm, abs=0.02)
+            assert em_meas == pytest.approx(0.5, abs=0.15)
+
+    def test_encoded_sparsity_independent_of_m(self):
+        """The paper's point: encoded density ~1/2 regardless of m."""
+        densities = []
+        for m in (16, 256):
+            _, encoded = _indexes_for(m)
+            densities.append(encoded.average_density())
+        assert abs(densities[0] - densities[1]) < 0.15
+
+
+class TestCompression:
+    def test_rle_on_simple_vs_encoded(self, benchmark):
+        """Sparse simple vectors compress; half-dense encoded vectors
+        do not — but raw encoded storage is already smaller than
+        compressed simple storage at high m."""
+        m = 256
+
+        def measure():
+            simple, encoded = _indexes_for(m)
+            simple_raw = simple.nbytes()
+            simple_rle = sum(
+                RunLengthBitmap.from_bitvector(
+                    simple.vector_for(value)
+                ).nbytes()
+                for value in
+                simple.table.column("v").distinct_values()
+            )
+            encoded_raw = encoded.nbytes()
+            encoded_rle = sum(
+                RunLengthBitmap.from_bitvector(
+                    encoded.vector(i)
+                ).nbytes()
+                for i in range(encoded.width)
+            )
+            return simple_raw, simple_rle, encoded_raw, encoded_rle
+
+        simple_raw, simple_rle, encoded_raw, encoded_rle = (
+            benchmark.pedantic(measure, iterations=1, rounds=1)
+        )
+        print_table(
+            f"RLE compression at m = {m} (n = {N})",
+            ["index", "raw bytes", "RLE bytes"],
+            [
+                ("simple bitmap", simple_raw, simple_rle),
+                ("encoded bitmap", encoded_raw, encoded_rle),
+            ],
+        )
+        assert simple_rle < simple_raw  # sparse -> compresses
+        assert encoded_rle > encoded_raw * 0.5  # dense -> doesn't
+        assert encoded_raw < simple_rle * 4  # and raw encoded is tiny
+
+
+class TestCompressedIndex:
+    """Section 4's remedy in index form: the run-length compressed
+    simple bitmap index shrinks the space but keeps c_s = delta."""
+
+    def test_compressed_index_tradeoff(self, benchmark):
+        from repro.index.compressed import CompressedBitmapIndex
+        from repro.index.encoded_bitmap import EncodedBitmapIndex
+        from repro.query.predicates import InList
+
+        m = 256
+        table = build_table(
+            "t", N, {"v": uniform_column(N, m, seed=m)}
+        )
+
+        def build_all():
+            return (
+                SimpleBitmapIndex(table, "v"),
+                CompressedBitmapIndex(table, "v"),
+                EncodedBitmapIndex(table, "v"),
+            )
+
+        simple, compressed, encoded = benchmark.pedantic(
+            build_all, iterations=1, rounds=1
+        )
+        predicate = InList("v", list(range(64)))
+        simple.lookup(predicate)
+        compressed.lookup(predicate)
+        encoded.lookup(predicate)
+        print_table(
+            f"Compression trade-off at m = {m} (n = {N}, delta = 64)",
+            ["index", "bytes", "vectors accessed"],
+            [
+                ("simple", simple.nbytes(),
+                 simple.last_cost.vectors_accessed),
+                ("compressed simple", compressed.nbytes(),
+                 compressed.last_cost.vectors_accessed),
+                ("encoded", encoded.nbytes(),
+                 encoded.last_cost.vectors_accessed),
+            ],
+        )
+        # compression fixes space, not access counts
+        assert compressed.nbytes() < simple.nbytes()
+        assert (
+            compressed.last_cost.vectors_accessed
+            == simple.last_cost.vectors_accessed
+        )
+        assert (
+            encoded.last_cost.vectors_accessed
+            < compressed.last_cost.vectors_accessed
+        )

@@ -1,0 +1,105 @@
+"""Ablation — Theorem 2.1: void handling schemes.
+
+Compares the paper's recommended scheme (void tuples encoded at code
+0, no existence vector) against the explicit-existence-vector scheme
+on a table with deletions: per-query vector accesses and index size.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.query.predicates import Equals, InList
+from repro.workload.generators import build_table, uniform_column
+
+N = 3000
+M = 60
+
+
+@pytest.fixture(scope="module")
+def deleted_table():
+    table = build_table(
+        "t", N, {"v": uniform_column(N, M, seed=8)}
+    )
+    rng = random.Random(4)
+    for row_id in rng.sample(range(N), 300):
+        table.delete(row_id)
+    return table
+
+
+def _queries():
+    rng = random.Random(2)
+    queries = [Equals("v", rng.randrange(M)) for _ in range(5)]
+    for width in (4, 8, 16, 32):
+        start = rng.randint(0, M - width)
+        queries.append(InList("v", list(range(start, start + width))))
+    return queries
+
+
+class TestVoidHandling:
+    def test_access_comparison(self, deleted_table, benchmark):
+        encode_mode = EncodedBitmapIndex(
+            deleted_table, "v", void_mode="encode"
+        )
+        vector_mode = EncodedBitmapIndex(
+            deleted_table, "v", void_mode="vector"
+        )
+        queries = _queries()
+
+        def run_both():
+            totals = [0, 0]
+            for predicate in queries:
+                encode_mode.lookup(predicate)
+                totals[0] += encode_mode.last_cost.vectors_accessed
+                vector_mode.lookup(predicate)
+                totals[1] += vector_mode.last_cost.vectors_accessed
+            return totals
+
+        encode_total, vector_total = benchmark.pedantic(
+            run_both, iterations=1, rounds=1
+        )
+        print_table(
+            "Theorem 2.1 ablation: total vector accesses, 9 queries "
+            f"(n = {N}, 10% deleted)",
+            ["void handling", "total accesses", "extra vectors stored"],
+            [
+                ("encode at 0 (paper)", encode_total, 0),
+                ("explicit existence vector", vector_total, 1),
+            ],
+        )
+        # vector mode pays +1 per query (9 queries here)
+        assert vector_total >= encode_total
+
+    def test_results_identical(self, deleted_table):
+        encode_mode = EncodedBitmapIndex(
+            deleted_table, "v", void_mode="encode"
+        )
+        vector_mode = EncodedBitmapIndex(
+            deleted_table, "v", void_mode="vector"
+        )
+        for predicate in _queries():
+            assert encode_mode.lookup(predicate) == vector_mode.lookup(
+                predicate
+            )
+
+    def test_deleted_rows_never_returned(self, deleted_table):
+        index = EncodedBitmapIndex(deleted_table, "v")
+        void = deleted_table.void_rows()
+        for predicate in _queries():
+            hits = set(index.lookup(predicate).indices().tolist())
+            assert not (hits & void)
+
+    def test_size_overhead(self, deleted_table):
+        encode_mode = EncodedBitmapIndex(
+            deleted_table, "v", void_mode="encode"
+        )
+        vector_mode = EncodedBitmapIndex(
+            deleted_table, "v", void_mode="vector"
+        )
+        assert vector_mode.nbytes() > encode_mode.nbytes() or (
+            vector_mode.vector_count > encode_mode.width
+        )

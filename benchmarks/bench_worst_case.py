@@ -1,0 +1,88 @@
+"""Section 3.2 — worst-case analysis and the benefit of well-defined
+encodings.
+
+Reproduces every constant the paper prints:
+
+* area ratio 0.84 at |A| = 50  (16% average saving),
+* area ratio 0.90 at |A| = 1000 (10% average saving),
+* peak saving 83% at delta = 32, |A| = 50,
+* peak saving 90% at delta = 512, |A| = 1000.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.savings import (
+    area_ratio,
+    average_saving,
+    paper_reference_numbers,
+    point_saving,
+    worst_case_summary,
+)
+
+
+class TestWorstCaseConstants:
+    def test_summary_table(self, benchmark):
+        def summaries():
+            return [worst_case_summary(m) for m in (50, 1000)]
+
+        rows = benchmark(summaries)
+        refs = paper_reference_numbers()
+        print_table(
+            "Section 3.2 worst-case analysis (paper vs computed)",
+            ["|A|", "k", "area ratio (paper)", "area ratio (ours)",
+             "peak delta", "peak saving (paper)", "peak saving (ours)"],
+            [
+                (
+                    s.m, s.k,
+                    refs["area_ratio_m50"] if s.m == 50
+                    else refs["area_ratio_m1000"],
+                    f"{s.area_ratio:.3f}",
+                    s.best_delta,
+                    "83%" if s.m == 50 else "90%",
+                    f"{s.best_saving:.1%}",
+                )
+                for s in rows
+            ],
+        )
+        small, large = rows
+        assert small.area_ratio == pytest.approx(0.84, abs=0.005)
+        assert large.area_ratio == pytest.approx(0.90, abs=0.005)
+        assert small.best_saving == pytest.approx(0.833, abs=0.001)
+        assert large.best_saving == pytest.approx(0.90, abs=0.001)
+
+    def test_average_savings(self):
+        assert average_saving(50) == pytest.approx(0.16, abs=0.005)
+        assert average_saving(1000) == pytest.approx(0.10, abs=0.005)
+
+    def test_point_savings(self):
+        assert point_saving(32, 50) == pytest.approx(5 / 6, abs=1e-9)
+        assert point_saving(512, 1000) == pytest.approx(0.9, abs=1e-9)
+
+
+class TestMeasuredBestCase:
+    """Empirical confirmation: an aligned encoding really achieves the
+    best-case curve the analysis integrates (not just on paper)."""
+
+    def test_measured_area_ratio_m50(self, benchmark):
+        from repro.boolean.reduction import reduce_values
+
+        m, k = 50, 6
+        dont_cares = list(range(m, 1 << k))
+
+        def measure():
+            total = 0
+            for delta in range(1, m + 1):
+                reduced = reduce_values(
+                    range(delta), k, dont_cares=dont_cares
+                )
+                total += reduced.vector_count()
+            return total / (k * m)
+
+        ratio = benchmark.pedantic(measure, iterations=1, rounds=1)
+        print(f"\nmeasured area ratio at |A|=50: {ratio:.3f} "
+              "(paper: 0.84; don't-cares can only improve it)")
+        # real reductions may exploit don't-cares and beat the model
+        assert ratio <= area_ratio(50) + 0.005

@@ -1,0 +1,35 @@
+"""Aggregate evaluation directly on bitmap indexes.
+
+Section 5 of the paper lists, as future work, evaluating aggregate
+functions — ``sum``, ``average``, median, N-tile, column products —
+directly on the bitmaps "though of no difficulty".  This package
+supplies those algorithms:
+
+* :mod:`~repro.aggregate.counts` — COUNT/COUNT DISTINCT from vectors,
+* :mod:`~repro.aggregate.sums` — SUM/AVG on bit-sliced and encoded
+  indexes (the O'Neil–Quass slice-arithmetic SUM and the per-value
+  decomposition for arbitrary encodings),
+* :mod:`~repro.aggregate.quantiles` — MEDIAN and N-tiles by walking
+  the slices / value codes in order.
+"""
+
+from repro.aggregate.counts import count, count_distinct, group_counts
+from repro.aggregate.sums import (
+    average_bitsliced,
+    average_encoded,
+    sum_bitsliced,
+    sum_encoded,
+)
+from repro.aggregate.quantiles import median, ntile_boundaries
+
+__all__ = [
+    "count",
+    "count_distinct",
+    "group_counts",
+    "sum_bitsliced",
+    "sum_encoded",
+    "average_bitsliced",
+    "average_encoded",
+    "median",
+    "ntile_boundaries",
+]

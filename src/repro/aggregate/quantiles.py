@@ -1,0 +1,77 @@
+"""MEDIAN and N-tile directly on an encoded bitmap index.
+
+Walks the domain in value order accumulating per-value counts from
+the retrieval vectors until the target rank is crossed — no base
+table access, no sort.  On a total-order preserving encoding the walk
+can equivalently binary-search the slices; the value-order walk works
+for every encoding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bitmap.bitvector import BitVector
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.query.predicates import Equals
+
+
+def _ordered_counts(
+    index: EncodedBitmapIndex,
+    selection: Optional[BitVector],
+):
+    for value in sorted(index.mapping.domain()):
+        vector = index.lookup(Equals(index.column_name, value))
+        if selection is not None:
+            vector = vector & selection
+        matched = vector.count()
+        if matched:
+            yield value, matched
+
+
+def median(
+    index: EncodedBitmapIndex,
+    selection: Optional[BitVector] = None,
+):
+    """The lower median of the selected rows' values."""
+    total = sum(
+        matched for _, matched in _ordered_counts(index, selection)
+    )
+    if total == 0:
+        raise ValueError("median of an empty selection")
+    target = (total + 1) // 2
+    running = 0
+    for value, matched in _ordered_counts(index, selection):
+        running += matched
+        if running >= target:
+            return value
+    raise AssertionError("rank walk must terminate")  # pragma: no cover
+
+
+def ntile_boundaries(
+    index: EncodedBitmapIndex,
+    tiles: int,
+    selection: Optional[BitVector] = None,
+) -> List:
+    """Values splitting the selection into ``tiles`` equal groups.
+
+    Returns ``tiles - 1`` boundary values (the paper's N-tile).
+    """
+    if tiles < 2:
+        raise ValueError("need at least 2 tiles")
+    counts = list(_ordered_counts(index, selection))
+    total = sum(matched for _, matched in counts)
+    if total == 0:
+        raise ValueError("N-tile of an empty selection")
+    boundaries = []
+    next_tile = 1
+    running = 0
+    for value, matched in counts:
+        running += matched
+        while (
+            next_tile < tiles
+            and running >= next_tile * total / tiles
+        ):
+            boundaries.append(value)
+            next_tile += 1
+    return boundaries

@@ -1,0 +1,53 @@
+"""Analytical cost models from Sections 2.1 and 3 of the paper."""
+
+from repro.analysis.cost_models import (
+    encoded_vectors,
+    simple_vectors,
+    c_s,
+    c_e_best,
+    c_e_worst,
+    simple_bitmap_bytes,
+    encoded_bitmap_bytes,
+    btree_bytes,
+    btree_space_crossover,
+    btree_build_cost,
+    bitmap_build_cost,
+    simple_sparsity,
+    encoded_sparsity,
+    compound_btrees_needed,
+)
+from repro.analysis.figures import (
+    figure9_series,
+    figure10_series,
+    Figure9Row,
+)
+from repro.analysis.savings import (
+    area_ratio,
+    average_saving,
+    point_saving,
+    worst_case_summary,
+)
+
+__all__ = [
+    "encoded_vectors",
+    "simple_vectors",
+    "c_s",
+    "c_e_best",
+    "c_e_worst",
+    "simple_bitmap_bytes",
+    "encoded_bitmap_bytes",
+    "btree_bytes",
+    "btree_space_crossover",
+    "btree_build_cost",
+    "bitmap_build_cost",
+    "simple_sparsity",
+    "encoded_sparsity",
+    "compound_btrees_needed",
+    "figure9_series",
+    "figure10_series",
+    "Figure9Row",
+    "area_ratio",
+    "average_saving",
+    "point_saving",
+    "worst_case_summary",
+]

@@ -1,0 +1,90 @@
+"""Series generators for the paper's quantitative figures.
+
+``figure9_series`` produces the three curves of Figure 9 (``c_s``,
+best-case ``c_e`` and the worst-case line ``c_e_w = k``) for a given
+cardinality; ``figure10_series`` produces the vector-count curves of
+Figure 10.  Benches print these and compare them against measured
+values from real indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.cost_models import (
+    c_e_best,
+    c_e_worst,
+    c_s,
+    encoded_vectors,
+    simple_vectors,
+)
+
+
+@dataclass(frozen=True)
+class Figure9Row:
+    """One point of Figure 9: costs at a given range width delta."""
+
+    delta: int
+    c_s: int
+    c_e_best: int
+    c_e_worst: int
+
+    @property
+    def encoded_wins(self) -> bool:
+        """Does encoded (even at worst case) beat simple here?"""
+        return self.c_e_worst < self.c_s
+
+
+def figure9_series(
+    m: int, deltas: Optional[Sequence[int]] = None
+) -> List[Figure9Row]:
+    """The Figure 9 curves for cardinality ``m``.
+
+    By default sweeps every delta in ``1..m`` — exactly the x-axis of
+    the paper's plots (|A| = 50 for 9a, |A| = 1000 for 9b).
+    """
+    if deltas is None:
+        deltas = range(1, m + 1)
+    k = c_e_worst(m)
+    return [
+        Figure9Row(
+            delta=delta,
+            c_s=c_s(delta),
+            c_e_best=c_e_best(delta, m),
+            c_e_worst=k,
+        )
+        for delta in deltas
+    ]
+
+
+@dataclass(frozen=True)
+class Figure10Row:
+    """One point of Figure 10: vector counts at cardinality ``m``."""
+
+    m: int
+    simple_vectors: int
+    encoded_vectors: int
+
+
+def figure10_series(
+    cardinalities: Iterable[int],
+) -> List[Figure10Row]:
+    """The Figure 10 curves: ``m`` vs ``ceil(log2 m)`` bit vectors."""
+    return [
+        Figure10Row(
+            m=m,
+            simple_vectors=simple_vectors(m),
+            encoded_vectors=encoded_vectors(m),
+        )
+        for m in cardinalities
+    ]
+
+
+def crossover_point(m: int) -> int:
+    """Smallest delta at which worst-case encoded beats simple."""
+    k = c_e_worst(m)
+    for delta in range(1, m + 1):
+        if k < c_s(delta):
+            return delta
+    return m

@@ -1,0 +1,84 @@
+"""Worst-case analysis (Section 3.2 of the paper).
+
+The paper quantifies the benefit of well-defined encodings as the
+ratio between the areas under the best-case curve and the worst-case
+line ``c_e_w = k``:
+
+* |A| = 50  -> ratio 0.84 (16% average saving),
+* |A| = 1000 -> ratio 0.90 (10% average saving),
+
+with point savings up to 83% (delta = 32, |A| = 50) and 90%
+(delta = 512, |A| = 1000).  These functions compute those quantities
+from the cost model so the benchmark can print paper-vs-computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.cost_models import c_e_best, c_e_worst
+
+
+def area_ratio(m: int) -> float:
+    """Area under best-case ``c_e`` divided by area under ``k`` line."""
+    k = c_e_worst(m)
+    best_area = sum(c_e_best(delta, m) for delta in range(1, m + 1))
+    worst_area = k * m
+    return best_area / worst_area
+
+
+def average_saving(m: int) -> float:
+    """The paper's 'saving of processing cost': ``1 - area_ratio``."""
+    return 1.0 - area_ratio(m)
+
+
+def point_saving(delta: int, m: int) -> float:
+    """Saving at one specific range width (e.g. 83% at delta=32, m=50)."""
+    k = c_e_worst(m)
+    return 1.0 - c_e_best(delta, m) / k
+
+
+@dataclass(frozen=True)
+class WorstCaseSummary:
+    """All Section 3.2 headline numbers for one cardinality."""
+
+    m: int
+    k: int
+    area_ratio: float
+    average_saving: float
+    best_delta: int
+    best_saving: float
+
+
+def worst_case_summary(m: int) -> WorstCaseSummary:
+    """Compute the Section 3.2 numbers for cardinality ``m``.
+
+    ``best_delta`` is the largest power of two <= m — where the
+    reduction collapses to a single variable and the saving peaks.
+    """
+    k = c_e_worst(m)
+    best_delta = 1 << (m.bit_length() - 1)
+    if best_delta > m:
+        best_delta >>= 1
+    return WorstCaseSummary(
+        m=m,
+        k=k,
+        area_ratio=area_ratio(m),
+        average_saving=average_saving(m),
+        best_delta=best_delta,
+        best_saving=point_saving(best_delta, m),
+    )
+
+
+def paper_reference_numbers() -> Dict[str, float]:
+    """The constants printed in the paper, for bench comparison."""
+    return {
+        "area_ratio_m50": 0.84,
+        "area_ratio_m1000": 0.90,
+        "max_saving_m50_delta32": 0.83,
+        "max_saving_m1000_delta512": 0.90,
+        "tpcd_range_queries": 12,
+        "tpcd_total_queries": 17,
+        "btree_space_crossover_m": 93,
+    }

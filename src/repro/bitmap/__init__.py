@@ -1,0 +1,28 @@
+"""Bit-vector substrate.
+
+This package provides the storage primitive of the whole library: the
+:class:`~repro.bitmap.bitvector.BitVector`, a fixed-length vector of
+bits packed into 64-bit words (numpy ``uint64``), together with bulk
+logical operations and a run-length compressed variant used for the
+sparsity experiments.
+"""
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.ops import (
+    and_all,
+    or_all,
+    xor_all,
+    popcount_words,
+    packed_length,
+)
+from repro.bitmap.rle import RunLengthBitmap
+
+__all__ = [
+    "BitVector",
+    "RunLengthBitmap",
+    "and_all",
+    "or_all",
+    "xor_all",
+    "popcount_words",
+    "packed_length",
+]

@@ -1,0 +1,105 @@
+"""Word-level helpers shared by the bitmap implementations.
+
+The helpers here operate on raw numpy ``uint64`` arrays so that both the
+uncompressed :class:`~repro.bitmap.bitvector.BitVector` and the
+run-length compressed :class:`~repro.bitmap.rle.RunLengthBitmap` can
+reuse them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+WORD_BITS = 64
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def packed_length(nbits: int) -> int:
+    """Number of 64-bit words needed to hold ``nbits`` bits."""
+    if nbits < 0:
+        raise ValueError(f"negative bit length: {nbits}")
+    return (nbits + WORD_BITS - 1) // WORD_BITS
+
+
+def tail_mask(nbits: int) -> np.uint64:
+    """Mask selecting the valid bits of the final word of an
+    ``nbits``-bit vector.  Returns a full word when ``nbits`` is a
+    multiple of 64 (or zero)."""
+    rem = nbits % WORD_BITS
+    if rem == 0:
+        return _FULL_WORD
+    return np.uint64((1 << rem) - 1)
+
+
+def popcount_words(words: np.ndarray) -> int:
+    """Total number of set bits across a ``uint64`` array."""
+    if words.size == 0:
+        return 0
+    # numpy >= 1.17: bit twiddling via unpackbits on a byte view is the
+    # fastest portable popcount for bulk data.
+    return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+def _require_same_length(vectors: Sequence) -> int:
+    from repro.errors import LengthMismatchError
+
+    first = len(vectors[0])
+    for vec in vectors[1:]:
+        if len(vec) != first:
+            raise LengthMismatchError(first, len(vec))
+    return first
+
+
+def and_all(vectors: Sequence) -> "BitVector":
+    """AND together one or more :class:`BitVector` instances."""
+    from repro.bitmap.bitvector import BitVector
+
+    if not vectors:
+        raise ValueError("and_all() requires at least one vector")
+    nbits = _require_same_length(vectors)
+    words = vectors[0].words.copy()
+    for vec in vectors[1:]:
+        np.bitwise_and(words, vec.words, out=words)
+    return BitVector._from_words(words, nbits)
+
+
+def or_all(vectors: Sequence) -> "BitVector":
+    """OR together one or more :class:`BitVector` instances."""
+    from repro.bitmap.bitvector import BitVector
+
+    if not vectors:
+        raise ValueError("or_all() requires at least one vector")
+    nbits = _require_same_length(vectors)
+    words = vectors[0].words.copy()
+    for vec in vectors[1:]:
+        np.bitwise_or(words, vec.words, out=words)
+    return BitVector._from_words(words, nbits)
+
+
+def xor_all(vectors: Sequence) -> "BitVector":
+    """XOR together one or more :class:`BitVector` instances."""
+    from repro.bitmap.bitvector import BitVector
+
+    if not vectors:
+        raise ValueError("xor_all() requires at least one vector")
+    nbits = _require_same_length(vectors)
+    words = vectors[0].words.copy()
+    for vec in vectors[1:]:
+        np.bitwise_xor(words, vec.words, out=words)
+    return BitVector._from_words(words, nbits)
+
+
+def words_from_bools(bits: Iterable[bool]) -> "tuple[np.ndarray, int]":
+    """Pack an iterable of booleans into a word array.
+
+    Returns ``(words, nbits)``.
+    """
+    bool_array = np.fromiter((1 if b else 0 for b in bits), dtype=np.uint8)
+    nbits = int(bool_array.size)
+    nwords = packed_length(nbits)
+    padded = np.zeros(nwords * WORD_BITS, dtype=np.uint8)
+    padded[:nbits] = bool_array
+    words = np.packbits(padded, bitorder="little").view(np.uint64)
+    return words.copy(), nbits

@@ -1,0 +1,63 @@
+"""Boolean-function machinery for retrieval functions.
+
+The paper defines one *retrieval Boolean function* per attribute value
+(a k-variable minterm over the index's bitmap vectors) and evaluates
+selections by OR-ing the minterms of the selected values, then
+*logically reducing* the resulting expression so as few bitmap vectors
+as possible must be read (footnote 4 of the paper counts cost after
+reduction).
+
+This package provides:
+
+* :mod:`~repro.boolean.minterm` — cube/implicant representation,
+* :mod:`~repro.boolean.quine_mccluskey` — prime implicant generation,
+* :mod:`~repro.boolean.petrick` — exact/greedy minimal cover,
+* :mod:`~repro.boolean.reduction` — the ``reduce_values`` front door,
+* :mod:`~repro.boolean.support` — exact minimal variable support with
+  don't-cares (the theoretical best case the paper calls Property 3.1),
+* :mod:`~repro.boolean.expr` — expression AST,
+* :mod:`~repro.boolean.evaluator` — evaluation over bitmap vectors with
+  vector-access accounting.
+"""
+
+from repro.boolean.minterm import Implicant
+from repro.boolean.quine_mccluskey import prime_implicants
+from repro.boolean.petrick import minimal_cover
+from repro.boolean.reduction import (
+    ReducedFunction,
+    reduce_values,
+    distinct_variables,
+)
+from repro.boolean.support import minimal_support
+from repro.boolean.expr import (
+    Expression,
+    Var,
+    Not,
+    And,
+    Or,
+    Xor,
+    Const,
+    dnf_expression,
+)
+from repro.boolean.evaluator import AccessCounter, evaluate_dnf, evaluate_expression
+
+__all__ = [
+    "Implicant",
+    "prime_implicants",
+    "minimal_cover",
+    "ReducedFunction",
+    "reduce_values",
+    "distinct_variables",
+    "minimal_support",
+    "Expression",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "Const",
+    "dnf_expression",
+    "AccessCounter",
+    "evaluate_dnf",
+    "evaluate_expression",
+]

@@ -1,0 +1,140 @@
+"""Evaluation of retrieval expressions over bitmap vectors.
+
+The evaluator mirrors the paper's cost accounting: every *distinct*
+bitmap vector pulled from the index while computing a result counts as
+one access (footnote 4 ignores the CPU cost of the logical ops).  The
+:class:`AccessCounter` records which vectors were touched; benches read
+``counter.distinct_accesses`` to obtain the measured ``c_e``/``c_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Set
+
+from repro.bitmap.bitvector import BitVector
+from repro.boolean.expr import And, Const, Expression, Not, Or, Var, Xor
+from repro.boolean.reduction import ReducedFunction
+
+
+@dataclass
+class AccessCounter:
+    """Records bitmap-vector accesses during one evaluation."""
+
+    touched: Set[int] = field(default_factory=set)
+    reads: int = 0
+
+    def record(self, index: int) -> None:
+        self.touched.add(index)
+        self.reads += 1
+
+    @property
+    def distinct_accesses(self) -> int:
+        """The paper's cost unit: distinct vectors read."""
+        return len(self.touched)
+
+    def merge(self, other: "AccessCounter") -> None:
+        self.touched |= other.touched
+        self.reads += other.reads
+
+
+class VectorSource:
+    """Callable adaptor giving the evaluator access-counted vectors."""
+
+    def __init__(
+        self,
+        fetch: Callable[[int], BitVector],
+        counter: AccessCounter,
+    ) -> None:
+        self._fetch = fetch
+        self._counter = counter
+        self._cache: Dict[int, BitVector] = {}
+
+    def __call__(self, index: int) -> BitVector:
+        self._counter.record(index)
+        if index not in self._cache:
+            self._cache[index] = self._fetch(index)
+        return self._cache[index]
+
+
+def evaluate_expression(
+    expression: Expression,
+    fetch: Callable[[int], BitVector],
+    nbits: int,
+    counter: AccessCounter = None,
+) -> BitVector:
+    """Evaluate an expression tree into a result bit vector.
+
+    Parameters
+    ----------
+    expression:
+        The retrieval expression over variables ``B_i``.
+    fetch:
+        Returns the bitmap vector for variable ``i``.
+    nbits:
+        Length of the vectors (needed for constants).
+    counter:
+        Optional access counter; each distinct variable fetched is one
+        access.
+    """
+    if counter is None:
+        counter = AccessCounter()
+    source = VectorSource(fetch, counter)
+    return _eval(expression, source, nbits)
+
+
+def _eval(
+    expression: Expression, source: VectorSource, nbits: int
+) -> BitVector:
+    if isinstance(expression, Const):
+        return BitVector.ones(nbits) if expression.value else BitVector(nbits)
+    if isinstance(expression, Var):
+        return source(expression.index).copy()
+    if isinstance(expression, Not):
+        return ~_eval(expression.operand, source, nbits)
+    if isinstance(expression, And):
+        result = _eval(expression.operands[0], source, nbits)
+        for operand in expression.operands[1:]:
+            result &= _eval(operand, source, nbits)
+        return result
+    if isinstance(expression, Or):
+        result = _eval(expression.operands[0], source, nbits)
+        for operand in expression.operands[1:]:
+            result |= _eval(operand, source, nbits)
+        return result
+    if isinstance(expression, Xor):
+        result = _eval(expression.operands[0], source, nbits)
+        for operand in expression.operands[1:]:
+            result ^= _eval(operand, source, nbits)
+        return result
+    raise TypeError(f"unknown expression node: {expression!r}")
+
+
+def evaluate_dnf(
+    function: ReducedFunction,
+    fetch: Callable[[int], BitVector],
+    nbits: int,
+    counter: AccessCounter = None,
+) -> BitVector:
+    """Evaluate a reduced DNF directly (fast path, no AST needed)."""
+    if counter is None:
+        counter = AccessCounter()
+    source = VectorSource(fetch, counter)
+
+    if function.is_false:
+        return BitVector(nbits)
+
+    result = BitVector(nbits)
+    for term in function.terms:
+        if term.is_constant_true():
+            return BitVector.ones(nbits)
+        term_vector: BitVector = None
+        for i in term.variables():
+            vector = source(i)
+            literal = vector if (term.bits >> i) & 1 else ~vector
+            if term_vector is None:
+                term_vector = literal.copy() if literal is vector else literal
+            else:
+                term_vector &= literal
+        result |= term_vector
+    return result

@@ -1,0 +1,184 @@
+"""Boolean expression AST over bitmap-vector variables.
+
+The DNF produced by logical reduction is sufficient for most query
+evaluation, but the paper's footnote 3 (don't-care optimisation, XOR
+vs OR forms) and the planner's composite predicates need a general
+expression tree.  Nodes are immutable; evaluation over bit vectors is
+implemented in :mod:`repro.boolean.evaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.boolean.minterm import Implicant
+from repro.boolean.reduction import ReducedFunction
+
+
+class Expression:
+    """Base class for Boolean expression nodes."""
+
+    def variables(self) -> FrozenSet[int]:
+        """Distinct variable indexes appearing in the expression."""
+        raise NotImplementedError
+
+    def evaluate_value(self, value: int) -> bool:
+        """Evaluate with variable ``i`` bound to bit ``i`` of ``value``."""
+        raise NotImplementedError
+
+    # Convenience builders -------------------------------------------------
+    def __and__(self, other: "Expression") -> "Expression":
+        return And((self, other))
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expression") -> "Expression":
+        return Xor((self, other))
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """Constant true/false."""
+
+    value: bool
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def evaluate_value(self, value: int) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Var(Expression):
+    """Bitmap-vector variable ``B_index``."""
+
+    index: int
+
+    def variables(self) -> FrozenSet[int]:
+        return frozenset((self.index,))
+
+    def evaluate_value(self, value: int) -> bool:
+        return bool((value >> self.index) & 1)
+
+    def __str__(self) -> str:
+        return f"B{self.index}"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Negation."""
+
+    operand: Expression
+
+    def variables(self) -> FrozenSet[int]:
+        return self.operand.variables()
+
+    def evaluate_value(self, value: int) -> bool:
+        return not self.operand.evaluate_value(value)
+
+    def __str__(self) -> str:
+        inner = str(self.operand)
+        if isinstance(self.operand, (Var, Const)):
+            return f"{inner}'"
+        return f"({inner})'"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction of two or more operands."""
+
+    operands: Tuple[Expression, ...]
+
+    def variables(self) -> FrozenSet[int]:
+        result: FrozenSet[int] = frozenset()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def evaluate_value(self, value: int) -> bool:
+        return all(op.evaluate_value(value) for op in self.operands)
+
+    def __str__(self) -> str:
+        parts = []
+        for operand in self.operands:
+            text = str(operand)
+            if isinstance(operand, (Or, Xor)):
+                text = f"({text})"
+            parts.append(text)
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction of two or more operands."""
+
+    operands: Tuple[Expression, ...]
+
+    def variables(self) -> FrozenSet[int]:
+        result: FrozenSet[int] = frozenset()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def evaluate_value(self, value: int) -> bool:
+        return any(op.evaluate_value(value) for op in self.operands)
+
+    def __str__(self) -> str:
+        return " + ".join(str(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Xor(Expression):
+    """Exclusive-or of two or more operands (footnote 3 of the paper)."""
+
+    operands: Tuple[Expression, ...]
+
+    def variables(self) -> FrozenSet[int]:
+        result: FrozenSet[int] = frozenset()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def evaluate_value(self, value: int) -> bool:
+        result = False
+        for operand in self.operands:
+            result ^= operand.evaluate_value(value)
+        return result
+
+    def __str__(self) -> str:
+        return " XOR ".join(str(op) for op in self.operands)
+
+
+def term_expression(term: Implicant) -> Expression:
+    """Convert a product term into an expression node."""
+    if term.is_constant_true():
+        return Const(True)
+    literals = []
+    for i in range(term.width - 1, -1, -1):
+        if (term.care >> i) & 1:
+            var: Expression = Var(i)
+            if not (term.bits >> i) & 1:
+                var = Not(var)
+            literals.append(var)
+    if len(literals) == 1:
+        return literals[0]
+    return And(tuple(literals))
+
+
+def dnf_expression(function: ReducedFunction) -> Expression:
+    """Convert a reduced DNF into an expression tree."""
+    if function.is_false:
+        return Const(False)
+    terms = [term_expression(term) for term in function.terms]
+    if len(terms) == 1:
+        return terms[0]
+    return Or(tuple(terms))

@@ -1,0 +1,113 @@
+"""Cube (implicant) representation for Boolean minimisation.
+
+An :class:`Implicant` is a product term over ``k`` Boolean variables
+``x_0 .. x_{k-1}`` (variable ``x_i`` corresponds to bitmap vector
+``B_i`` in the paper).  It is stored as a pair of integers:
+
+* ``care`` — bit ``i`` set means variable ``i`` appears in the term,
+* ``bits`` — for each care bit, whether the variable appears plain
+  (1) or negated (0).  Bits outside ``care`` are zero.
+
+A full minterm has ``care == (1 << k) - 1``.  Merging two implicants
+that differ in exactly one care bit drops that bit — the core step of
+Quine–McCluskey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """A product term over ``width`` variables."""
+
+    bits: int
+    care: int
+    width: int
+
+    def __post_init__(self) -> None:
+        full = (1 << self.width) - 1
+        if self.care & ~full:
+            raise ValueError(
+                f"care mask {self.care:#x} exceeds width {self.width}"
+            )
+        if self.bits & ~self.care:
+            raise ValueError("bits set outside the care mask")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def minterm(cls, value: int, width: int) -> "Implicant":
+        """The full minterm for ``value`` over ``width`` variables."""
+        full = (1 << width) - 1
+        if value & ~full:
+            raise ValueError(f"value {value} exceeds width {width}")
+        return cls(bits=value, care=full, width=width)
+
+    # ------------------------------------------------------------------
+    def covers(self, value: int) -> bool:
+        """True if this term is satisfied by the assignment ``value``."""
+        return (value & self.care) == self.bits
+
+    def literal_count(self) -> int:
+        """Number of literals (cared variables) in the term."""
+        return bin(self.care).count("1")
+
+    def variables(self) -> Tuple[int, ...]:
+        """Indices of variables appearing in the term, ascending."""
+        return tuple(
+            i for i in range(self.width) if (self.care >> i) & 1
+        )
+
+    def merge(self, other: "Implicant") -> Optional["Implicant"]:
+        """Combine with a term differing in exactly one cared literal.
+
+        Returns the merged (one-literal-shorter) term, or ``None`` if
+        the two terms are not adjacent.
+        """
+        if self.width != other.width or self.care != other.care:
+            return None
+        diff = self.bits ^ other.bits
+        if diff == 0 or diff & (diff - 1):
+            return None  # identical, or differing in more than one bit
+        care = self.care & ~diff
+        return Implicant(bits=self.bits & care, care=care, width=self.width)
+
+    def minterms(self) -> Iterator[int]:
+        """Enumerate the full minterm values covered by this term."""
+        free = [
+            i for i in range(self.width) if not (self.care >> i) & 1
+        ]
+        base = self.bits
+        for combo in range(1 << len(free)):
+            value = base
+            for pos, var in enumerate(free):
+                if (combo >> pos) & 1:
+                    value |= 1 << var
+            yield value
+
+    def is_constant_true(self) -> bool:
+        """True when no variables remain (the term covers everything)."""
+        return self.care == 0
+
+    # ------------------------------------------------------------------
+    def to_string(self, prefix: str = "B") -> str:
+        """Render as the paper writes terms, e.g. ``B2'B1B0``.
+
+        Variables are printed from the most significant to the least,
+        with a trailing apostrophe for negated literals.
+        """
+        if self.is_constant_true():
+            return "1"
+        parts = []
+        for i in range(self.width - 1, -1, -1):
+            if (self.care >> i) & 1:
+                literal = f"{prefix}{i}"
+                if not (self.bits >> i) & 1:
+                    literal += "'"
+                parts.append(literal)
+        return "".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_string()

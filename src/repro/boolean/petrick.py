@@ -1,0 +1,167 @@
+"""Minimal-cover selection over prime implicants.
+
+After Quine–McCluskey generates the prime implicants, a minimum subset
+covering every ON minterm must be selected.  Small instances are solved
+exactly with Petrick's method (product-of-sums expansion with
+absorption); larger instances fall back to essential-prime extraction
+followed by a greedy set cover, which is the standard engineering
+compromise the paper alludes to when it says heuristics are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.boolean.minterm import Implicant
+from repro.boolean.quine_mccluskey import coverage_table
+
+#: Petrick expansion is only attempted when the reduced covering
+#: problem is small: at most this many still-uncovered minterms ...
+_EXACT_LIMIT_MINTERMS = 24
+#: ... and at most this many candidate primes involved.
+_EXACT_LIMIT_PRIMES = 28
+#: Hard cap on the number of partial products kept during expansion
+#: (absorption is quadratic, so this must stay modest).
+_EXACT_LIMIT_PRODUCTS = 1500
+
+
+def minimal_cover(
+    primes: Sequence[Implicant],
+    on_set: Sequence[int],
+    exact: bool = True,
+) -> List[Implicant]:
+    """Select a minimal set of primes covering every ON minterm.
+
+    Parameters
+    ----------
+    primes:
+        Candidate prime implicants (from :func:`prime_implicants`).
+    on_set:
+        Minterms that must be covered (don't-cares excluded).
+    exact:
+        When True, use Petrick's method if the instance is small
+        enough; otherwise (or when too large) use greedy cover after
+        extracting essential primes.
+
+    Returns
+    -------
+    list of :class:`Implicant`
+        The chosen cover, sorted by fewest literals first.
+    """
+    on_list = list(dict.fromkeys(on_set))
+    if not on_list:
+        return []
+    if not primes:
+        raise ValueError("no prime implicants supplied for a non-empty ON set")
+
+    table = coverage_table(list(primes), on_list)
+
+    chosen: Set[int] = set()
+    uncovered: Set[int] = set(on_list)
+
+    # Essential primes: minterms covered by exactly one prime.
+    changed = True
+    while changed:
+        changed = False
+        for value in list(uncovered):
+            covering = table[value]
+            alive = covering - _dominated(covering, chosen)
+            if len(covering) == 1:
+                (only,) = covering
+                if only not in chosen:
+                    chosen.add(only)
+                    changed = True
+        if changed:
+            uncovered = {
+                value
+                for value in uncovered
+                if not any(primes[i].covers(value) for i in chosen)
+            }
+
+    if uncovered:
+        involved = set()
+        for value in uncovered:
+            involved |= table[value]
+        small_enough = (
+            len(uncovered) <= _EXACT_LIMIT_MINTERMS
+            and len(involved) <= _EXACT_LIMIT_PRIMES
+        )
+        if exact and small_enough:
+            extra = _petrick(table, uncovered)
+        else:
+            extra = _greedy(primes, uncovered)
+        chosen |= extra
+
+    cover = [primes[i] for i in sorted(chosen)]
+    cover.sort(key=lambda imp: (imp.literal_count(), imp.care, imp.bits))
+    return cover
+
+
+def _dominated(covering: FrozenSet[int], chosen: Set[int]) -> Set[int]:
+    """Placeholder hook for row/column dominance (kept simple)."""
+    return set()
+
+
+def _petrick(
+    table: Dict[int, FrozenSet[int]], uncovered: Set[int]
+) -> Set[int]:
+    """Petrick's method: expand the POS cover expression to SOP.
+
+    Each partial product is a frozenset of prime indexes; absorption
+    keeps only minimal products, and the smallest final product wins.
+    """
+    products: Set[FrozenSet[int]] = {frozenset()}
+    for value in sorted(uncovered):
+        alternatives = table[value]
+        expanded: Set[FrozenSet[int]] = set()
+        for product in products:
+            for prime in alternatives:
+                expanded.add(product | {prime})
+        products = _absorb(expanded)
+        if len(products) > _EXACT_LIMIT_PRODUCTS:
+            # Blow-up guard: abandon exactness, keep the smallest seeds.
+            products = set(
+                sorted(products, key=lambda p: (len(p), sorted(p)))[
+                    : _EXACT_LIMIT_PRODUCTS // 4
+                ]
+            )
+    return set(min(products, key=lambda p: (len(p), sorted(p))))
+
+
+def _absorb(products: Set[FrozenSet[int]]) -> Set[FrozenSet[int]]:
+    """Drop any product that is a superset of another (absorption)."""
+    kept: List[FrozenSet[int]] = []
+    for product in sorted(products, key=len):
+        if not any(other <= product for other in kept):
+            kept.append(product)
+    return set(kept)
+
+
+def _greedy(
+    primes: Sequence[Implicant], uncovered: Set[int]
+) -> Set[int]:
+    """Greedy set cover: repeatedly take the prime covering the most
+    still-uncovered minterms (ties: fewer literals, then stable order)."""
+    remaining = set(uncovered)
+    chosen: Set[int] = set()
+    while remaining:
+        best_index = -1
+        best_key: Tuple[int, int, int] = (0, 0, 0)
+        for i, prime in enumerate(primes):
+            if i in chosen:
+                continue
+            gain = sum(1 for value in remaining if prime.covers(value))
+            if gain == 0:
+                continue
+            key = (gain, -prime.literal_count(), -i)
+            if best_index < 0 or key > best_key:
+                best_index, best_key = i, key
+        if best_index < 0:
+            raise ValueError("uncoverable minterms remain in greedy cover")
+        chosen.add(best_index)
+        remaining = {
+            value
+            for value in remaining
+            if not primes[best_index].covers(value)
+        }
+    return chosen

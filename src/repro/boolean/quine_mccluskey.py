@@ -1,0 +1,115 @@
+"""Quine–McCluskey prime implicant generation.
+
+The paper's Section 3.2 ("Logical Reduction") notes that brute-force
+reduction is exponential but feasible because retrieval functions are
+reduced once per (pre-defined) predicate.  This module implements the
+classic tabulation method with don't-care support; don't-cares arise
+from unused codes (``2^k - m`` spare codes) and from the void-tuple
+optimisation of Theorem 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.boolean.minterm import Implicant
+
+
+def prime_implicants(
+    on_set: Iterable[int],
+    width: int,
+    dont_cares: Iterable[int] = (),
+) -> List[Implicant]:
+    """Compute all prime implicants of the function.
+
+    Parameters
+    ----------
+    on_set:
+        Minterm values where the function is 1.
+    width:
+        Number of variables ``k``.
+    dont_cares:
+        Minterm values whose output is unconstrained.  They participate
+        in merging but never need to be covered.
+
+    Returns
+    -------
+    list of :class:`Implicant`
+        The prime implicants, ordered deterministically (by descending
+        coverage, then by ``(care, bits)``).
+    """
+    on = set(on_set)
+    dc = set(dont_cares) - on
+    full = (1 << width) - 1
+    for value in on | dc:
+        if value & ~full:
+            raise ValueError(f"minterm {value} exceeds width {width}")
+
+    if not on:
+        return []
+    if len(on) + len(dc) == (1 << width):
+        # Function (with don't-cares) covers the whole cube: the single
+        # prime implicant is the constant-true term.
+        return [Implicant(bits=0, care=0, width=width)]
+
+    current: Set[Tuple[int, int]] = {
+        (value, full) for value in on | dc
+    }
+    primes: Set[Tuple[int, int]] = set()
+
+    while current:
+        merged_from: Set[Tuple[int, int]] = set()
+        next_level: Set[Tuple[int, int]] = set()
+        # Group by care mask and popcount so only plausible neighbours
+        # are compared.
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for bits, care in current:
+            key = (care, bin(bits).count("1"))
+            groups.setdefault(key, []).append(bits)
+        for (care, ones), members in groups.items():
+            partner_key = (care, ones + 1)
+            partners = groups.get(partner_key, [])
+            if not partners:
+                continue
+            partner_set = set(partners)
+            for bits in members:
+                # try flipping each zero care-bit to find a neighbour
+                remaining = care & ~bits
+                probe = remaining
+                while probe:
+                    low = probe & -probe
+                    probe ^= low
+                    other = bits | low
+                    if other in partner_set:
+                        new_care = care & ~low
+                        next_level.add((bits & new_care, new_care))
+                        merged_from.add((bits, care))
+                        merged_from.add((other, care))
+        primes |= current - merged_from
+        current = next_level
+
+    result = [
+        Implicant(bits=bits, care=care, width=width)
+        for bits, care in primes
+    ]
+    result.sort(
+        key=lambda imp: (imp.literal_count(), imp.care, imp.bits)
+    )
+    return result
+
+
+def coverage_table(
+    primes: List[Implicant], on_set: Iterable[int]
+) -> Dict[int, FrozenSet[int]]:
+    """Map each ON minterm to the set of prime indexes covering it."""
+    table: Dict[int, FrozenSet[int]] = {}
+    for value in on_set:
+        covering = frozenset(
+            i for i, prime in enumerate(primes) if prime.covers(value)
+        )
+        if not covering:
+            raise ValueError(
+                f"minterm {value} not covered by any prime implicant"
+            )
+        table[value] = covering
+    return table

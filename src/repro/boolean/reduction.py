@@ -1,0 +1,119 @@
+"""Logical reduction of retrieval Boolean functions.
+
+``reduce_values`` is the front door used by the encoded bitmap index:
+given the set of codes selected by a predicate it produces a minimal
+DNF over the bitmap-vector variables, and :func:`distinct_variables`
+counts how many bitmap vectors the reduced expression actually touches
+— exactly the quantity ``c_e`` the paper measures in Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.boolean.minterm import Implicant
+from repro.boolean.petrick import minimal_cover
+from repro.boolean.quine_mccluskey import prime_implicants
+
+
+@dataclass(frozen=True)
+class ReducedFunction:
+    """A logically reduced retrieval function.
+
+    Attributes
+    ----------
+    terms:
+        The minimal DNF as a tuple of implicants.  An empty tuple means
+        the constant-false function; a single constant-true implicant
+        means every tuple qualifies.
+    width:
+        Number of bitmap-vector variables ``k``.
+    """
+
+    terms: Tuple[Implicant, ...]
+    width: int
+
+    @property
+    def is_false(self) -> bool:
+        return not self.terms
+
+    @property
+    def is_true(self) -> bool:
+        return len(self.terms) == 1 and self.terms[0].is_constant_true()
+
+    def variables(self) -> Tuple[int, ...]:
+        """Distinct bitmap-vector indexes read by the expression."""
+        used: Set[int] = set()
+        for term in self.terms:
+            used.update(term.variables())
+        return tuple(sorted(used))
+
+    def vector_count(self) -> int:
+        """The paper's cost measure: distinct vectors accessed (c_e)."""
+        return len(self.variables())
+
+    def evaluate_value(self, value: int) -> bool:
+        """Evaluate on a single code (truth-table check)."""
+        return any(term.covers(value) for term in self.terms)
+
+    def to_string(self, prefix: str = "B") -> str:
+        """Render the DNF the way the paper prints it.
+
+        Example: ``B2'B1 + B2B1'``.
+        """
+        if self.is_false:
+            return "0"
+        return " + ".join(term.to_string(prefix) for term in self.terms)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def reduce_values(
+    codes: Iterable[int],
+    width: int,
+    dont_cares: Iterable[int] = (),
+    exact: bool = True,
+) -> ReducedFunction:
+    """Reduce ``OR`` of the minterms of ``codes`` to a minimal DNF.
+
+    Parameters
+    ----------
+    codes:
+        Codes (attribute-value encodings) selected by the predicate.
+    width:
+        Number of bitmap vectors ``k``.
+    dont_cares:
+        Codes whose truth value is unconstrained — unused codes of the
+        mapping, and (under Theorem 2.1) the void code when it cannot be
+        selected anyway.
+    exact:
+        Passed through to :func:`minimal_cover`.
+    """
+    on = sorted(set(codes))
+    if not on:
+        return ReducedFunction(terms=(), width=width)
+    primes = prime_implicants(on, width, dont_cares)
+    cover = minimal_cover(primes, on, exact=exact)
+    return ReducedFunction(terms=tuple(cover), width=width)
+
+
+def distinct_variables(terms: Sequence[Implicant]) -> int:
+    """Count the distinct variables across a DNF term list."""
+    used: Set[int] = set()
+    for term in terms:
+        used.update(term.variables())
+    return len(used)
+
+
+def minterm_dnf(codes: Iterable[int], width: int) -> ReducedFunction:
+    """The *unreduced* retrieval expression: one full minterm per code.
+
+    This is the worst case the paper analyses: evaluating it touches
+    all ``width`` vectors whenever at least one code is selected.
+    """
+    terms = tuple(
+        Implicant.minterm(code, width) for code in sorted(set(codes))
+    )
+    return ReducedFunction(terms=terms, width=width)

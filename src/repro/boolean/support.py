@@ -1,0 +1,98 @@
+"""Exact minimal variable support of a partially specified function.
+
+The paper's best-case cost (Property 3.1 of the companion technical
+report) is the fewest bitmap vectors *any* correct retrieval expression
+can read.  That is exactly the minimal support problem: find the
+smallest set ``S`` of variables such that some completion of the
+function (ON set fixed to 1, OFF set fixed to 0, don't-cares free)
+depends only on the variables in ``S``.
+
+A set ``S`` works iff no ON point and OFF point agree on all variables
+of ``S`` — the don't-cares can then be filled by projecting.  We search
+subsets in order of increasing size; for the widths used in this
+library (k <= 14) the exhaustive search is fast because projections are
+computed with integer masking and set intersection.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional, Set, Tuple
+
+
+def _mask_of(variables: Iterable[int]) -> int:
+    mask = 0
+    for var in variables:
+        mask |= 1 << var
+    return mask
+
+
+def is_valid_support(
+    mask: int, on_set: Set[int], off_set: Set[int]
+) -> bool:
+    """True if projecting onto ``mask`` separates ON from OFF points."""
+    on_proj = {value & mask for value in on_set}
+    for value in off_set:
+        if (value & mask) in on_proj:
+            return False
+    return True
+
+
+def minimal_support(
+    on_set: Iterable[int],
+    width: int,
+    dont_cares: Iterable[int] = (),
+    max_subset_bits: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Smallest variable set a correct completion can depend on.
+
+    Parameters
+    ----------
+    on_set:
+        Codes where the function must be 1.
+    width:
+        Number of variables ``k``.
+    dont_cares:
+        Codes whose value is free.
+    max_subset_bits:
+        Optional cap on the exhaustive search width; wider instances
+        raise ``ValueError`` (callers should fall back to the reduced
+        DNF's variable set).
+
+    Returns
+    -------
+    tuple of int
+        Variable indexes of one minimal support, ascending.  The empty
+        tuple means the function can be completed to a constant.
+    """
+    if max_subset_bits is None:
+        max_subset_bits = 16
+    if width > max_subset_bits:
+        raise ValueError(
+            f"width {width} exceeds exhaustive search cap {max_subset_bits}"
+        )
+
+    on = set(on_set)
+    dc = set(dont_cares) - on
+    universe = range(1 << width)
+    off = {value for value in universe if value not in on and value not in dc}
+
+    if not on or not off:
+        return ()
+
+    for size in range(width + 1):
+        for subset in combinations(range(width), size):
+            mask = _mask_of(subset)
+            if is_valid_support(mask, on, off):
+                return subset
+    # Unreachable: the full variable set always separates.
+    return tuple(range(width))
+
+
+def minimal_support_size(
+    on_set: Iterable[int],
+    width: int,
+    dont_cares: Iterable[int] = (),
+) -> int:
+    """Size of the minimal support (best-case vectors accessed)."""
+    return len(minimal_support(on_set, width, dont_cares))

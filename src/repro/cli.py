@@ -1,0 +1,212 @@
+"""Command-line interface: regenerate the paper's figures as text.
+
+Usage::
+
+    python -m repro.cli fig9 --cardinality 50
+    python -m repro.cli fig10 --max-cardinality 1024
+    python -m repro.cli worst-case
+    python -m repro.cli crossover
+    python -m repro.cli tpcd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _print_rows(headers, rows) -> None:
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        print(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import crossover_point, figure9_series
+
+    m = args.cardinality
+    series = figure9_series(m)
+    step = max(1, m // args.points)
+    shown = [row for row in series if (row.delta - 1) % step == 0]
+    if shown[-1].delta != m:
+        shown.append(series[-1])
+    print(f"Figure 9 for |A| = {m} "
+          f"(encoded wins for delta >= {crossover_point(m)}):")
+    _print_rows(
+        ["delta", "c_s", "c_e_best", "c_e_worst"],
+        [(r.delta, r.c_s, r.c_e_best, r.c_e_worst) for r in shown],
+    )
+    return 0
+
+
+def cmd_fig10(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import figure10_series
+
+    cardinalities = []
+    m = 2
+    while m <= args.max_cardinality:
+        cardinalities.append(m)
+        m *= 2
+    series = figure10_series(cardinalities)
+    print("Figure 10: bit vectors required")
+    _print_rows(
+        ["m", "simple", "encoded"],
+        [(r.m, r.simple_vectors, r.encoded_vectors) for r in series],
+    )
+    return 0
+
+
+def cmd_worst_case(args: argparse.Namespace) -> int:
+    from repro.analysis.savings import worst_case_summary
+
+    print("Section 3.2 worst-case analysis:")
+    rows = []
+    for m in args.cardinality or (50, 1000):
+        summary = worst_case_summary(m)
+        rows.append(
+            (
+                summary.m,
+                summary.k,
+                f"{summary.area_ratio:.3f}",
+                f"{summary.average_saving:.1%}",
+                summary.best_delta,
+                f"{summary.best_saving:.1%}",
+            )
+        )
+    _print_rows(
+        ["|A|", "k", "area ratio", "avg saving", "peak delta",
+         "peak saving"],
+        rows,
+    )
+    return 0
+
+
+def cmd_crossover(args: argparse.Namespace) -> int:
+    from repro.analysis.cost_models import (
+        btree_bytes,
+        btree_space_crossover,
+        simple_bitmap_bytes,
+    )
+
+    crossover = btree_space_crossover(
+        degree=args.degree, page_size=args.page_size
+    )
+    print(
+        f"simple bitmaps beat B-trees on space when m < "
+        f"{crossover:.1f}  (p = {args.page_size}, M = {args.degree})"
+    )
+    n = 1_000_000
+    rows = []
+    for m in (8, 32, 64, int(crossover), 128, 512):
+        rows.append(
+            (
+                m,
+                f"{simple_bitmap_bytes(n, max(2, m)):.0f}",
+                f"{btree_bytes(n, args.degree, args.page_size):.0f}",
+            )
+        )
+    _print_rows(["m", "bitmap bytes (n=1e6)", "btree bytes"], rows)
+    return 0
+
+
+def cmd_tpcd(args: argparse.Namespace) -> int:
+    from repro.workload.tpcd import TPCD_QUERY_CLASSES, range_query_share
+
+    ranges, total = range_query_share()
+    print(f"TPC-D query classes with range search: {ranges}/{total}")
+    _print_rows(
+        ["class", "range?", "column"],
+        [
+            (qc.name, "yes" if qc.involves_range else "no", qc.column)
+            for qc in TPCD_QUERY_CLASSES
+        ],
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import run_all_checks
+
+    results = run_all_checks()
+    rows = []
+    for result in results:
+        rows.append(
+            (
+                "PASS" if result.passed else "FAIL",
+                result.claim,
+                result.paper_value,
+                result.our_value,
+                result.source,
+            )
+        )
+    _print_rows(
+        ["status", "claim", "paper", "ours", "where"], rows
+    )
+    failed = sum(1 for result in results if not result.passed)
+    print(
+        f"\n{len(results) - failed}/{len(results)} paper claims "
+        "reproduced"
+    )
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate figures from 'Encoded Bitmap Indexing for "
+            "Data Warehouses' (Wu & Buchmann, ICDE 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig9 = sub.add_parser("fig9", help="Figure 9 cost curves")
+    p_fig9.add_argument("--cardinality", type=int, default=50)
+    p_fig9.add_argument("--points", type=int, default=20)
+    p_fig9.set_defaults(func=cmd_fig9)
+
+    p_fig10 = sub.add_parser("fig10", help="Figure 10 space curves")
+    p_fig10.add_argument("--max-cardinality", type=int, default=1024)
+    p_fig10.set_defaults(func=cmd_fig10)
+
+    p_wc = sub.add_parser("worst-case", help="Section 3.2 numbers")
+    p_wc.add_argument(
+        "--cardinality", type=int, nargs="*", default=None
+    )
+    p_wc.set_defaults(func=cmd_worst_case)
+
+    p_cross = sub.add_parser(
+        "crossover", help="Section 2.1 bitmap/B-tree space break-even"
+    )
+    p_cross.add_argument("--degree", type=int, default=512)
+    p_cross.add_argument("--page-size", type=int, default=4096)
+    p_cross.set_defaults(func=cmd_crossover)
+
+    p_tpcd = sub.add_parser("tpcd", help="TPC-D range-share table")
+    p_tpcd.set_defaults(func=cmd_tpcd)
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="check every number printed in the paper against this "
+        "implementation",
+    )
+    p_validate.set_defaults(func=cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Encodings for encoded bitmap indexes.
+
+Implements the paper's Section 2.2 theory (binary distance, chains,
+prime chains, well-defined encodings — Definitions 2.2–2.5 and
+Theorems 2.1–2.3) and the Section 2.3 applications (hierarchy
+encoding, total-order preserving encoding, range-based encoding),
+plus the heuristic search the paper defers to future work.
+"""
+
+from repro.encoding.mapping import MappingTable, VOID, NULL
+from repro.encoding.distance import binary_distance, hamming_ball
+from repro.encoding.chain import (
+    is_chain,
+    is_prime_chain,
+    find_chain,
+    find_prime_chain,
+)
+from repro.encoding.gray import gray_code, gray_sequence, inverse_gray
+from repro.encoding.well_defined import (
+    is_well_defined,
+    verify_well_defined_cost,
+    subcube_mask,
+)
+from repro.encoding.heuristics import (
+    encode_for_predicates,
+    random_encoding,
+    sequential_encoding,
+    encoding_cost,
+)
+from repro.encoding.hierarchy import Hierarchy, hierarchy_encoding
+from repro.encoding.total_order import (
+    bit_slice_encoding,
+    order_preserving_encoding,
+    is_order_preserving,
+)
+from repro.encoding.range_based import (
+    RangePartition,
+    partition_from_predicates,
+    range_encoding,
+)
+from repro.encoding.reencoding import (
+    ReencodingDecision,
+    apply_reencoding,
+    evaluate_reencoding,
+)
+from repro.encoding.mining import (
+    MinedWorkload,
+    encoding_from_history,
+    extract_subdomains,
+    mine_workload,
+)
+
+__all__ = [
+    "MappingTable",
+    "VOID",
+    "NULL",
+    "binary_distance",
+    "hamming_ball",
+    "is_chain",
+    "is_prime_chain",
+    "find_chain",
+    "find_prime_chain",
+    "gray_code",
+    "gray_sequence",
+    "inverse_gray",
+    "is_well_defined",
+    "verify_well_defined_cost",
+    "subcube_mask",
+    "encode_for_predicates",
+    "random_encoding",
+    "sequential_encoding",
+    "encoding_cost",
+    "Hierarchy",
+    "hierarchy_encoding",
+    "bit_slice_encoding",
+    "order_preserving_encoding",
+    "is_order_preserving",
+    "RangePartition",
+    "partition_from_predicates",
+    "range_encoding",
+    "ReencodingDecision",
+    "apply_reencoding",
+    "evaluate_reencoding",
+    "MinedWorkload",
+    "encoding_from_history",
+    "extract_subdomains",
+    "mine_workload",
+]

@@ -1,0 +1,140 @@
+"""Chains and prime chains (Definitions 2.3 and 2.4).
+
+A *chain* on a set of distinct codes is a cyclic ordering in which
+consecutive codes (including last-to-first) are at binary distance 1 —
+i.e. a Hamiltonian cycle of the subgraph of the hypercube induced by
+the set.  A *prime chain* exists on a set of size ``2^p`` when a chain
+exists and all pairwise distances are at most ``p``; the codes then
+occupy a ``p``-dimensional subcube, which is what makes the retrieval
+function collapse to a single short product term.
+
+Finding a chain is a Hamiltonian-cycle search; the sets involved in
+well-defined-encoding checks are small (predicate IN-lists), so a
+backtracking search with degree-based pruning is entirely adequate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.encoding.distance import binary_distance
+
+
+def is_chain(sequence: Sequence[int]) -> bool:
+    """Check Definition 2.3 on an explicit ordering.
+
+    True when every consecutive pair — and the wrap-around pair — is at
+    binary distance exactly 1 and all codes are distinct.
+    """
+    n = len(sequence)
+    if n < 2:
+        return False
+    if len(set(sequence)) != n:
+        return False
+    return all(
+        binary_distance(sequence[i], sequence[(i + 1) % n]) == 1
+        for i in range(n)
+    )
+
+
+def is_prime_chain(sequence: Sequence[int]) -> bool:
+    """Check Definition 2.4 on an explicit ordering.
+
+    The set size must be a power of two ``2^p``, the ordering must be a
+    chain, and all pairwise distances must be at most ``p``.
+    """
+    n = len(sequence)
+    if n < 1 or n & (n - 1):
+        return False
+    p = n.bit_length() - 1
+    if n >= 2 and not is_chain(sequence):
+        return False
+    codes = list(sequence)
+    return all(
+        binary_distance(codes[i], codes[j]) <= p
+        for i in range(n)
+        for j in range(i + 1, n)
+    )
+
+
+def _adjacency(codes: Sequence[int]) -> Dict[int, List[int]]:
+    adj: Dict[int, List[int]] = {code: [] for code in codes}
+    code_list = list(codes)
+    for i, a in enumerate(code_list):
+        for b in code_list[i + 1 :]:
+            if binary_distance(a, b) == 1:
+                adj[a].append(b)
+                adj[b].append(a)
+    return adj
+
+
+def find_chain(codes: Sequence[int]) -> Optional[List[int]]:
+    """Find some chain (Hamiltonian cycle at distance 1) on ``codes``.
+
+    Returns an ordering, or ``None`` when no chain exists.  A set with
+    fewer than two codes has no chain by Definition 2.3.
+    """
+    unique = list(dict.fromkeys(codes))
+    n = len(unique)
+    if n < 2:
+        return None
+    # Parity argument: the hypercube is bipartite, so a Hamiltonian
+    # cycle needs an even number of vertices with equal parity classes.
+    if n % 2:
+        return None
+    even = sum(1 for code in unique if bin(code).count("1") % 2 == 0)
+    if even * 2 != n:
+        return None
+
+    adjacency = _adjacency(unique)
+    if any(len(neigh) < 2 for neigh in adjacency.values()):
+        return None
+
+    start = unique[0]
+    path = [start]
+    used: Set[int] = {start}
+
+    def backtrack() -> bool:
+        if len(path) == n:
+            return binary_distance(path[-1], start) == 1
+        current = path[-1]
+        # Visit scarce-degree neighbours first (Warnsdorff-style).
+        candidates = sorted(
+            (code for code in adjacency[current] if code not in used),
+            key=lambda code: sum(
+                1 for nxt in adjacency[code] if nxt not in used
+            ),
+        )
+        for code in candidates:
+            path.append(code)
+            used.add(code)
+            if backtrack():
+                return True
+            path.pop()
+            used.remove(code)
+        return False
+
+    if backtrack():
+        return path
+    return None
+
+
+def find_prime_chain(codes: Sequence[int]) -> Optional[List[int]]:
+    """Find a prime chain ordering on ``codes`` (Definition 2.4).
+
+    Returns ``None`` when the set size is not a power of two, the
+    pairwise-distance bound fails, or no chain exists.  The singleton
+    set (``2^0``) is trivially a prime chain.
+    """
+    unique = list(dict.fromkeys(codes))
+    n = len(unique)
+    if n < 1 or n & (n - 1):
+        return None
+    p = n.bit_length() - 1
+    for i, a in enumerate(unique):
+        for b in unique[i + 1 :]:
+            if binary_distance(a, b) > p:
+                return None
+    if n == 1:
+        return list(unique)
+    return find_chain(unique)

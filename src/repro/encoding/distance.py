@@ -1,0 +1,40 @@
+"""Binary distance (Definition 2.2).
+
+The binary distance of two codes is the Hamming distance:
+``lambda(x, y) = Count(x XOR y)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def binary_distance(x: int, y: int) -> int:
+    """Hamming distance between two non-negative code integers."""
+    if x < 0 or y < 0:
+        raise ValueError("codes must be non-negative")
+    return bin(x ^ y).count("1")
+
+
+def hamming_ball(center: int, radius: int, width: int) -> Iterator[int]:
+    """All codes of ``width`` bits within ``radius`` of ``center``.
+
+    Enumerated in ascending numeric order.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    full = (1 << width) - 1
+    if center & ~full:
+        raise ValueError(f"center {center} exceeds width {width}")
+    for code in range(1 << width):
+        if binary_distance(center, code) <= radius:
+            yield code
+
+
+def neighbors(code: int, width: int) -> Iterator[int]:
+    """Codes at binary distance exactly 1 from ``code``."""
+    full = (1 << width) - 1
+    if code & ~full:
+        raise ValueError(f"code {code} exceeds width {width}")
+    for i in range(width):
+        yield code ^ (1 << i)

@@ -1,0 +1,51 @@
+"""Gray code utilities.
+
+The reflected binary Gray code is the workhorse for constructing
+chains: consecutive Gray codes differ in exactly one bit, so any
+2^p-aligned window of the Gray sequence forms a chain, and the full
+sequence of a subcube forms a prime chain.  The encoding heuristics
+use it to lay predicate subdomains onto subcubes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def gray_code(index: int) -> int:
+    """The ``index``-th reflected binary Gray code."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    return index ^ (index >> 1)
+
+
+def inverse_gray(code: int) -> int:
+    """Position of ``code`` in the reflected Gray sequence."""
+    if code < 0:
+        raise ValueError("code must be non-negative")
+    index = code
+    shift = 1
+    while (code >> shift) > 0:
+        index ^= code >> shift
+        shift += 1
+    # Equivalent fold: iteratively xor shifted copies.
+    index = code
+    mask = code >> 1
+    while mask:
+        index ^= mask
+        mask >>= 1
+    return index
+
+
+def gray_sequence(width: int) -> List[int]:
+    """The full Gray sequence of a ``width``-bit cube (a prime chain)."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    return [gray_code(i) for i in range(1 << width)]
+
+
+def gray_pairs(width: int) -> Iterator[tuple]:
+    """Consecutive pairs of the Gray sequence (each at distance 1)."""
+    seq = gray_sequence(width)
+    for i, code in enumerate(seq):
+        yield code, seq[(i + 1) % len(seq)]

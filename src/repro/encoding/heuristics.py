@@ -1,0 +1,270 @@
+"""Heuristic search for well-defined encodings.
+
+The paper proves what a good encoding achieves (Theorems 2.2/2.3) but
+leaves the search algorithm to future work, noting brute force is
+exponential.  This module supplies the missing piece:
+
+1. a *predicate-signature ordering* — values that co-occur in the
+   pre-defined IN-list predicates are placed next to each other, and
+   codes are assigned along the reflected Gray sequence so contiguous
+   groups land on subcubes;
+2. an optional *local search* that swaps code pairs while the total
+   reduced vector count over all predicates improves.
+
+``encoding_cost`` is the objective from Theorem 2.3: the total number
+of bitmap vectors read when evaluating every predicate once (weights
+allow modelling predicate frequencies).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.boolean.reduction import reduce_values
+from repro.encoding.gray import gray_code
+from repro.encoding.mapping import VOID, MappingTable, code_width
+
+Predicate = Sequence[Hashable]
+
+
+def sequential_encoding(
+    values: Iterable[Hashable], reserve_void_zero: bool = True
+) -> MappingTable:
+    """Codes assigned in iteration order (the paper's default)."""
+    return MappingTable.from_values(
+        values, reserve_void_zero=reserve_void_zero
+    )
+
+
+def random_encoding(
+    values: Iterable[Hashable],
+    seed: Optional[int] = None,
+    reserve_void_zero: bool = True,
+) -> MappingTable:
+    """Random one-to-one encoding — the ablation baseline."""
+    ordered = list(dict.fromkeys(values))
+    extra = 1 if reserve_void_zero else 0
+    width = code_width(max(1, len(ordered) + extra))
+    codes = list(range(1 << width))
+    if reserve_void_zero:
+        codes.remove(0)
+    rng = random.Random(seed)
+    rng.shuffle(codes)
+    table = MappingTable(width=width, reserve_void_zero=reserve_void_zero)
+    for value, code in zip(ordered, codes):
+        table.assign(value, code)
+    return table
+
+
+def encoding_cost(
+    mapping: MappingTable,
+    predicates: Sequence[Predicate],
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Theorem 2.3 objective: weighted vectors-read over all predicates."""
+    if weights is None:
+        weights = [1.0] * len(predicates)
+    if len(weights) != len(predicates):
+        raise ValueError("weights must match predicates")
+    dont_cares = mapping.unused_codes()
+    total = 0.0
+    for predicate, weight in zip(predicates, weights):
+        codes = [mapping.encode(value) for value in predicate]
+        reduced = reduce_values(codes, mapping.width, dont_cares=dont_cares)
+        total += weight * reduced.vector_count()
+    return total
+
+
+def _signatures(
+    values: List[Hashable], predicates: Sequence[Predicate]
+) -> Dict[Hashable, Tuple[int, ...]]:
+    predicate_sets = [set(predicate) for predicate in predicates]
+    return {
+        value: tuple(
+            1 if value in members else 0
+            for members in predicate_sets
+        )
+        for value in values
+    }
+
+
+def _signature_order(
+    values: List[Hashable], predicates: Sequence[Predicate]
+) -> List[Hashable]:
+    """Order values by predicate membership signature.
+
+    Values sharing predicates get identical signatures and become
+    adjacent; signatures are ordered so that similar ones are close
+    (sorted tuples give a lexicographic grouping which is a good
+    starting point for the local search).
+    """
+    membership = _signatures(values, predicates)
+    order = sorted(
+        values,
+        key=lambda v: (membership[v], str(v)),
+        reverse=True,
+    )
+    return order
+
+
+def _similarity_chain_order(
+    values: List[Hashable], predicates: Sequence[Predicate]
+) -> List[Hashable]:
+    """Greedy chain: repeatedly append the value whose predicate
+    signature is most similar to the last one placed.
+
+    Overlapping predicates (the paper's {a,b,c,d} / {c,d,e,f} case)
+    come out interleaved — a, b, c, d, e, f — so consecutive Gray
+    windows cover each predicate.
+    """
+    membership = _signatures(values, predicates)
+
+    def similarity(a: Hashable, b: Hashable) -> int:
+        return sum(
+            1
+            for x, y in zip(membership[a], membership[b])
+            if x == 1 and y == 1
+        ) - sum(
+            1
+            for x, y in zip(membership[a], membership[b])
+            if x != y
+        )
+
+    remaining = sorted(values, key=str)
+    if not remaining:
+        return []
+    # Start from a value in the fewest predicates (chain endpoints).
+    start = min(
+        remaining, key=lambda v: (sum(membership[v]), str(v))
+    )
+    chain = [start]
+    remaining.remove(start)
+    while remaining:
+        last = chain[-1]
+        best = max(
+            remaining, key=lambda v: (similarity(last, v), str(v))
+        )
+        chain.append(best)
+        remaining.remove(best)
+    return chain
+
+
+def encode_for_predicates(
+    values: Iterable[Hashable],
+    predicates: Sequence[Predicate],
+    weights: Optional[Sequence[float]] = None,
+    reserve_void_zero: bool = True,
+    local_search_steps: int = 200,
+    seed: Optional[int] = 0,
+) -> MappingTable:
+    """Find a good encoding for a set of IN-list predicates.
+
+    Parameters
+    ----------
+    values:
+        The attribute domain.
+    predicates:
+        Pre-defined selections, each a collection of domain values.
+    weights:
+        Optional relative frequencies per predicate.
+    reserve_void_zero:
+        Keep code 0 for the void sentinel (Theorem 2.1).
+    local_search_steps:
+        Number of improving-swap attempts after the constructive phase
+        (0 disables local search).
+    seed:
+        RNG seed for the swap proposals (deterministic by default).
+
+    Returns
+    -------
+    :class:`MappingTable`
+        The best encoding found.
+    """
+    ordered = list(dict.fromkeys(values))
+    for predicate in predicates:
+        for value in predicate:
+            if value not in ordered:
+                raise ValueError(
+                    f"predicate value {value!r} is not in the domain"
+                )
+    extra = 1 if reserve_void_zero else 0
+    width = code_width(max(1, len(ordered) + extra))
+
+    # Constructive phase: candidate orderings laid onto the (cyclic)
+    # Gray sequence at every offset; keep the cheapest.  Skipping
+    # code 0 keeps it free for VOID.
+    size = 1 << width
+    orderings = [_signature_order(ordered, predicates)]
+    if predicates:
+        orderings.append(_similarity_chain_order(ordered, predicates))
+
+    table: Optional[MappingTable] = None
+    best_cost = float("inf")
+    offsets = range(size) if size <= 64 else range(0, size, size // 64)
+    for layout in orderings:
+        for offset in offsets:
+            available = [
+                gray_code((offset + i) % size) for i in range(size)
+            ]
+            if reserve_void_zero:
+                available = [c for c in available if c != 0]
+            candidate = MappingTable(
+                width=width, reserve_void_zero=reserve_void_zero
+            )
+            for value, code in zip(layout, available):
+                candidate.assign(value, code)
+            cost = (
+                encoding_cost(candidate, predicates, weights)
+                if predicates
+                else 0.0
+            )
+            if cost < best_cost:
+                table, best_cost = candidate, cost
+            if not predicates:
+                break
+        if not predicates:
+            break
+
+    if local_search_steps <= 0 or not predicates:
+        return table
+
+    rng = random.Random(seed)
+    swappable = list(ordered)
+    all_codes = {value: table.encode(value) for value in swappable}
+    spare_codes = [
+        code for code in table.unused_codes()
+    ]
+
+    for _ in range(local_search_steps):
+        if len(swappable) < 2:
+            break
+        a, b = rng.sample(swappable, 2)
+        proposal = dict(all_codes)
+        proposal[a], proposal[b] = proposal[b], proposal[a]
+        # Occasionally relocate a value onto a spare code instead.
+        if spare_codes and rng.random() < 0.25:
+            target = rng.choice(spare_codes)
+            proposal = dict(all_codes)
+            proposal[a] = target
+        candidate = _table_from_codes(
+            proposal, width, reserve_void_zero
+        )
+        cost = encoding_cost(candidate, predicates, weights)
+        if cost < best_cost:
+            best_cost = cost
+            table = candidate
+            all_codes = proposal
+            spare_codes = list(table.unused_codes())
+    return table
+
+
+def _table_from_codes(
+    value_codes: Dict[Hashable, int],
+    width: int,
+    reserve_void_zero: bool,
+) -> MappingTable:
+    table = MappingTable(width=width, reserve_void_zero=reserve_void_zero)
+    for value, code in value_codes.items():
+        table.assign(value, code)
+    return table

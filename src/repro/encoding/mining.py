@@ -1,0 +1,150 @@
+"""Mining encodings from query history (Section 5, future work item 4).
+
+"If selection predicates are not predictable, a proper encoding is,
+however, achievable through an analysis of the history of users'
+queries."
+
+This module turns a query log into the weighted predicate set the
+encoding heuristics consume: IN-lists and discrete ranges are
+extracted from each logged predicate tree, identical subdomains are
+merged with summed frequencies, and rare subdomains are pruned.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.encoding.heuristics import encode_for_predicates
+from repro.encoding.mapping import MappingTable
+from repro.query.predicates import (
+    AndPredicate,
+    Equals,
+    InList,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    Range,
+)
+
+
+def _sorted_values(values):
+    """Sort by natural order, falling back to string order for mixed
+    or unorderable types."""
+    values = list(values)
+    try:
+        return sorted(values)
+    except TypeError:
+        return sorted(values, key=str)
+
+
+@dataclass(frozen=True)
+class MinedWorkload:
+    """Predicate subdomains extracted from a query log."""
+
+    column: str
+    subdomains: Tuple[Tuple[Hashable, ...], ...]
+    weights: Tuple[float, ...]
+
+    def total_observations(self) -> float:
+        return sum(self.weights)
+
+
+def extract_subdomains(
+    predicate: Predicate, column: str, domain: Sequence[Hashable]
+) -> List[Tuple[Hashable, ...]]:
+    """IN-list style subdomains a predicate induces on ``column``.
+
+    Ranges are rewritten to the covered domain values (the paper's
+    discrete-domain rewrite); single-value selections are kept — they
+    carry no encoding preference but count toward frequencies.
+    """
+    found: List[Tuple[Hashable, ...]] = []
+    if isinstance(predicate, (AndPredicate, OrPredicate)):
+        for operand in predicate.operands:
+            found.extend(extract_subdomains(operand, column, domain))
+        return found
+    if isinstance(predicate, NotPredicate):
+        return extract_subdomains(predicate.operand, column, domain)
+    if predicate.columns() != frozenset((column,)):
+        return found
+    if isinstance(predicate, InList):
+        values = tuple(
+            _sorted_values(
+                v for v in predicate.values if v in set(domain)
+            )
+        )
+        if values:
+            found.append(values)
+    elif isinstance(predicate, Range):
+        values = tuple(
+            _sorted_values(
+                v for v in domain if predicate.matches({column: v})
+            )
+        )
+        if values:
+            found.append(values)
+    elif isinstance(predicate, Equals):
+        if predicate.value in set(domain):
+            found.append((predicate.value,))
+    return found
+
+
+def mine_workload(
+    history: Iterable[Predicate],
+    column: str,
+    domain: Sequence[Hashable],
+    min_support: int = 2,
+    max_subdomains: int = 16,
+) -> MinedWorkload:
+    """Distil a query log into weighted subdomains.
+
+    Parameters
+    ----------
+    history:
+        Logged predicate trees (any mix of columns; others ignored).
+    min_support:
+        Subdomains observed fewer times are dropped.
+    max_subdomains:
+        Keep only the most frequent subdomains (capping the encoding
+        search).
+    """
+    counter: Counter = Counter()
+    for predicate in history:
+        for subdomain in extract_subdomains(predicate, column, domain):
+            if len(subdomain) >= 2:  # singletons don't constrain codes
+                counter[subdomain] += 1
+    kept = [
+        (subdomain, weight)
+        for subdomain, weight in counter.most_common(max_subdomains)
+        if weight >= min_support
+    ]
+    return MinedWorkload(
+        column=column,
+        subdomains=tuple(subdomain for subdomain, _ in kept),
+        weights=tuple(float(weight) for _, weight in kept),
+    )
+
+
+def encoding_from_history(
+    history: Iterable[Predicate],
+    column: str,
+    domain: Sequence[Hashable],
+    min_support: int = 2,
+    max_subdomains: int = 16,
+    reserve_void_zero: bool = True,
+    seed: Optional[int] = 0,
+) -> MappingTable:
+    """End to end: query log -> mined subdomains -> encoding."""
+    mined = mine_workload(
+        history, column, domain,
+        min_support=min_support, max_subdomains=max_subdomains,
+    )
+    return encode_for_predicates(
+        domain,
+        [list(subdomain) for subdomain in mined.subdomains],
+        weights=list(mined.weights) or None,
+        reserve_void_zero=reserve_void_zero,
+        seed=seed,
+    )

@@ -1,0 +1,211 @@
+"""Total-order preserving encodings (Section 2.3).
+
+For numeric/ordinal attributes, selections of the form
+``j < A < i`` should remain evaluable without rewriting into IN-lists.
+An encoding *preserves the total order* when ``a < b`` implies
+``M(a) < M(b)`` as unsigned integers.  The trivial instance is the
+machine representation itself — that choice turns the encoded bitmap
+index into O'Neil & Quass's *bit-sliced index* — but the paper's
+Figure 6 shows order-preserving encodings can simultaneously be
+optimised for hot IN-lists by spending spare codes as gaps.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Sequence
+
+from repro.boolean.reduction import reduce_values
+from repro.encoding.mapping import MappingTable, code_width
+
+
+def bit_slice_encoding(
+    values: Iterable, reserve_void_zero: bool = False
+) -> MappingTable:
+    """Encode sorted values onto consecutive integers ``0..m-1``.
+
+    This is the canonical total-order preserving encoding; on integer
+    domains it coincides (up to an offset) with the machine
+    representation, i.e. the bit-sliced index of [O'Neil & Quass 97].
+    """
+    ordered = sorted(set(values))
+    offset = 1 if reserve_void_zero else 0
+    width = code_width(max(1, len(ordered) + offset))
+    table = MappingTable(width=width, reserve_void_zero=reserve_void_zero)
+    for position, value in enumerate(ordered):
+        table.assign(value, position + offset)
+    return table
+
+
+def is_order_preserving(mapping: MappingTable) -> bool:
+    """Check that the mapping preserves the domain's total order.
+
+    Sentinels (VOID/NULL) are excluded from the check.
+    """
+    values = mapping.domain()
+    try:
+        ordered = sorted(values)
+    except TypeError:
+        raise ValueError(
+            "domain values are not totally ordered; cannot check"
+        ) from None
+    codes = [mapping.encode(value) for value in ordered]
+    return all(a < b for a, b in zip(codes, codes[1:]))
+
+
+def order_preserving_encoding(
+    values: Iterable,
+    hot_sets: Sequence[Sequence[Hashable]] = (),
+    reserve_void_zero: bool = False,
+) -> MappingTable:
+    """Order-preserving encoding tuned for hot IN-lists (Figure 6).
+
+    The spare codes of the k-cube are inserted as *gaps* between
+    consecutive values so that each hot set, while keeping the global
+    order, starts on an alignment boundary that lets its retrieval
+    function reduce.  The placement is a greedy scan: gaps are spent
+    where they align the next hot-set boundary to the largest possible
+    power of two.
+
+    Parameters
+    ----------
+    values:
+        Totally ordered domain.
+    hot_sets:
+        IN-lists expected to be queried often; each should contain
+        domain values.
+    reserve_void_zero:
+        Keep code 0 for the void sentinel.
+    """
+    ordered = sorted(set(values))
+    offset = 1 if reserve_void_zero else 0
+    width = code_width(max(1, len(ordered) + offset))
+    spare = (1 << width) - len(ordered) - offset
+
+    candidates = []
+    for boundaries in _boundary_candidates(ordered, hot_sets):
+        codes = _assign_with_gaps(
+            len(ordered), offset, spare, boundaries
+        )
+        table = MappingTable(
+            width=width, reserve_void_zero=reserve_void_zero
+        )
+        for value, code in zip(ordered, codes):
+            table.assign(value, code)
+        candidates.append(table)
+
+    if len(candidates) == 1 or not hot_sets:
+        return candidates[0]
+    return min(
+        candidates,
+        key=lambda table: sum(
+            _hot_set_cost(table, hot) for hot in hot_sets
+        ),
+    )
+
+
+def _boundary_candidates(ordered: List, hot_sets: Sequence[Sequence]):
+    """Gap-placement strategies to evaluate: no gaps, run starts,
+    and run starts + ends of each hot set's consecutive components."""
+    yield set()
+    starts = set()
+    starts_and_ends = set()
+    index_of = {value: i for i, value in enumerate(ordered)}
+    for hot in hot_sets:
+        positions = sorted(index_of[value] for value in hot)
+        if not positions:
+            continue
+        # maximal runs of consecutive positions
+        run_start = positions[0]
+        previous = positions[0]
+        for position in positions[1:] + [None]:
+            if position is None or position != previous + 1:
+                starts.add(run_start)
+                starts_and_ends.add(run_start)
+                if previous + 1 < len(ordered):
+                    starts_and_ends.add(previous + 1)
+                if position is not None:
+                    run_start = position
+            if position is not None:
+                previous = position
+    yield starts
+    if starts_and_ends != starts:
+        yield starts_and_ends
+
+
+def _assign_with_gaps(
+    count: int, offset: int, spare: int, boundaries: set
+) -> List[int]:
+    codes: List[int] = []
+    next_code = offset
+    remaining = spare
+    for position in range(count):
+        if position in boundaries and remaining > 0:
+            alignment = _best_alignment(next_code, remaining)
+            remaining -= alignment - next_code
+            next_code = alignment
+        codes.append(next_code)
+        next_code += 1
+    return codes
+
+
+def _hot_set_cost(mapping: MappingTable, hot: Sequence[Hashable]) -> int:
+    codes = [mapping.encode(value) for value in hot]
+    reduced = reduce_values(
+        codes, mapping.width, dont_cares=mapping.unused_codes()
+    )
+    return reduced.vector_count()
+
+
+def _hot_boundaries(ordered: List, hot_sets: Sequence[Sequence]) -> set:
+    """Positions where a hot set begins or ends (exclusive end)."""
+    index_of = {value: i for i, value in enumerate(ordered)}
+    boundaries = set()
+    for hot in hot_sets:
+        positions = sorted(index_of[value] for value in hot)
+        if not positions:
+            continue
+        boundaries.add(positions[0])
+        end = positions[-1] + 1
+        if end < len(ordered):
+            boundaries.add(end)
+    return boundaries
+
+
+def _best_alignment(code: int, spare: int) -> int:
+    """Smallest aligned code reachable within ``spare`` gap codes.
+
+    Prefers the strongest power-of-two alignment affordable.
+    """
+    best = code
+    for power in range(1, 64):
+        step = 1 << power
+        if step > code + spare + 1:
+            break
+        aligned = (code + step - 1) // step * step
+        if aligned - code > spare:
+            continue
+        best = aligned
+    return best
+
+
+def range_cost(
+    mapping: MappingTable, low, high, inclusive: bool = True
+) -> int:
+    """Vectors accessed for ``low <= A <= high`` under the mapping.
+
+    The range is rewritten into the IN-list of covered domain values
+    (always possible on discrete domains, as the paper notes) and then
+    reduced with unused codes as don't-cares.
+    """
+    selected = [
+        value
+        for value in mapping.domain()
+        if (low <= value <= high if inclusive else low < value < high)
+    ]
+    if not selected:
+        return 0
+    codes = [mapping.encode(value) for value in selected]
+    reduced = reduce_values(
+        codes, mapping.width, dont_cares=mapping.unused_codes()
+    )
+    return reduced.vector_count()

@@ -1,0 +1,184 @@
+"""Well-defined encodings (Definition 2.5, Theorems 2.1-2.3).
+
+An encoding is *well-defined* with respect to a selection
+``A IN {v_0 .. v_{n-1}}`` when the codes of the selected values sit on
+chains/prime chains as prescribed by Definition 2.5; Theorem 2.2 then
+guarantees the number of bitmap vectors accessed is minimal.
+
+The expensive sub-question — does a subset of codes admit a *prime
+chain*? — has a clean structural answer used as a fast path: a set of
+``2^p`` codes admits a prime chain exactly when it fills a
+``p``-dimensional subcube (all pairwise distances <= p forces the
+codes into a common subcube, and the Gray sequence of a subcube is a
+prime chain).  The general search is retained for small sets as a
+cross-check.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.boolean.reduction import reduce_values
+from repro.encoding.chain import find_chain, find_prime_chain
+from repro.encoding.distance import binary_distance
+from repro.encoding.mapping import MappingTable
+
+#: Above this subdomain size, prime-chain existence is decided by the
+#: subcube fast path only (exhaustive subset search would blow up).
+_EXHAUSTIVE_LIMIT = 12
+
+
+def subcube_mask(codes: Iterable[int]) -> Optional[Tuple[int, int]]:
+    """If ``codes`` exactly fill a subcube, return ``(bits, care)``.
+
+    ``care`` has a 1 for every fixed dimension and ``bits`` holds the
+    fixed values; free dimensions are the subcube axes.  Returns
+    ``None`` when the set is not a full subcube.
+    """
+    code_list = sorted(set(codes))
+    n = len(code_list)
+    if n == 0 or n & (n - 1):
+        return None
+    common_and = code_list[0]
+    common_or = code_list[0]
+    for code in code_list[1:]:
+        common_and &= code
+        common_or |= code
+    free = common_or & ~common_and
+    if 1 << bin(free).count("1") != n:
+        return None
+    care = ~free
+    bits = common_and
+    # Verify every combination of the free bits is present.
+    expected = set()
+    free_bits = [i for i in range(common_or.bit_length() + 1) if (free >> i) & 1]
+    for combo in range(n):
+        value = bits
+        for pos, var in enumerate(free_bits):
+            if (combo >> pos) & 1:
+                value |= 1 << var
+        expected.add(value)
+    if expected != set(code_list):
+        return None
+    return bits, care & ((1 << max(1, common_or.bit_length())) - 1)
+
+
+def _has_prime_chain_subset(codes: Sequence[int], size: int) -> bool:
+    """Does some ``size``-subset of ``codes`` admit a prime chain?"""
+    code_set = set(codes)
+    if size == 1:
+        return bool(code_set)
+    # Fast path: a full (log2 size)-subcube inside the code set.
+    for subset_codes in _subcubes_within(code_set, size):
+        return True
+    if len(code_set) <= _EXHAUSTIVE_LIMIT:
+        for subset in combinations(sorted(code_set), size):
+            if find_prime_chain(subset) is not None:
+                return True
+    return False
+
+
+def _subcubes_within(code_set: Set[int], size: int):
+    """Yield full subcubes of ``size`` codes contained in ``code_set``."""
+    p = size.bit_length() - 1
+    seen = set()
+    width = max((code.bit_length() for code in code_set), default=1)
+    width = max(width, 1)
+    for code in sorted(code_set):
+        for free_dims in combinations(range(width), p):
+            free = 0
+            for dim in free_dims:
+                free |= 1 << dim
+            base = code & ~free
+            key = (base, free)
+            if key in seen:
+                continue
+            seen.add(key)
+            members = []
+            complete = True
+            for combo in range(size):
+                value = base
+                for pos, dim in enumerate(free_dims):
+                    if (combo >> pos) & 1:
+                        value |= 1 << dim
+                if value not in code_set:
+                    complete = False
+                    break
+                members.append(value)
+            if complete:
+                yield members
+
+
+def is_well_defined(
+    mapping: MappingTable,
+    subdomain: Iterable[Hashable],
+) -> bool:
+    """Definition 2.5: is ``mapping`` well-defined w.r.t. the IN-list?
+
+    ``subdomain`` is the set of selected attribute values (at least
+    two, per the definition).
+    """
+    values = list(dict.fromkeys(subdomain))
+    n = len(values)
+    if n < 2:
+        raise ValueError("Definition 2.5 requires a subdomain of size >= 2")
+    codes = [mapping.encode(value) for value in values]
+    p = n.bit_length() - 1  # floor(log2 n)
+
+    if n == 1 << p:
+        # Case (i): a prime chain must exist on the codes themselves.
+        return find_prime_chain(codes) is not None
+
+    half = 1 << p
+    if n % 2 == 0:
+        # Case (ii): prime chain on some 2^p subset, chain on the whole
+        # set, pairwise distances <= p + 1.
+        if not _has_prime_chain_subset(codes, half):
+            return False
+        if find_chain(codes) is None:
+            return False
+        return _pairwise_within(codes, p + 1)
+
+    # Case (iii): n odd — borrow one code w from outside the subdomain.
+    if not _has_prime_chain_subset(codes, half):
+        return False
+    selected = set(codes)
+    candidates = [
+        code
+        for value, code in mapping.items()
+        if code not in selected
+    ]
+    for extra in candidates:
+        extended = codes + [extra]
+        if not _pairwise_within(extended, p + 1):
+            continue
+        if find_chain(extended) is not None:
+            return True
+    return False
+
+
+def _pairwise_within(codes: Sequence[int], bound: int) -> bool:
+    return all(
+        binary_distance(a, b) <= bound
+        for i, a in enumerate(codes)
+        for b in codes[i + 1 :]
+    )
+
+
+def verify_well_defined_cost(
+    mapping: MappingTable,
+    subdomain: Iterable[Hashable],
+) -> int:
+    """Vectors accessed by the reduced retrieval function (Theorem 2.2).
+
+    Reduces the OR of the selected values' minterms — treating unused
+    codes as don't-cares — and returns the distinct-variable count,
+    i.e. the measured ``c_e`` for the selection under this mapping.
+    """
+    values = list(dict.fromkeys(subdomain))
+    codes = [mapping.encode(value) for value in values]
+    reduced = reduce_values(
+        codes, mapping.width, dont_cares=mapping.unused_codes()
+    )
+    return reduced.vector_count()

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-hierarchies mirror
+the package layout: bitmap-level errors, encoding errors, index errors,
+storage errors and query errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class BitmapError(ReproError):
+    """Errors from the bit-vector substrate (``repro.bitmap``)."""
+
+
+class LengthMismatchError(BitmapError):
+    """Two bit vectors of different lengths were combined."""
+
+    def __init__(self, left: int, right: int) -> None:
+        super().__init__(
+            f"bit vectors have different lengths: {left} != {right}"
+        )
+        self.left = left
+        self.right = right
+
+
+class EncodingError(ReproError):
+    """Errors from mapping tables and encodings (``repro.encoding``)."""
+
+
+class DomainError(EncodingError):
+    """A value is not part of the encoded attribute domain."""
+
+
+class CodeWidthError(EncodingError):
+    """A code does not fit into the configured number of bits."""
+
+
+class DuplicateValueError(EncodingError):
+    """A value was inserted twice into a one-to-one mapping."""
+
+
+class DuplicateCodeError(EncodingError):
+    """A code was assigned to two different values."""
+
+
+class IndexError_(ReproError):
+    """Errors from index structures (``repro.index``).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class IndexBuildError(IndexError_):
+    """An index could not be built over the given column."""
+
+
+class UnsupportedPredicateError(IndexError_):
+    """An index was asked to evaluate a predicate type it cannot serve."""
+
+
+class StorageError(ReproError):
+    """Errors from the simulated paged storage (``repro.storage``)."""
+
+
+class PageOverflowError(StorageError):
+    """More bytes were written to a page than its capacity."""
+
+
+class InvalidPageError(StorageError):
+    """A page id does not exist in the pager."""
+
+
+class TableError(ReproError):
+    """Errors from the table substrate (``repro.table``)."""
+
+
+class SchemaError(TableError):
+    """A star-schema constraint was violated."""
+
+
+class QueryError(ReproError):
+    """Errors from the query layer (``repro.query``)."""
+
+
+class PlanningError(QueryError):
+    """The planner could not produce a plan for a query."""

@@ -1,0 +1,43 @@
+"""Index structures.
+
+``EncodedBitmapIndex`` is the paper's contribution; every other index
+here is a comparator the paper discusses: simple bitmaps (O'Neil,
+Model 204), B+trees, projection and bit-sliced indexes (O'Neil &
+Quass), value-list/inverted indexes, dynamic bitmaps (Sarawagi),
+range-based bitmaps (Wu & Yu), the hybrid B-tree/bitmap, and the
+group-set index built from encoded bitmaps.
+"""
+
+from repro.index.base import Index, IndexStatistics
+from repro.index.simple_bitmap import SimpleBitmapIndex
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.index.btree import BPlusTreeIndex
+from repro.index.projection import ProjectionIndex
+from repro.index.bitsliced import BitSlicedIndex
+from repro.index.value_list import ValueListIndex
+from repro.index.dynamic_bitmap import DynamicBitmapIndex
+from repro.index.range_bitmap import RangeBitmapIndex
+from repro.index.hybrid import HybridBitmapBTreeIndex
+from repro.index.groupset import GroupSetIndex
+from repro.index.compressed import CompressedBitmapIndex
+from repro.index.join_index import BitmapJoinIndex
+from repro.index.paged import PagedEncodedBitmapIndex, PagedSimpleBitmapIndex
+
+__all__ = [
+    "Index",
+    "IndexStatistics",
+    "SimpleBitmapIndex",
+    "EncodedBitmapIndex",
+    "BPlusTreeIndex",
+    "ProjectionIndex",
+    "BitSlicedIndex",
+    "ValueListIndex",
+    "DynamicBitmapIndex",
+    "RangeBitmapIndex",
+    "HybridBitmapBTreeIndex",
+    "GroupSetIndex",
+    "CompressedBitmapIndex",
+    "BitmapJoinIndex",
+    "PagedEncodedBitmapIndex",
+    "PagedSimpleBitmapIndex",
+]

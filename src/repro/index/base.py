@@ -1,0 +1,190 @@
+"""Common index interface and statistics.
+
+Every index maps a :class:`~repro.query.predicates.Predicate` on its
+column to a result :class:`~repro.bitmap.bitvector.BitVector` over the
+table's rows, and maintains itself through the table's observer hooks
+(`on_append` / `on_update` / `on_delete`).
+
+Cost accounting follows the paper: :class:`IndexStatistics` records
+*vectors accessed* (for bitmap family indexes), *node accesses* (for
+tree indexes) and raw bytes, and each ``lookup`` stores the cost of
+the most recent query in ``last_cost`` so benches can read it off
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.bitmap.bitvector import BitVector
+from repro.errors import UnsupportedPredicateError
+from repro.query.predicates import (
+    AndPredicate,
+    Equals,
+    InList,
+    IsNull,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    Range,
+)
+from repro.table.table import Table
+
+
+@dataclass
+class LookupCost:
+    """Cost of one lookup, in the paper's units."""
+
+    vectors_accessed: int = 0
+    node_accesses: int = 0
+    rows_checked: int = 0
+
+    def total_accesses(self) -> int:
+        return self.vectors_accessed + self.node_accesses
+
+
+@dataclass
+class IndexStatistics:
+    """Cumulative counters across an index's lifetime."""
+
+    lookups: int = 0
+    vectors_accessed: int = 0
+    node_accesses: int = 0
+    rows_checked: int = 0
+    maintenance_ops: int = 0
+
+    def record(self, cost: LookupCost) -> None:
+        self.lookups += 1
+        self.vectors_accessed += cost.vectors_accessed
+        self.node_accesses += cost.node_accesses
+        self.rows_checked += cost.rows_checked
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.vectors_accessed = 0
+        self.node_accesses = 0
+        self.rows_checked = 0
+        self.maintenance_ops = 0
+
+
+class Index:
+    """Abstract base class for all indexes.
+
+    Subclasses implement ``_lookup`` for the leaf predicate types they
+    support; Boolean combinations (AND/OR/NOT over the *same* column)
+    are handled here by combining result vectors — the cooperativity
+    property of Section 2.1.
+    """
+
+    #: Human-readable kind, e.g. "encoded-bitmap"; set by subclasses.
+    kind: str = "abstract"
+
+    def __init__(self, table: Table, column_name: str) -> None:
+        self.table = table
+        self.column_name = column_name
+        self.stats = IndexStatistics()
+        self.last_cost = LookupCost()
+
+    # ------------------------------------------------------------------
+    # public lookup API
+    # ------------------------------------------------------------------
+    def lookup(self, predicate: Predicate) -> BitVector:
+        """Evaluate a predicate into a row bit vector.
+
+        Records the per-query cost in ``self.last_cost`` and folds it
+        into ``self.stats``.
+        """
+        cost = LookupCost()
+        result = self._dispatch(predicate, cost)
+        self.last_cost = cost
+        self.stats.record(cost)
+        return result
+
+    def _dispatch(self, predicate: Predicate, cost: LookupCost) -> BitVector:
+        if isinstance(predicate, NotPredicate):
+            inner = self._dispatch(predicate.operand, cost)
+            result = ~inner
+            # A negation must still exclude void rows.
+            void = self.table.void_rows()
+            for row_id in void:
+                result[row_id] = False
+            return result
+        if isinstance(predicate, AndPredicate):
+            result = self._dispatch(predicate.operands[0], cost)
+            for operand in predicate.operands[1:]:
+                result &= self._dispatch(operand, cost)
+            return result
+        if isinstance(predicate, OrPredicate):
+            result = self._dispatch(predicate.operands[0], cost)
+            for operand in predicate.operands[1:]:
+                result |= self._dispatch(operand, cost)
+            return result
+        if predicate.columns() != frozenset((self.column_name,)):
+            raise UnsupportedPredicateError(
+                f"index on {self.column_name!r} cannot evaluate "
+                f"{predicate}"
+            )
+        return self._lookup(predicate, cost)
+
+    # ------------------------------------------------------------------
+    # subclass surface
+    # ------------------------------------------------------------------
+    def _lookup(self, predicate: Predicate, cost: LookupCost) -> BitVector:
+        """Evaluate a leaf predicate on this index's column."""
+        raise NotImplementedError
+
+    def nbytes(self) -> int:
+        """Index size in bytes (the paper's space measure)."""
+        raise NotImplementedError
+
+    def supports(self, predicate: Predicate) -> bool:
+        """Can this index evaluate the given leaf predicate type?"""
+        return isinstance(predicate, (Equals, InList, Range, IsNull))
+
+    # ------------------------------------------------------------------
+    # maintenance hooks (table observer protocol)
+    # ------------------------------------------------------------------
+    def on_append(self, row_id: int, row: Dict[str, Any]) -> None:
+        """A row was appended to the table."""
+        raise NotImplementedError
+
+    def on_update(
+        self, row_id: int, column_name: str, old: Any, new: Any
+    ) -> None:
+        """A row attribute changed."""
+        if column_name != self.column_name:
+            return
+        self._apply_update(row_id, old, new)
+
+    def on_delete(self, row_id: int) -> None:
+        """A row became void."""
+        raise NotImplementedError
+
+    def _apply_update(self, row_id: int, old: Any, new: Any) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _row_count(self) -> int:
+        return len(self.table)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(table={self.table.name!r}, "
+            f"column={self.column_name!r})"
+        )
+
+
+def range_values(column_values, predicate: Range) -> list:
+    """Distinct column values satisfying a range predicate.
+
+    Used by discrete-domain indexes that rewrite ranges into IN-lists,
+    as the paper prescribes for discrete domains.
+    """
+    selected = []
+    for value in column_values:
+        if value is None:
+            continue
+        if predicate.matches({predicate.column: value}):
+            selected.append(value)
+    return selected

@@ -1,0 +1,47 @@
+"""Dynamic bitmap index (Sarawagi; Section 4 of the paper).
+
+Dynamic bitmaps encode ``n`` distinct values onto ``n`` consecutive
+``log2 n``-bit integers, in order of first appearance.  The paper's
+point is that this is an encoded bitmap index with a *trivial*
+encoding — no attention paid to which values share subcubes — so it
+inherits the space benefits but not the well-defined-encoding query
+benefits.  Implemented as a thin subclass pinning that arrival-order
+mapping.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.mapping import MappingTable
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.table.table import Table
+
+
+class DynamicBitmapIndex(EncodedBitmapIndex):
+    """Encoded bitmap index with the arrival-order (trivial) encoding."""
+
+    kind = "dynamic-bitmap"
+
+    def __init__(self, table: Table, column_name: str) -> None:
+        column = table.column(column_name)
+        seen = []
+        marker = set()
+        void = table.void_rows()
+        for row_id in range(len(table)):
+            if row_id in void:
+                continue
+            value = column[row_id]
+            if value is not None and value not in marker:
+                marker.add(value)
+                seen.append(value)
+        mapping = MappingTable.from_values(
+            seen,
+            reserve_void_zero=True,
+            include_null=column.has_nulls(),
+        )
+        super().__init__(
+            table,
+            column_name,
+            mapping=mapping,
+            void_mode="encode",
+            null_mode="encode" if column.has_nulls() else "encode",
+        )

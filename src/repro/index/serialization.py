@@ -1,0 +1,172 @@
+"""Serialization of encoded bitmap indexes.
+
+A deployed warehouse rebuilds indexes rarely; persisting them avoids
+the O(n * k) build scan.  The format is deliberately simple and
+self-describing:
+
+* a JSON header (version, column, width, modes, row count, mapping
+  entries with sentinel markers),
+* the raw little-endian word arrays of the k bitmap vectors.
+
+``dumps``/``loads`` work on bytes; ``save``/``load`` wrap them with a
+file path.  Loading binds the index to a table the caller supplies —
+the table must have the same row count the index was saved with.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.bitmap.bitvector import BitVector
+from repro.encoding.mapping import NULL, VOID, MappingTable
+from repro.errors import IndexBuildError
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.table.table import Table
+
+MAGIC = b"EBIX"
+VERSION = 1
+
+_SENTINEL_TO_TAG = {VOID: "__void__", NULL: "__null__"}
+_TAG_TO_SENTINEL = {tag: obj for obj, tag in _SENTINEL_TO_TAG.items()}
+
+
+def _encode_value(value: Any) -> List:
+    """JSON-safe tagged representation of a mapped value."""
+    if value in _SENTINEL_TO_TAG:
+        return ["sentinel", _SENTINEL_TO_TAG[value]]
+    if isinstance(value, bool):
+        return ["bool", value]
+    if isinstance(value, int):
+        return ["int", value]
+    if isinstance(value, float):
+        return ["float", value]
+    if isinstance(value, str):
+        return ["str", value]
+    raise IndexBuildError(
+        f"cannot serialise mapping value of type {type(value).__name__}"
+    )
+
+
+def _decode_value(tagged: List) -> Any:
+    kind, payload = tagged
+    if kind == "sentinel":
+        return _TAG_TO_SENTINEL[payload]
+    if kind == "bool":
+        return bool(payload)
+    if kind == "int":
+        return int(payload)
+    if kind == "float":
+        return float(payload)
+    if kind == "str":
+        return str(payload)
+    raise IndexBuildError(f"unknown value tag {kind!r}")
+
+
+def dumps(index: EncodedBitmapIndex) -> bytes:
+    """Serialise an encoded bitmap index to bytes."""
+    header = {
+        "version": VERSION,
+        "column": index.column_name,
+        "width": index.width,
+        "void_mode": index.void_mode,
+        "null_mode": index.null_mode,
+        "rows": len(index.table),
+        "mapping": [
+            [_encode_value(value), code]
+            for value, code in index.mapping.items()
+        ],
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    parts = [
+        MAGIC,
+        struct.pack("<I", len(header_bytes)),
+        header_bytes,
+    ]
+    for i in range(index.width):
+        words = index.vector(i).words
+        raw = words.astype("<u8").tobytes()
+        parts.append(struct.pack("<I", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
+    """Reconstruct an index from bytes, bound to ``table``."""
+    if payload[:4] != MAGIC:
+        raise IndexBuildError("not an EBIX payload")
+    offset = 4
+    (header_len,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    header = json.loads(
+        payload[offset : offset + header_len].decode("utf-8")
+    )
+    offset += header_len
+    if header["version"] != VERSION:
+        raise IndexBuildError(
+            f"unsupported EBIX version {header['version']}"
+        )
+    if header["rows"] != len(table):
+        raise IndexBuildError(
+            f"index was saved for {header['rows']} rows, table has "
+            f"{len(table)}"
+        )
+    if header["column"] not in table:
+        raise IndexBuildError(
+            f"table has no column {header['column']!r}"
+        )
+
+    mapping = MappingTable(
+        width=header["width"], reserve_void_zero=False
+    )
+    for tagged, code in header["mapping"]:
+        mapping.assign(_decode_value(tagged), code)
+
+    index = EncodedBitmapIndex.__new__(EncodedBitmapIndex)
+    # Initialise without a rebuild scan: restore state directly.
+    from repro.index.base import Index
+
+    Index.__init__(index, table, header["column"])
+    index.void_mode = header["void_mode"]
+    index.null_mode = header["null_mode"]
+    index.exact_reduction = True
+    index._mapping = mapping
+    index._reduction_cache = {}
+    index._exists_vector = None
+    index._null_vector = None
+    if index.void_mode == "vector":
+        index._exists_vector = table.existence_vector()
+    if index.null_mode == "vector":
+        null_vector = BitVector(len(table))
+        column = table.column(header["column"])
+        for row_id in range(len(table)):
+            if not table.is_void(row_id) and column[row_id] is None:
+                null_vector[row_id] = True
+        index._null_vector = null_vector
+
+    nbits = header["rows"]
+    vectors = []
+    for _ in range(header["width"]):
+        (raw_len,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        raw = payload[offset : offset + raw_len]
+        offset += raw_len
+        words = np.frombuffer(raw, dtype="<u8").astype(np.uint64)
+        vectors.append(BitVector._from_words(words.copy(), nbits))
+    index._vectors = vectors
+    return index
+
+
+def save(index: EncodedBitmapIndex, path: str) -> None:
+    """Write the serialised index to ``path``."""
+    with open(path, "wb") as handle:
+        handle.write(dumps(index))
+
+
+def load(path: str, table: Table) -> EncodedBitmapIndex:
+    """Read an index from ``path`` and bind it to ``table``."""
+    with open(path, "rb") as handle:
+        return loads(handle.read(), table)

@@ -1,0 +1,160 @@
+"""Simple bitmap index (O'Neil, Model 204; Section 2.1 of the paper).
+
+One bitmap vector per distinct value.  NULLs and deleted rows get the
+dedicated ``B_NULL`` and ``B_NotExist`` vectors the paper describes as
+"the simple way"; consequently every negation/complement query must
+AND the existence vector — the overhead Theorem 2.1 eliminates for
+encoded bitmap indexes.
+
+Cost model: a lookup touches one vector per selected value (``c_s`` =
+δ for a δ-wide range search), plus the existence vector when the
+query semantics require it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.bitmap.bitvector import BitVector
+from repro.errors import IndexBuildError, UnsupportedPredicateError
+from repro.index.base import Index, LookupCost, range_values
+from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
+from repro.table.table import Table
+
+
+class SimpleBitmapIndex(Index):
+    """The collection ``{B_v : v in domain(A)}`` plus NULL/existence."""
+
+    kind = "simple-bitmap"
+
+    def __init__(self, table: Table, column_name: str) -> None:
+        super().__init__(table, column_name)
+        self._vectors: Dict[Any, BitVector] = {}
+        self._null_vector = BitVector(len(table))
+        self._exists_vector = BitVector(len(table))
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        column = self.table.column(self.column_name)
+        nbits = len(self.table)
+        void = self.table.void_rows()
+        for row_id in range(nbits):
+            if row_id in void:
+                continue
+            self._exists_vector[row_id] = True
+            value = column[row_id]
+            if value is None:
+                self._null_vector[row_id] = True
+                continue
+            vector = self._vectors.get(value)
+            if vector is None:
+                vector = BitVector(nbits)
+                self._vectors[value] = vector
+            vector[row_id] = True
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def _lookup(self, predicate: Predicate, cost: LookupCost) -> BitVector:
+        nbits = self._row_count()
+        if isinstance(predicate, Equals):
+            return self._fetch_value(predicate.value, nbits, cost)
+        if isinstance(predicate, InList):
+            result = BitVector(nbits)
+            for value in predicate.values:
+                result |= self._fetch_value(value, nbits, cost)
+            return result
+        if isinstance(predicate, Range):
+            selected = range_values(self._vectors.keys(), predicate)
+            result = BitVector(nbits)
+            for value in selected:
+                result |= self._fetch_value(value, nbits, cost)
+            return result
+        if isinstance(predicate, IsNull):
+            cost.vectors_accessed += 1
+            return self._null_vector.copy()
+        raise UnsupportedPredicateError(f"unsupported predicate {predicate}")
+
+    def _fetch_value(
+        self, value: Any, nbits: int, cost: LookupCost
+    ) -> BitVector:
+        vector = self._vectors.get(value)
+        if vector is None:
+            return BitVector(nbits)
+        cost.vectors_accessed += 1
+        return vector.copy()
+
+    # ------------------------------------------------------------------
+    # properties the analysis reads
+    # ------------------------------------------------------------------
+    @property
+    def vector_count(self) -> int:
+        """``h = |A|`` (+2 for NULL/existence) — paper's space driver."""
+        return len(self._vectors)
+
+    def vector_for(self, value: Any) -> Optional[BitVector]:
+        return self._vectors.get(value)
+
+    def existence_vector(self) -> BitVector:
+        return self._exists_vector.copy()
+
+    def average_sparsity(self) -> float:
+        """Mean sparsity over value vectors; ~ (m-1)/m by Section 3.1."""
+        if not self._vectors:
+            return 0.0
+        total = sum(vec.sparsity() for vec in self._vectors.values())
+        return total / len(self._vectors)
+
+    def nbytes(self) -> int:
+        per_vector = BitVector(self._row_count()).nbytes()
+        return per_vector * (len(self._vectors) + 2)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def on_append(self, row_id: int, row: Dict[str, Any]) -> None:
+        value = row.get(self.column_name)
+        nbits = row_id + 1
+        for vector in self._vectors.values():
+            vector.resize(nbits)
+        self._null_vector.resize(nbits)
+        self._exists_vector.resize(nbits)
+        self._exists_vector[row_id] = True
+        if value is None:
+            self._null_vector[row_id] = True
+        else:
+            vector = self._vectors.get(value)
+            if vector is None:
+                # Domain expansion: a full new vector of |T| bits must
+                # be written — the O(|T|) term of Section 3.1.
+                vector = BitVector(nbits)
+                self._vectors[value] = vector
+                self.stats.maintenance_ops += nbits
+            vector[row_id] = True
+        self.stats.maintenance_ops += 1
+
+    def _apply_update(self, row_id: int, old: Any, new: Any) -> None:
+        if old is None:
+            self._null_vector[row_id] = False
+        elif old in self._vectors:
+            self._vectors[old][row_id] = False
+        if new is None:
+            self._null_vector[row_id] = True
+        else:
+            vector = self._vectors.get(new)
+            if vector is None:
+                vector = BitVector(self._row_count())
+                self._vectors[new] = vector
+                self.stats.maintenance_ops += self._row_count()
+            vector[row_id] = True
+        self.stats.maintenance_ops += 1
+
+    def on_delete(self, row_id: int) -> None:
+        value = self.table.column(self.column_name)[row_id]
+        if value is None:
+            self._null_vector[row_id] = False
+        elif value in self._vectors:
+            self._vectors[value][row_id] = False
+        self._exists_vector[row_id] = False
+        self.stats.maintenance_ops += 1

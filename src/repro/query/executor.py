@@ -1,0 +1,206 @@
+"""Plan execution.
+
+Executes a :class:`~repro.query.planner.Plan` by evaluating each leaf
+through its chosen index and combining result bit vectors with the
+predicate tree's Boolean structure.  Falls back to a table scan when
+the planner said so.  The result carries both the selected rows and
+the aggregate access cost, so benches can compare plans by the
+paper's cost unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bitmap.bitvector import BitVector
+from repro.errors import QueryError
+from repro.index.base import LookupCost
+from repro.query.planner import Plan, Planner
+from repro.query.predicates import (
+    AndPredicate,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+)
+from repro.table.catalog import Catalog
+from repro.table.table import Table
+
+
+@dataclass
+class QueryResult:
+    """Rows selected by a query plus its cost."""
+
+    vector: BitVector
+    cost: LookupCost = field(default_factory=LookupCost)
+    used_scan: bool = False
+
+    def row_ids(self) -> List[int]:
+        return [int(i) for i in self.vector.indices()]
+
+    def count(self) -> int:
+        return self.vector.count()
+
+
+class Executor:
+    """Evaluates predicates against tables via planned index access."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.planner = Planner(catalog)
+
+    # ------------------------------------------------------------------
+    def select(self, table: Table, predicate: Predicate) -> QueryResult:
+        """Plan and execute a selection on one table."""
+        plan = self.planner.plan(table, predicate)
+        return self.execute(plan)
+
+    def execute(self, plan: Plan) -> QueryResult:
+        if plan.fallback_scan:
+            return self._scan(plan.table, plan.predicate)
+        lookup = {
+            id(step.predicate): step for step in plan.steps
+        }
+        cost = LookupCost()
+        vector = self._evaluate(
+            plan.table, plan.predicate, lookup, cost
+        )
+        return QueryResult(vector=vector, cost=cost)
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        table: Table,
+        predicate: Predicate,
+        lookup: Dict[int, Any],
+        cost: LookupCost,
+    ) -> BitVector:
+        if isinstance(predicate, AndPredicate):
+            result = self._evaluate(
+                table, predicate.operands[0], lookup, cost
+            )
+            for operand in predicate.operands[1:]:
+                result &= self._evaluate(table, operand, lookup, cost)
+            return result
+        if isinstance(predicate, OrPredicate):
+            result = self._evaluate(
+                table, predicate.operands[0], lookup, cost
+            )
+            for operand in predicate.operands[1:]:
+                result |= self._evaluate(table, operand, lookup, cost)
+            return result
+        if isinstance(predicate, NotPredicate):
+            inner = self._evaluate(
+                table, predicate.operand, lookup, cost
+            )
+            result = ~inner
+            for row_id in table.void_rows():
+                result[row_id] = False
+            return result
+        step = lookup.get(id(predicate))
+        if step is None:
+            raise QueryError(f"no access step for predicate {predicate}")
+        vector = step.index.lookup(predicate)
+        step_cost = step.index.last_cost
+        cost.vectors_accessed += step_cost.vectors_accessed
+        cost.node_accesses += step_cost.node_accesses
+        cost.rows_checked += step_cost.rows_checked
+        return vector
+
+    # ------------------------------------------------------------------
+    # aggregate pushdown
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        table: Table,
+        function: str,
+        column: str,
+        predicate: Optional[Predicate] = None,
+    ) -> float:
+        """Evaluate an aggregate, pushing it down to an index if one
+        on ``column`` supports index-only evaluation.
+
+        Supported functions: ``count``, ``sum``, ``avg``, ``median``.
+        Falls back to a scan when no suitable index exists.
+        """
+        function = function.lower()
+        if function not in ("count", "sum", "avg", "median"):
+            raise QueryError(f"unsupported aggregate {function!r}")
+
+        selection: Optional[BitVector] = None
+        if predicate is not None:
+            selection = self.select(table, predicate).vector
+
+        index = self._aggregate_index(table, column)
+        if index is not None:
+            return self._aggregate_via_index(
+                index, function, selection
+            )
+        return self._aggregate_via_scan(
+            table, function, column, predicate
+        )
+
+    def _aggregate_index(self, table: Table, column: str):
+        from repro.index.encoded_bitmap import EncodedBitmapIndex
+
+        for index in self.catalog.indexes_on(table.name, column):
+            if isinstance(index, EncodedBitmapIndex):
+                return index
+        return None
+
+    def _aggregate_via_index(self, index, function, selection):
+        from repro.aggregate.counts import count as agg_count
+        from repro.aggregate.quantiles import median as agg_median
+        from repro.aggregate.sums import (
+            average_encoded,
+            sum_encoded,
+        )
+
+        if function == "count":
+            if selection is None:
+                return float(agg_count(index))
+            domain = index.mapping.domain()
+            if not domain:
+                return 0.0
+            from repro.query.predicates import InList
+
+            live = index.lookup(InList(index.column_name, domain))
+            return float((live & selection).count())
+        if function == "sum":
+            return sum_encoded(index, selection)
+        if function == "avg":
+            return average_encoded(index, selection)
+        return float(agg_median(index, selection))
+
+    def _aggregate_via_scan(self, table, function, column, predicate):
+        values = [
+            row[column]
+            for row in table.scan()
+            if (predicate is None or predicate.matches(row))
+            and row[column] is not None
+        ]
+        if function == "count":
+            return float(len(values))
+        if not values:
+            if function == "sum":
+                return 0.0
+            raise QueryError(
+                f"{function} over an empty selection"
+            )
+        if function == "sum":
+            return float(sum(values))
+        if function == "avg":
+            return float(sum(values)) / len(values)
+        ordered = sorted(values)
+        return float(ordered[(len(ordered) - 1) // 2])
+
+    def _scan(self, table: Table, predicate: Predicate) -> QueryResult:
+        vector = BitVector(len(table))
+        cost = LookupCost()
+        for row_id in range(len(table)):
+            if table.is_void(row_id):
+                continue
+            cost.rows_checked += 1
+            if predicate.matches(table.row(row_id)):
+                vector[row_id] = True
+        return QueryResult(vector=vector, cost=cost, used_scan=True)

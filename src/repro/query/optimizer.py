@@ -1,0 +1,82 @@
+"""Retrieval-expression optimisation beyond plain reduction.
+
+Footnote 3 of the paper: when selecting ``A = b OR A = c`` one may
+consider both ``f_b + f_c`` *and* ``f_b + f_c + f_dontcare`` — adding
+don't-care minterms can simplify the expression further (the paper's
+example turns an XOR into an OR for machines without a bitwise XOR).
+``dont_care_variants`` enumerates the candidate expressions and
+``cheapest_variant`` picks the one touching the fewest vectors,
+breaking ties by operation count.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.boolean.reduction import ReducedFunction, reduce_values
+
+#: Cap on how many don't-care subsets are tried exhaustively.
+_MAX_DC_SUBSETS = 256
+
+
+def dont_care_variants(
+    codes: Sequence[int],
+    width: int,
+    dont_cares: Sequence[int],
+) -> Iterator[Tuple[Tuple[int, ...], ReducedFunction]]:
+    """Yield reductions for subsets of the don't-care codes.
+
+    Each yielded pair is ``(dc_subset_used, reduced_function)``.  The
+    empty subset (no don't-cares exploited) is always included first.
+    Subset enumeration is capped; when there are too many don't-cares
+    only the full set and singletons are tried beyond the empty set.
+    """
+    dc_list = sorted(set(dont_cares) - set(codes))
+    yield (), reduce_values(codes, width)
+
+    subsets: List[Tuple[int, ...]] = []
+    if 2 ** len(dc_list) <= _MAX_DC_SUBSETS:
+        for size in range(1, len(dc_list) + 1):
+            subsets.extend(combinations(dc_list, size))
+    else:
+        subsets.extend((code,) for code in dc_list)
+        subsets.append(tuple(dc_list))
+
+    for subset in subsets:
+        yield subset, reduce_values(codes, width, dont_cares=subset)
+
+
+def operation_count(function: ReducedFunction) -> int:
+    """ANDs/ORs/NOTs needed to evaluate a DNF (rough CPU measure)."""
+    if function.is_false or function.is_true:
+        return 0
+    ops = max(0, len(function.terms) - 1)  # ORs between terms
+    for term in function.terms:
+        literals = term.literal_count()
+        ops += max(0, literals - 1)  # ANDs inside the term
+        ops += sum(
+            1
+            for i in term.variables()
+            if not (term.bits >> i) & 1
+        )  # negations
+    return ops
+
+
+def cheapest_variant(
+    codes: Sequence[int],
+    width: int,
+    dont_cares: Sequence[int],
+) -> ReducedFunction:
+    """The variant reading the fewest vectors (ties: fewest ops).
+
+    This is the optimiser's answer to footnote 3: it may include
+    don't-care codes in the ON set when that shortens the expression.
+    """
+    best: ReducedFunction = None
+    best_key = None
+    for _, function in dont_care_variants(codes, width, dont_cares):
+        key = (function.vector_count(), operation_count(function))
+        if best_key is None or key < best_key:
+            best, best_key = function, key
+    return best

@@ -1,0 +1,182 @@
+"""Index selection and access planning.
+
+Given a predicate tree and a catalog, the planner decomposes the tree
+into per-column sub-predicates, picks the estimated-cheapest index
+for each, and leaves the Boolean combination to bitmap operations —
+the *cooperativity* of Section 2.1 (n single-attribute bitmap indexes
+replace 2^n - 1 compound B-trees).
+
+Cost estimates use the paper's models: a simple bitmap pays one
+vector per selected value (``c_s = delta``); an encoded bitmap pays at
+most ``ceil(log2 m)`` (``c_e``); a B-tree pays its height per probed
+key plus scanned leaves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.errors import PlanningError
+from repro.query.predicates import (
+    AndPredicate,
+    Equals,
+    InList,
+    IsNull,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    Range,
+)
+from repro.table.catalog import Catalog
+from repro.table.table import Table
+
+if TYPE_CHECKING:
+    from repro.index.base import Index
+
+
+@dataclass
+class AccessStep:
+    """One leaf access: a predicate served by a chosen index."""
+
+    predicate: Predicate
+    index: "Index"
+    estimated_cost: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.index.kind}({self.index.column_name}) "
+            f"<- {self.predicate} [est {self.estimated_cost:.1f}]"
+        )
+
+
+@dataclass
+class Plan:
+    """An executable plan: the predicate tree plus chosen indexes."""
+
+    table: Table
+    predicate: Predicate
+    steps: List[AccessStep] = field(default_factory=list)
+    fallback_scan: bool = False
+
+    def describe(self) -> str:
+        if self.fallback_scan:
+            return f"SCAN {self.table.name} WHERE {self.predicate}"
+        lines = [f"SELECT FROM {self.table.name} WHERE {self.predicate}"]
+        lines.extend("  " + step.describe() for step in self.steps)
+        return "\n".join(lines)
+
+
+class Planner:
+    """Chooses indexes for predicates out of a catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    def plan(self, table: Table, predicate: Predicate) -> Plan:
+        """Build a plan; falls back to a scan when no index serves."""
+        plan = Plan(table=table, predicate=predicate)
+        try:
+            self._collect_steps(table, predicate, plan)
+        except PlanningError:
+            plan.steps.clear()
+            plan.fallback_scan = True
+        return plan
+
+    def _collect_steps(
+        self, table: Table, predicate: Predicate, plan: Plan
+    ) -> None:
+        if isinstance(predicate, (AndPredicate, OrPredicate)):
+            for operand in predicate.operands:
+                self._collect_steps(table, operand, plan)
+            return
+        if isinstance(predicate, NotPredicate):
+            self._collect_steps(table, predicate.operand, plan)
+            return
+        columns = predicate.columns()
+        if len(columns) != 1:
+            raise PlanningError(
+                f"leaf predicate references {len(columns)} columns"
+            )
+        (column,) = columns
+        index = self._choose_index(table, column, predicate)
+        if index is None:
+            raise PlanningError(
+                f"no index on {table.name}.{column}"
+            )
+        plan.steps.append(
+            AccessStep(
+                predicate=predicate,
+                index=index,
+                estimated_cost=self.estimate_cost(index, predicate),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _choose_index(
+        self, table: Table, column: str, predicate: Predicate
+    ) -> Optional["Index"]:
+        candidates = [
+            index
+            for index in self.catalog.indexes_on(table.name, column)
+            if index.supports(predicate)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda index: self.estimate_cost(index, predicate),
+        )
+
+    def estimate_cost(self, index: "Index", predicate: Predicate) -> float:
+        """Paper-model cost estimate in 'accesses'."""
+        column = index.table.column(index.column_name)
+        m = max(1, column.cardinality())
+        delta = self._selected_width(column, predicate, m)
+        kind = getattr(index, "kind", "abstract")
+        if kind == "simple-bitmap":
+            return float(delta)  # c_s = delta
+        if kind in ("encoded-bitmap", "bit-sliced", "dynamic-bitmap"):
+            # Property 3.1 shape: a delta-wide selection reduces away
+            # about floor(log2 delta) of the k vectors; a single value
+            # needs the full k-variable minterm.
+            k = max(1, math.ceil(math.log2(m)))
+            return float(max(1, k - int(math.log2(max(1, delta)))))
+        if kind == "btree":
+            height = getattr(index, "height", 3)
+            if isinstance(predicate, (Equals, IsNull)):
+                return float(height)
+            # range: descend once then walk leaves proportional to delta
+            leaf_fraction = delta / m
+            node_count = getattr(index, "node_count", m)
+            return float(height + leaf_fraction * node_count)
+        if kind == "range-bitmap":
+            buckets = getattr(index, "bucket_count", 16)
+            return float(min(delta, buckets) + 2)
+        if kind == "value-list":
+            return float(delta)
+        if kind == "hybrid":
+            return float(delta)
+        if kind == "projection":
+            return float(len(index.table)) / 100.0
+        return float(delta)
+
+    @staticmethod
+    def _selected_width(column, predicate: Predicate, m: int) -> int:
+        """The paper's delta: how many domain values are selected."""
+        if isinstance(predicate, (Equals, IsNull)):
+            return 1
+        if isinstance(predicate, InList):
+            return len(predicate.values)
+        if isinstance(predicate, Range):
+            values = column.distinct_values()
+            return sum(
+                1
+                for value in values
+                if predicate.matches({predicate.column: value})
+            )
+        return m

@@ -1,0 +1,25 @@
+"""Simulated paged storage.
+
+The paper's cost unit is "bitmap vectors accessed" because, compared
+with disk access, CPU time for logical operations is negligible
+(footnote 4).  This package supplies the disk being modelled: a pager
+with fixed-size pages, an LRU buffer pool, and I/O statistics, so the
+benchmarks can report *page-level* reads in addition to vector counts
+and so the B-tree comparator pays realistic node-access costs.
+"""
+
+from repro.storage.page import Page, PAGE_SIZE_DEFAULT
+from repro.storage.pager import Pager
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.stats import IOStatistics
+from repro.storage.vector_store import PagedVectorStore, VectorHandle
+
+__all__ = [
+    "Page",
+    "PAGE_SIZE_DEFAULT",
+    "Pager",
+    "BufferPool",
+    "IOStatistics",
+    "PagedVectorStore",
+    "VectorHandle",
+]

@@ -1,0 +1,92 @@
+"""LRU buffer pool over the simulated pager.
+
+Serving a page from the pool is a *logical* read; a miss triggers a
+*physical* read at the pager and may evict the least recently used
+frame (writing it back if dirty).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.storage.page import Page
+from repro.storage.pager import Pager
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of pages.
+
+    Parameters
+    ----------
+    pager:
+        The underlying simulated disk.
+    capacity:
+        Number of page frames; must be at least 1.
+    """
+
+    def __init__(self, pager: Pager, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.pager = pager
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def fetch(self, page_id: int) -> Page:
+        """Get a page, counting a logical read (and a physical on miss)."""
+        stats = self.pager.stats
+        stats.record_logical_read()
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        page = self.pager.read(page_id)
+        self._admit(page)
+        return page
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page and pin it into the pool."""
+        page = self.pager.allocate()
+        self._admit(page)
+        return page
+
+    def flush(self) -> None:
+        """Write back every dirty frame."""
+        for page in self._frames.values():
+            if page.dirty:
+                self.pager.write(page)
+
+    def drop(self, page_id: int) -> None:
+        """Remove a page from the pool without writing it back."""
+        self._frames.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Flush and empty the pool (e.g. between benchmark phases)."""
+        self.flush()
+        self._frames.clear()
+
+    # ------------------------------------------------------------------
+    def _admit(self, page: Page) -> None:
+        if page.page_id in self._frames:
+            self._frames.move_to_end(page.page_id)
+            return
+        while len(self._frames) >= self.capacity:
+            victim_id, victim = self._frames.popitem(last=False)
+            if victim.dirty:
+                self.pager.write(victim)
+            self.pager.stats.record_eviction()
+        self._frames[page.page_id] = page
+
+    @property
+    def resident(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._frames)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(capacity={self.capacity}, "
+            f"resident={self.resident})"
+        )

@@ -1,0 +1,62 @@
+"""Fixed-size page abstraction.
+
+Pages are byte buffers with a small header-free API: read/write a
+slice, plus record-oriented helpers used by the B-tree and the bitmap
+segment storage.  The default size matches the paper's cost analysis
+(p = 4 KiB).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PageOverflowError
+
+#: The paper's Section 2.1 analysis assumes p = 4K.
+PAGE_SIZE_DEFAULT = 4096
+
+
+class Page:
+    """A fixed-size mutable byte buffer with a dirty flag."""
+
+    __slots__ = ("page_id", "size", "_data", "dirty")
+
+    def __init__(self, page_id: int, size: int = PAGE_SIZE_DEFAULT) -> None:
+        if size <= 0:
+            raise ValueError(f"page size must be positive, got {size}")
+        self.page_id = page_id
+        self.size = size
+        self._data = bytearray(size)
+        self.dirty = False
+
+    def read(self, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """Read ``length`` bytes starting at ``offset``."""
+        if length is None:
+            length = self.size - offset
+        self._check_range(offset, length)
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, payload: bytes, offset: int = 0) -> None:
+        """Write ``payload`` at ``offset``; marks the page dirty."""
+        self._check_range(offset, len(payload))
+        self._data[offset : offset + len(payload)] = payload
+        self.dirty = True
+
+    def clear(self) -> None:
+        """Zero the page content."""
+        self._data = bytearray(self.size)
+        self.dirty = True
+
+    def free_after(self, used: int) -> int:
+        """Bytes remaining after the first ``used`` bytes."""
+        return self.size - used
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise PageOverflowError(
+                f"range [{offset}, {offset + length}) exceeds page size "
+                f"{self.size}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Page(id={self.page_id}, size={self.size}, dirty={self.dirty})"

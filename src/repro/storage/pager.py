@@ -1,0 +1,78 @@
+"""In-memory simulated disk of fixed-size pages.
+
+The pager owns page allocation and raw (physical) reads/writes; the
+:class:`~repro.storage.buffer_pool.BufferPool` sits on top and absorbs
+repeated reads.  All storage is in memory — the simulation's job is to
+*count*, not to persist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import InvalidPageError
+from repro.storage.page import PAGE_SIZE_DEFAULT, Page
+from repro.storage.stats import IOStatistics
+
+
+class Pager:
+    """Allocates and serves fixed-size pages with I/O accounting."""
+
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        stats: Optional[IOStatistics] = None,
+    ) -> None:
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStatistics()
+        self._pages: Dict[int, Page] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> Page:
+        """Create a new zeroed page and return it."""
+        page = Page(self._next_id, self.page_size)
+        self._pages[self._next_id] = page
+        self._next_id += 1
+        self.stats.record_allocation()
+        return page
+
+    def read(self, page_id: int) -> Page:
+        """Physical read of a page (one disk access)."""
+        try:
+            page = self._pages[page_id]
+        except KeyError:
+            raise InvalidPageError(f"no page with id {page_id}") from None
+        self.stats.record_physical_read()
+        return page
+
+    def write(self, page: Page) -> None:
+        """Physical write-back of a page."""
+        if page.page_id not in self._pages:
+            raise InvalidPageError(f"no page with id {page.page_id}")
+        self.stats.record_write()
+        page.dirty = False
+
+    def free(self, page_id: int) -> None:
+        """Release a page (id is not recycled)."""
+        if page_id not in self._pages:
+            raise InvalidPageError(f"no page with id {page_id}")
+        del self._pages[page_id]
+
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Number of live pages."""
+        return len(self._pages)
+
+    def total_bytes(self) -> int:
+        """Total allocated storage in bytes."""
+        return len(self._pages) * self.page_size
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __repr__(self) -> str:
+        return (
+            f"Pager(page_size={self.page_size}, pages={self.page_count})"
+        )

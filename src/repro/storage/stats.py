@@ -1,0 +1,70 @@
+"""I/O statistics for the simulated disk.
+
+Counters are deliberately simple — the evaluation shapes in the paper
+depend on *counts*, not on a latency model.  ``logical_reads`` counts
+every page request, ``physical_reads`` only those that missed the
+buffer pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStatistics:
+    """Mutable counter block shared by pager and buffer pool."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    evictions: int = 0
+
+    def record_logical_read(self) -> None:
+        self.logical_reads += 1
+
+    def record_physical_read(self) -> None:
+        self.physical_reads += 1
+
+    def record_write(self) -> None:
+        self.writes += 1
+
+    def record_allocation(self) -> None:
+        self.allocations += 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark phases)."""
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.evictions = 0
+
+    def hit_ratio(self) -> float:
+        """Buffer-pool hit ratio over the recorded window."""
+        if self.logical_reads == 0:
+            return 0.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+    def snapshot(self) -> "IOStatistics":
+        """A frozen copy of the current counters."""
+        return IOStatistics(
+            logical_reads=self.logical_reads,
+            physical_reads=self.physical_reads,
+            writes=self.writes,
+            allocations=self.allocations,
+            evictions=self.evictions,
+        )
+
+    def __sub__(self, other: "IOStatistics") -> "IOStatistics":
+        return IOStatistics(
+            logical_reads=self.logical_reads - other.logical_reads,
+            physical_reads=self.physical_reads - other.physical_reads,
+            writes=self.writes - other.writes,
+            allocations=self.allocations - other.allocations,
+            evictions=self.evictions - other.evictions,
+        )

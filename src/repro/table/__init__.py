@@ -1,0 +1,20 @@
+"""Columnar table substrate.
+
+A deliberately small warehouse storage layer: append-only columns with
+NULL support, tables with soft row deletion (deleted rows become the
+paper's *void* tuples), and star schemas with dimension hierarchies.
+"""
+
+from repro.table.column import Column
+from repro.table.table import Table
+from repro.table.schema import Dimension, FactTable, StarSchema
+from repro.table.catalog import Catalog
+
+__all__ = [
+    "Column",
+    "Table",
+    "Dimension",
+    "FactTable",
+    "StarSchema",
+    "Catalog",
+]

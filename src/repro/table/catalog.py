@@ -1,0 +1,67 @@
+"""Catalog: the registry tying tables to their indexes.
+
+The query planner asks the catalog which indexes exist on a column and
+picks the cheapest applicable one.  Index registration also attaches
+the index to the table for maintenance notifications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import TableError
+from repro.table.table import Table
+
+
+class Catalog:
+    """Registry of tables and their per-column indexes."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._indexes: Dict[Tuple[str, str], List[Any]] = {}
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise TableError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableError(f"unknown table {name!r}") from None
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def register_index(self, index: Any, attach: bool = True) -> Any:
+        """Register an index (anything with .table and .column_name)."""
+        table = index.table
+        key = (table.name, index.column_name)
+        self._indexes.setdefault(key, []).append(index)
+        if attach:
+            table.attach(index)
+        return index
+
+    def indexes_on(self, table_name: str, column_name: str) -> List[Any]:
+        return list(self._indexes.get((table_name, column_name), []))
+
+    def all_indexes(self) -> List[Any]:
+        return [
+            index
+            for index_list in self._indexes.values()
+            for index in index_list
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog(tables={list(self._tables)}, "
+            f"indexes={sum(len(v) for v in self._indexes.values())})"
+        )

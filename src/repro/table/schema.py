@@ -1,0 +1,166 @@
+"""Star schema modelling: fact table, dimensions, hierarchies.
+
+The paper's running warehouse example is a SALES fact table with a
+PRODUCTS dimension (12000 products) and a SALESPOINT dimension with a
+branch -> company -> alliance hierarchy.  :class:`StarSchema` wires
+those pieces together and knows how to resolve a selection on a
+hierarchy element into a base-level IN-list on the fact table's
+foreign key column.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.encoding.hierarchy import Hierarchy
+from repro.errors import SchemaError
+from repro.table.table import Table
+
+
+class Dimension:
+    """A dimension table with an optional hierarchy over its key.
+
+    Parameters
+    ----------
+    table:
+        The dimension's backing table.
+    key:
+        Name of the key column referenced by the fact table.
+    hierarchy:
+        Optional :class:`Hierarchy` whose base values are key values.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        key: str,
+        hierarchy: Optional[Hierarchy] = None,
+    ) -> None:
+        if key not in table:
+            raise SchemaError(
+                f"dimension {table.name!r} has no key column {key!r}"
+            )
+        self.table = table
+        self.key = key
+        self.hierarchy = hierarchy
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    def key_values(self) -> Set[Hashable]:
+        """Distinct dimension keys (the foreign-key domain)."""
+        return self.table.column(self.key).distinct_values()
+
+    def members_of(self, level: str, element: Hashable) -> Set[Hashable]:
+        """Base key values under a hierarchy element."""
+        if self.hierarchy is None:
+            raise SchemaError(
+                f"dimension {self.name!r} has no hierarchy"
+            )
+        return self.hierarchy.base_members(level, element)
+
+    def __repr__(self) -> str:
+        return f"Dimension({self.name!r}, key={self.key!r})"
+
+
+class FactTable:
+    """The fact table plus its foreign-key wiring.
+
+    Parameters
+    ----------
+    table:
+        The backing table.
+    foreign_keys:
+        Mapping from fact column name to the dimension it references.
+    """
+
+    def __init__(
+        self, table: Table, foreign_keys: Dict[str, Dimension]
+    ) -> None:
+        for column_name in foreign_keys:
+            if column_name not in table:
+                raise SchemaError(
+                    f"fact table {table.name!r} has no column "
+                    f"{column_name!r}"
+                )
+        self.table = table
+        self.foreign_keys = dict(foreign_keys)
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    def dimension_for(self, column_name: str) -> Dimension:
+        try:
+            return self.foreign_keys[column_name]
+        except KeyError:
+            raise SchemaError(
+                f"column {column_name!r} is not a foreign key of "
+                f"{self.name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"FactTable({self.name!r}, "
+            f"foreign_keys={list(self.foreign_keys)})"
+        )
+
+
+class StarSchema:
+    """A fact table with its dimensions.
+
+    Provides the OLAP-flavoured resolution step used by the examples
+    and benchmarks: turn "hierarchy element ``X`` at level ``L`` of
+    dimension ``D``" into the IN-list of foreign-key values to select
+    on the fact table.
+    """
+
+    def __init__(self, fact: FactTable) -> None:
+        self.fact = fact
+        self.dimensions: Dict[str, Dimension] = {
+            dim.name: dim for dim in fact.foreign_keys.values()
+        }
+
+    def dimension(self, name: str) -> Dimension:
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise SchemaError(f"unknown dimension {name!r}") from None
+
+    def fact_column_for(self, dimension_name: str) -> str:
+        """The fact-table column referencing the named dimension."""
+        for column_name, dim in self.fact.foreign_keys.items():
+            if dim.name == dimension_name:
+                return column_name
+        raise SchemaError(
+            f"no fact column references dimension {dimension_name!r}"
+        )
+
+    def rollup_in_list(
+        self, dimension_name: str, level: str, element: Hashable
+    ) -> List[Hashable]:
+        """IN-list of fact foreign keys under one hierarchy element."""
+        dim = self.dimension(dimension_name)
+        return sorted(dim.members_of(level, element), key=str)
+
+    def hierarchy_predicates(
+        self, dimension_name: str
+    ) -> List[List[Hashable]]:
+        """All hierarchy-element IN-lists of a dimension.
+
+        This is the paper's predicate set ``P`` over which a hierarchy
+        encoding should be well-defined.
+        """
+        dim = self.dimension(dimension_name)
+        if dim.hierarchy is None:
+            raise SchemaError(
+                f"dimension {dimension_name!r} has no hierarchy"
+            )
+        return dim.hierarchy.selection_predicates()
+
+    def __repr__(self) -> str:
+        return (
+            f"StarSchema(fact={self.fact.name!r}, "
+            f"dimensions={list(self.dimensions)})"
+        )

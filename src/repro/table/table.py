@@ -1,0 +1,166 @@
+"""Row-addressable columnar table with soft deletion.
+
+Rows are identified by their append position (tuple-id).  Deleting a
+row does not reclaim the position — the row becomes a *void* tuple,
+exactly the situation the paper's Theorem 2.1 handles by reserving
+code 0.  Indexes attached to the table are notified of appends,
+updates and deletions so they stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.bitmap.bitvector import BitVector
+from repro.table.column import Column
+from repro.errors import TableError
+
+
+class Table:
+    """A named collection of equal-length columns.
+
+    Parameters
+    ----------
+    name:
+        Table name.
+    column_names:
+        Ordered column names; rows are dicts or sequences over these.
+    """
+
+    def __init__(self, name: str, column_names: Sequence[str]) -> None:
+        if not column_names:
+            raise TableError("a table needs at least one column")
+        if len(set(column_names)) != len(column_names):
+            raise TableError("duplicate column names")
+        self.name = name
+        self._columns: Dict[str, Column] = {
+            col_name: Column(col_name) for col_name in column_names
+        }
+        self._void: Set[int] = set()
+        self._observers: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise TableError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    # ------------------------------------------------------------------
+    # rows
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Physical row count, including void positions."""
+        first = next(iter(self._columns.values()))
+        return len(first)
+
+    def live_count(self) -> int:
+        """Rows that are not void."""
+        return len(self) - len(self._void)
+
+    def append(self, row: Any) -> int:
+        """Append one row (dict by column name, or positional sequence).
+
+        Returns the new tuple-id and notifies attached indexes.
+        """
+        values = self._row_values(row)
+        row_id = -1
+        for col_name, value in zip(self._columns, values):
+            row_id = self._columns[col_name].append(value)
+        for observer in self._observers:
+            observer.on_append(row_id, dict(zip(self._columns, values)))
+        return row_id
+
+    def append_rows(self, rows: Iterable[Any]) -> List[int]:
+        return [self.append(row) for row in rows]
+
+    def row(self, row_id: int) -> Dict[str, Any]:
+        """Materialise one row as a dict (void rows raise)."""
+        if row_id in self._void:
+            raise TableError(f"row {row_id} is deleted")
+        return {
+            name: column[row_id] for name, column in self._columns.items()
+        }
+
+    def update(self, row_id: int, column_name: str, value: Any) -> None:
+        """Overwrite one attribute of a live row."""
+        if row_id in self._void:
+            raise TableError(f"row {row_id} is deleted")
+        old = self.column(column_name).update(row_id, value)
+        for observer in self._observers:
+            observer.on_update(row_id, column_name, old, value)
+
+    def delete(self, row_id: int) -> None:
+        """Soft-delete a row: the position becomes a void tuple."""
+        if row_id < 0 or row_id >= len(self):
+            raise TableError(f"row {row_id} out of range")
+        if row_id in self._void:
+            raise TableError(f"row {row_id} already deleted")
+        self._void.add(row_id)
+        for observer in self._observers:
+            observer.on_delete(row_id)
+
+    def is_void(self, row_id: int) -> bool:
+        return row_id in self._void
+
+    def void_rows(self) -> Set[int]:
+        return set(self._void)
+
+    def existence_vector(self) -> BitVector:
+        """Bit per row: 1 = live — the simple-bitmap existence vector."""
+        vector = BitVector.ones(len(self))
+        for row_id in self._void:
+            vector[row_id] = False
+        return vector
+
+    def scan(
+        self, columns: Optional[Sequence[str]] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield live rows as dicts (a full table scan)."""
+        names = list(columns) if columns else self.column_names
+        for row_id in range(len(self)):
+            if row_id in self._void:
+                continue
+            yield {name: self.column(name)[row_id] for name in names}
+
+    # ------------------------------------------------------------------
+    # index attachment
+    # ------------------------------------------------------------------
+    def attach(self, observer: Any) -> None:
+        """Register an index for change notifications."""
+        self._observers.append(observer)
+
+    def detach(self, observer: Any) -> None:
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------------
+    def _row_values(self, row: Any) -> List[Any]:
+        if isinstance(row, dict):
+            unknown = set(row) - set(self._columns)
+            if unknown:
+                raise TableError(f"unknown columns {sorted(unknown)}")
+            return [row.get(name) for name in self._columns]
+        values = list(row)
+        if len(values) != len(self._columns):
+            raise TableError(
+                f"row has {len(values)} values, expected "
+                f"{len(self._columns)}"
+            )
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, columns={self.column_names}, "
+            f"rows={len(self)}, void={len(self._void)})"
+        )

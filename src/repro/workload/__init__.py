@@ -1,0 +1,49 @@
+"""Synthetic workloads: data generators, query generators, TPC-D-like."""
+
+from repro.workload.generators import (
+    uniform_column,
+    zipf_column,
+    sequential_column,
+    clustered_column,
+    build_table,
+)
+from repro.workload.queries import (
+    random_in_list,
+    contiguous_range,
+    point_query,
+    query_mix,
+)
+from repro.workload.olap import (
+    OlapStep,
+    generate_session,
+    level_visit_counts,
+    session_predicates,
+)
+from repro.workload.tpcd import (
+    TPCD_QUERY_CLASSES,
+    TpcdQueryClass,
+    range_query_share,
+    build_tpcd_schema,
+    generate_query,
+)
+
+__all__ = [
+    "uniform_column",
+    "zipf_column",
+    "sequential_column",
+    "clustered_column",
+    "build_table",
+    "random_in_list",
+    "contiguous_range",
+    "point_query",
+    "query_mix",
+    "TPCD_QUERY_CLASSES",
+    "TpcdQueryClass",
+    "range_query_share",
+    "build_tpcd_schema",
+    "generate_query",
+    "OlapStep",
+    "generate_session",
+    "level_visit_counts",
+    "session_predicates",
+]

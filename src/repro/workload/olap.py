@@ -1,0 +1,124 @@
+"""OLAP session workloads: roll-ups and drill-downs along hierarchies.
+
+Section 2.3: "One essential operation of OLAP is the manipulation
+along dimensions, e.g., roll-ups/drill-downs ... All these operations
+are based on selections on dimensions, or on dimension elements".
+This module generates *sessions* — sequences of hierarchy-element
+selections produced by walking up and down a dimension hierarchy the
+way an analyst would — as the workload for the hierarchy-encoding
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.encoding.hierarchy import Hierarchy
+from repro.query.predicates import InList, Predicate
+
+
+@dataclass(frozen=True)
+class OlapStep:
+    """One step of an OLAP session."""
+
+    operation: str  # "select", "rollup", "drilldown", "sibling"
+    level: str
+    element: Hashable
+    predicate: Predicate
+
+
+def _element_predicate(
+    hierarchy: Hierarchy, column: str, level: str, element: Hashable
+) -> Predicate:
+    members = sorted(
+        hierarchy.base_members(level, element), key=str
+    )
+    return InList(column, members)
+
+
+def generate_session(
+    hierarchy: Hierarchy,
+    column: str,
+    length: int = 10,
+    seed: Optional[int] = 0,
+) -> List[OlapStep]:
+    """A random but realistic analyst session.
+
+    Starts from a random element of the top level, then repeatedly
+    drills down into a member, rolls back up, or moves to a sibling —
+    each step emitting the base-level IN-list selection the paper says
+    these operations reduce to.
+    """
+    if length < 1:
+        raise ValueError("session length must be >= 1")
+    levels = hierarchy.level_names
+    if not levels:
+        raise ValueError("hierarchy has no levels")
+    rng = random.Random(seed)
+
+    level_index = len(levels) - 1
+    level = levels[level_index]
+    element = rng.choice(hierarchy.elements(level))
+    steps = [
+        OlapStep(
+            "select", level, element,
+            _element_predicate(hierarchy, column, level, element),
+        )
+    ]
+    while len(steps) < length:
+        moves = ["sibling"]
+        if level_index > 0:
+            moves.append("drilldown")
+        if level_index < len(levels) - 1:
+            moves.append("rollup")
+        move = rng.choice(moves)
+        if move == "drilldown":
+            # descend into one member of the current element
+            members = sorted(
+                hierarchy.members(level, element), key=str
+            )
+            element = rng.choice(members)
+            level_index -= 1
+            level = levels[level_index]
+        elif move == "rollup":
+            # ascend to some parent containing the current element
+            level_index += 1
+            level = levels[level_index]
+            parents = [
+                candidate
+                for candidate in hierarchy.elements(level)
+                if element in hierarchy.members(level, candidate)
+            ]
+            element = (
+                rng.choice(parents)
+                if parents
+                else rng.choice(hierarchy.elements(level))
+            )
+        else:  # sibling
+            element = rng.choice(hierarchy.elements(level))
+        steps.append(
+            OlapStep(
+                move, level, element,
+                _element_predicate(hierarchy, column, level, element),
+            )
+        )
+    return steps
+
+
+def session_predicates(
+    steps: Sequence[OlapStep],
+) -> List[Predicate]:
+    """Just the selections of a session, in order."""
+    return [step.predicate for step in steps]
+
+
+def level_visit_counts(
+    steps: Sequence[OlapStep],
+) -> dict:
+    """How often each hierarchy level was visited (session profile)."""
+    counts: dict = {}
+    for step in steps:
+        counts[step.level] = counts.get(step.level, 0) + 1
+    return counts

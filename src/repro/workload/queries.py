@@ -1,0 +1,70 @@
+"""Random selection-predicate generators.
+
+Used by the empirical Figure 9 benches: ``contiguous_range`` produces
+the delta-wide range searches whose cost the paper plots, and
+``query_mix`` produces a point/range blend matching a configurable
+range share (e.g. the TPC-D 12/17).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence
+
+from repro.query.predicates import Equals, InList, Predicate, Range
+
+
+def point_query(
+    column: str, domain: Sequence[Any], rng: random.Random
+) -> Equals:
+    """A single-value selection (the paper's Q1)."""
+    return Equals(column, rng.choice(list(domain)))
+
+
+def random_in_list(
+    column: str,
+    domain: Sequence[Any],
+    delta: int,
+    rng: random.Random,
+) -> InList:
+    """An IN-list of ``delta`` random domain values."""
+    values = rng.sample(list(domain), min(delta, len(domain)))
+    return InList(column, values)
+
+
+def contiguous_range(
+    column: str,
+    domain: Sequence[Any],
+    delta: int,
+    rng: random.Random,
+) -> InList:
+    """An IN-list of ``delta`` *consecutive* domain values.
+
+    Consecutive in sort order — the paper's range search of interval
+    size delta, expressed as an IN-list so any index can serve it.
+    """
+    ordered = sorted(domain)
+    delta = min(delta, len(ordered))
+    start = rng.randint(0, len(ordered) - delta)
+    return InList(column, ordered[start : start + delta])
+
+
+def query_mix(
+    column: str,
+    domain: Sequence[Any],
+    count: int,
+    range_share: float = 12 / 17,
+    delta: int = 8,
+    seed: int = 0,
+) -> List[Predicate]:
+    """A point/range blend with the given range-search share."""
+    if not 0.0 <= range_share <= 1.0:
+        raise ValueError("range_share must be within [0, 1]")
+    rng = random.Random(seed)
+    queries: List[Predicate] = []
+    for _ in range(count):
+        if rng.random() < range_share:
+            queries.append(contiguous_range(column, domain, delta, rng))
+        else:
+            queries.append(point_query(column, domain, rng))
+    return queries

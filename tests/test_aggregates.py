@@ -1,0 +1,156 @@
+"""Unit tests for repro.aggregate (Section 5's aggregate algorithms)."""
+
+import random
+
+import pytest
+
+from repro.aggregate.counts import count, count_distinct, group_counts
+from repro.aggregate.quantiles import median, ntile_boundaries
+from repro.aggregate.sums import (
+    average_bitsliced,
+    average_encoded,
+    sum_bitsliced,
+    sum_encoded,
+)
+from repro.index.bitsliced import BitSlicedIndex
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.query.predicates import InList, Range
+from repro.table.table import Table
+
+
+@pytest.fixture
+def numeric_table():
+    table = Table("t", ["v"])
+    rng = random.Random(17)
+    for _ in range(500):
+        table.append({"v": rng.randint(0, 40)})
+    return table
+
+
+def _live_values(table, predicate=None):
+    return [
+        row["v"]
+        for row in table.scan()
+        if predicate is None or predicate.matches(row)
+    ]
+
+
+class TestCount:
+    def test_count_all(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        assert count(index) == 500
+
+    def test_count_with_predicate(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        pred = Range("v", 10, 20)
+        assert count(index, pred) == len(
+            _live_values(numeric_table, pred)
+        )
+
+    def test_count_after_deletions(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        numeric_table.attach(index)
+        for victim in (0, 5, 9):
+            numeric_table.delete(victim)
+        assert count(index) == 497
+
+    def test_count_distinct(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        expected = len(set(_live_values(numeric_table)))
+        assert count_distinct(index) == expected
+
+    def test_count_distinct_under_selection(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        pred = Range("v", 0, 10)
+        expected = len(set(_live_values(numeric_table, pred)))
+        assert count_distinct(index, pred) == expected
+
+    def test_group_counts(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        groups = group_counts(index)
+        values = _live_values(numeric_table)
+        for value, group_count in groups.items():
+            assert group_count == values.count(value)
+        assert sum(groups.values()) == len(values)
+
+
+class TestSum:
+    def test_sum_encoded_matches_scan(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        assert sum_encoded(index) == sum(_live_values(numeric_table))
+
+    def test_sum_bitsliced_matches_scan(self, numeric_table):
+        index = BitSlicedIndex(numeric_table, "v")
+        assert sum_bitsliced(index) == sum(_live_values(numeric_table))
+
+    def test_sum_with_selection(self, numeric_table):
+        encoded = EncodedBitmapIndex(numeric_table, "v")
+        sliced = BitSlicedIndex(numeric_table, "v")
+        pred = Range("v", 5, 25)
+        selection = encoded.lookup(pred)
+        expected = sum(_live_values(numeric_table, pred))
+        assert sum_encoded(encoded, selection) == expected
+        assert sum_bitsliced(sliced, selection) == expected
+
+    def test_sum_respects_deletions(self, numeric_table):
+        index = BitSlicedIndex(numeric_table, "v")
+        numeric_table.attach(index)
+        removed = numeric_table.row(3)["v"]
+        before = sum_bitsliced(index)
+        numeric_table.delete(3)
+        assert sum_bitsliced(index) == before - removed
+
+    def test_averages(self, numeric_table):
+        encoded = EncodedBitmapIndex(numeric_table, "v")
+        sliced = BitSlicedIndex(numeric_table, "v")
+        values = _live_values(numeric_table)
+        expected = sum(values) / len(values)
+        assert average_encoded(encoded) == pytest.approx(expected)
+        assert average_bitsliced(sliced) == pytest.approx(expected)
+
+    def test_average_empty_selection(self, numeric_table):
+        encoded = EncodedBitmapIndex(numeric_table, "v")
+        from repro.bitmap.bitvector import BitVector
+
+        empty = BitVector(len(numeric_table))
+        with pytest.raises(ZeroDivisionError):
+            average_encoded(encoded, empty)
+
+
+class TestQuantiles:
+    def test_median_matches_sorted(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        values = sorted(_live_values(numeric_table))
+        expected = values[(len(values) - 1) // 2]
+        assert median(index) == expected
+
+    def test_median_with_selection(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        pred = InList("v", list(range(0, 41, 2)))
+        selection = index.lookup(pred)
+        values = sorted(_live_values(numeric_table, pred))
+        expected = values[(len(values) - 1) // 2]
+        assert median(index, selection) == expected
+
+    def test_median_empty(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        from repro.bitmap.bitvector import BitVector
+
+        with pytest.raises(ValueError):
+            median(index, BitVector(len(numeric_table)))
+
+    def test_quartiles(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        boundaries = ntile_boundaries(index, 4)
+        assert len(boundaries) == 3
+        assert boundaries == sorted(boundaries)
+        values = sorted(_live_values(numeric_table))
+        # each boundary splits within one value of the exact quartile
+        for i, boundary in enumerate(boundaries, start=1):
+            below = sum(1 for v in values if v <= boundary)
+            assert below >= i * len(values) / 4 - len(values) * 0.08
+
+    def test_ntile_validation(self, numeric_table):
+        index = EncodedBitmapIndex(numeric_table, "v")
+        with pytest.raises(ValueError):
+            ntile_boundaries(index, 1)

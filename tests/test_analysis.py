@@ -1,0 +1,227 @@
+"""Unit tests for repro.analysis — the Section 2.1/3 cost models.
+
+These tests pin every number printed in the paper.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.cost_models import (
+    bitmap_build_cost,
+    btree_build_cost,
+    btree_bytes,
+    btree_space_crossover,
+    c_e_best,
+    c_e_worst,
+    c_s,
+    compound_btrees_needed,
+    crossover_delta,
+    encoded_bitmap_bytes,
+    encoded_sparsity,
+    encoded_vectors,
+    simple_bitmap_bytes,
+    simple_expansion_cost,
+    encoded_expansion_cost,
+    simple_sparsity,
+    simple_vectors,
+    trailing_zeros,
+    update_cost_no_expansion,
+)
+from repro.analysis.figures import (
+    crossover_point,
+    figure9_series,
+    figure10_series,
+)
+from repro.analysis.savings import (
+    area_ratio,
+    average_saving,
+    paper_reference_numbers,
+    point_saving,
+    worst_case_summary,
+)
+
+
+class TestVectorCounts:
+    def test_encoded_is_log(self):
+        assert encoded_vectors(12000) == 14  # the paper's example
+        assert encoded_vectors(50) == 6
+        assert encoded_vectors(1000) == 10
+
+    def test_simple_is_m(self):
+        assert simple_vectors(12000) == 12000
+
+    def test_cardinality_validation(self):
+        with pytest.raises(ValueError):
+            encoded_vectors(1)
+
+
+class TestQueryCosts:
+    def test_c_s_linear(self):
+        assert [c_s(d) for d in (1, 5, 50)] == [1, 5, 50]
+
+    def test_c_e_worst_is_k(self):
+        assert c_e_worst(50) == 6
+        assert c_e_worst(1000) == 10
+
+    def test_c_e_best_at_powers_of_two(self):
+        """Aligned delta = 2^t drops t variables."""
+        assert c_e_best(32, 50) == 1
+        assert c_e_best(512, 1000) == 1
+        assert c_e_best(1, 50) == 6
+        assert c_e_best(2, 50) == 5
+
+    def test_c_e_best_bounds(self):
+        for delta in range(1, 51):
+            assert 0 <= c_e_best(delta, 50) <= c_e_worst(50)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            c_e_best(0, 50)
+        with pytest.raises(ValueError):
+            c_e_best(51, 50)
+
+    def test_trailing_zeros(self):
+        assert trailing_zeros(1) == 0
+        assert trailing_zeros(8) == 3
+        assert trailing_zeros(12) == 2
+        with pytest.raises(ValueError):
+            trailing_zeros(0)
+
+    def test_crossover_delta(self):
+        """Encoded beats simple when delta > log2 m + 1."""
+        assert crossover_delta(50) == pytest.approx(math.log2(50) + 1)
+
+
+class TestSpace:
+    def test_simple_bitmap_formula(self):
+        assert simple_bitmap_bytes(8000, 100) == 8000 * 100 / 8
+
+    def test_encoded_bitmap_formula(self):
+        assert encoded_bitmap_bytes(8000, 100) == 8000 * 7 / 8
+
+    def test_btree_formula(self):
+        assert btree_bytes(1000) == pytest.approx(
+            1.44 * 1000 / 512 * 4096
+        )
+
+    def test_paper_crossover_93(self):
+        """Section 2.1: p=4K, M=512 -> bitmaps win when m < 93."""
+        crossover = btree_space_crossover(degree=512, page_size=4096)
+        assert 92 <= crossover <= 93
+        # m = 92 favours bitmap, m = 93 favours B-tree
+        n = 100000
+        assert simple_bitmap_bytes(n, 92) < btree_bytes(n)
+        assert simple_bitmap_bytes(n, 93) > btree_bytes(n)
+
+
+class TestBuildCosts:
+    def test_bitmap_build_linear(self):
+        assert bitmap_build_cost(1000, 5) == 5000
+
+    def test_btree_beats_bitmap_only_at_high_m(self):
+        """The paper: for small m, bitmap building is cheaper."""
+        n = 100000
+        assert bitmap_build_cost(n, 10) < btree_build_cost(n, 10)
+        # for huge m the bitmap cost n*m explodes
+        assert bitmap_build_cost(n, 100000) > btree_build_cost(n, 100000)
+
+
+class TestSparsity:
+    def test_simple_sparsity_formula(self):
+        assert simple_sparsity(100) == 0.99
+        assert simple_sparsity(2) == 0.5
+
+    def test_encoded_sparsity_constant(self):
+        assert encoded_sparsity() == 0.5
+
+
+class TestMaintenance:
+    def test_no_expansion_is_h(self):
+        assert update_cost_no_expansion(14) == 14
+
+    def test_simple_expansion_linear_in_n(self):
+        assert simple_expansion_cost(10**6, 100) > 10**6
+
+    def test_encoded_expansion_bounds(self):
+        cheap = encoded_expansion_cost(10**6, 100, grows_width=False)
+        costly = encoded_expansion_cost(10**6, 100, grows_width=True)
+        assert cheap == encoded_vectors(100)
+        assert costly > 10**6
+
+
+class TestCooperativity:
+    def test_compound_btrees_exponential(self):
+        """Section 2.1: n attributes need 2^n - 1 compound B-trees."""
+        assert compound_btrees_needed(1) == 1
+        assert compound_btrees_needed(5) == 31
+        assert compound_btrees_needed(10) == 1023
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compound_btrees_needed(0)
+
+
+class TestFigure9:
+    def test_series_shape(self):
+        rows = figure9_series(50)
+        assert len(rows) == 50
+        assert all(row.c_e_worst == 6 for row in rows)
+        assert [row.c_s for row in rows] == list(range(1, 51))
+
+    def test_custom_deltas(self):
+        rows = figure9_series(1000, deltas=[1, 512])
+        assert rows[1].c_e_best == 1
+
+    def test_encoded_wins_beyond_crossover(self):
+        rows = figure9_series(50)
+        for row in rows:
+            if row.delta > 6:
+                assert row.encoded_wins
+
+    def test_crossover_point(self):
+        assert crossover_point(50) == 7  # first delta with c_s > 6
+        assert crossover_point(1000) == 11
+
+
+class TestFigure10:
+    def test_series(self):
+        rows = figure10_series([2, 50, 1000, 12000])
+        assert [r.simple_vectors for r in rows] == [2, 50, 1000, 12000]
+        assert [r.encoded_vectors for r in rows] == [1, 6, 10, 14]
+
+    def test_log_vs_linear_growth(self):
+        rows = figure10_series(range(2, 1025))
+        assert rows[-1].simple_vectors == 1024
+        assert rows[-1].encoded_vectors == 10
+
+
+class TestSection32:
+    """Every number in the paper's worst-case analysis."""
+
+    def test_area_ratio_m50(self):
+        assert area_ratio(50) == pytest.approx(0.84, abs=0.005)
+
+    def test_area_ratio_m1000(self):
+        assert area_ratio(1000) == pytest.approx(0.90, abs=0.005)
+
+    def test_average_savings(self):
+        assert average_saving(50) == pytest.approx(0.16, abs=0.005)
+        assert average_saving(1000) == pytest.approx(0.10, abs=0.005)
+
+    def test_point_saving_83_percent(self):
+        assert point_saving(32, 50) == pytest.approx(0.833, abs=0.001)
+
+    def test_point_saving_90_percent(self):
+        assert point_saving(512, 1000) == pytest.approx(0.90, abs=0.001)
+
+    def test_summary(self):
+        summary = worst_case_summary(50)
+        assert summary.k == 6
+        assert summary.best_delta == 32
+        assert summary.best_saving == pytest.approx(0.833, abs=0.001)
+
+    def test_reference_numbers_present(self):
+        refs = paper_reference_numbers()
+        assert refs["tpcd_range_queries"] == 12
+        assert refs["btree_space_crossover_m"] == 93

@@ -1,0 +1,105 @@
+"""Unit tests for repro.bitmap.ops."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.ops import (
+    and_all,
+    or_all,
+    packed_length,
+    popcount_words,
+    tail_mask,
+    words_from_bools,
+    xor_all,
+)
+from repro.errors import LengthMismatchError
+
+
+class TestPackedLength:
+    def test_exact_words(self):
+        assert packed_length(0) == 0
+        assert packed_length(64) == 1
+        assert packed_length(128) == 2
+
+    def test_partial_words(self):
+        assert packed_length(1) == 1
+        assert packed_length(65) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            packed_length(-1)
+
+
+class TestTailMask:
+    def test_full_word_when_aligned(self):
+        assert int(tail_mask(64)) == 0xFFFFFFFFFFFFFFFF
+        assert int(tail_mask(128)) == 0xFFFFFFFFFFFFFFFF
+
+    def test_partial(self):
+        assert int(tail_mask(1)) == 1
+        assert int(tail_mask(3)) == 0b111
+        assert int(tail_mask(65)) == 1
+
+
+class TestPopcount:
+    def test_empty(self):
+        assert popcount_words(np.zeros(0, dtype=np.uint64)) == 0
+
+    def test_known_values(self):
+        words = np.array([0b1011, 0], dtype=np.uint64)
+        assert popcount_words(words) == 3
+
+    def test_full_words(self):
+        words = np.full(3, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        assert popcount_words(words) == 192
+
+
+class TestBulkOps:
+    def setup_method(self):
+        self.a = BitVector.from_bools([1, 1, 0, 0])
+        self.b = BitVector.from_bools([1, 0, 1, 0])
+        self.c = BitVector.from_bools([1, 1, 1, 0])
+
+    def test_and_all(self):
+        assert and_all([self.a, self.b, self.c]).to_bitstring() == "1000"
+
+    def test_or_all(self):
+        assert or_all([self.a, self.b]).to_bitstring() == "1110"
+
+    def test_xor_all(self):
+        assert xor_all([self.a, self.b, self.c]).to_bitstring() == "1000"
+
+    def test_single_vector_identity(self):
+        assert and_all([self.a]) == self.a
+        assert or_all([self.a]) == self.a
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            and_all([])
+        with pytest.raises(ValueError):
+            or_all([])
+        with pytest.raises(ValueError):
+            xor_all([])
+
+    def test_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            and_all([self.a, BitVector(5)])
+
+    def test_inputs_unchanged(self):
+        or_all([self.a, self.b])
+        assert self.a.to_bitstring() == "1100"
+
+
+class TestWordsFromBools:
+    def test_roundtrip(self):
+        bits = [True, False] * 40
+        words, nbits = words_from_bools(bits)
+        assert nbits == 80
+        vec = BitVector._from_words(words, nbits)
+        assert list(vec) == bits
+
+    def test_empty(self):
+        words, nbits = words_from_bools([])
+        assert nbits == 0
+        assert words.size == 0

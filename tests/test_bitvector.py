@@ -1,0 +1,231 @@
+"""Unit tests for repro.bitmap.bitvector."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.bitvector import BitVector, select_rows
+from repro.errors import LengthMismatchError
+
+
+class TestConstruction:
+    def test_empty(self):
+        vec = BitVector(0)
+        assert len(vec) == 0
+        assert vec.count() == 0
+        assert not vec.any()
+        assert vec.all()  # vacuously
+
+    def test_zeroed(self):
+        vec = BitVector(100)
+        assert len(vec) == 100
+        assert vec.count() == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_from_bools(self):
+        vec = BitVector.from_bools([True, False, True, True])
+        assert vec.to_bitstring() == "1011"
+        assert vec.count() == 3
+
+    def test_from_indices(self):
+        vec = BitVector.from_indices([0, 3, 7], 8)
+        assert vec.to_bitstring() == "10010001"
+
+    def test_from_indices_empty(self):
+        vec = BitVector.from_indices([], 5)
+        assert vec.count() == 0
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector.from_indices([5], 5)
+
+    def test_ones(self):
+        vec = BitVector.ones(70)
+        assert vec.count() == 70
+        assert vec.all()
+
+    def test_from_mask(self):
+        mask = np.array([True, False, True])
+        vec = BitVector.from_mask(mask)
+        assert vec.to_bitstring() == "101"
+
+    def test_word_boundary_lengths(self):
+        for nbits in (63, 64, 65, 127, 128, 129):
+            vec = BitVector.ones(nbits)
+            assert vec.count() == nbits
+            assert len(vec) == nbits
+
+
+class TestBitAccess:
+    def test_get_set(self):
+        vec = BitVector(10)
+        vec[3] = True
+        assert vec[3]
+        assert not vec[2]
+        vec[3] = False
+        assert not vec[3]
+
+    def test_index_error(self):
+        vec = BitVector(4)
+        with pytest.raises(IndexError):
+            vec[4]
+        with pytest.raises(IndexError):
+            vec[-1]
+
+    def test_iteration(self):
+        vec = BitVector.from_bools([1, 0, 1])
+        assert list(vec) == [True, False, True]
+
+
+class TestLogicalOps:
+    def test_and(self):
+        a = BitVector.from_bools([1, 1, 0, 0])
+        b = BitVector.from_bools([1, 0, 1, 0])
+        assert (a & b).to_bitstring() == "1000"
+
+    def test_or(self):
+        a = BitVector.from_bools([1, 1, 0, 0])
+        b = BitVector.from_bools([1, 0, 1, 0])
+        assert (a | b).to_bitstring() == "1110"
+
+    def test_xor(self):
+        a = BitVector.from_bools([1, 1, 0, 0])
+        b = BitVector.from_bools([1, 0, 1, 0])
+        assert (a ^ b).to_bitstring() == "0110"
+
+    def test_invert_masks_tail(self):
+        vec = BitVector(67)
+        inverted = ~vec
+        assert inverted.count() == 67
+        assert len(inverted) == 67
+
+    def test_andnot(self):
+        a = BitVector.from_bools([1, 1, 0, 0])
+        b = BitVector.from_bools([1, 0, 1, 0])
+        assert a.andnot(b).to_bitstring() == "0100"
+
+    def test_inplace_ops(self):
+        a = BitVector.from_bools([1, 1, 0])
+        b = BitVector.from_bools([0, 1, 1])
+        a &= b
+        assert a.to_bitstring() == "010"
+        a |= BitVector.from_bools([1, 0, 0])
+        assert a.to_bitstring() == "110"
+        a ^= BitVector.from_bools([1, 1, 1])
+        assert a.to_bitstring() == "001"
+
+    def test_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            BitVector(3) & BitVector(4)
+
+    def test_ops_do_not_mutate_operands(self):
+        a = BitVector.from_bools([1, 0])
+        b = BitVector.from_bools([0, 1])
+        _ = a | b
+        assert a.to_bitstring() == "10"
+        assert b.to_bitstring() == "01"
+
+
+class TestQueries:
+    def test_count_density_sparsity(self):
+        vec = BitVector.from_bools([1, 0, 0, 0])
+        assert vec.count() == 1
+        assert vec.density() == 0.25
+        assert vec.sparsity() == 0.75
+
+    def test_any_all(self):
+        assert not BitVector(5).any()
+        assert BitVector.ones(5).all()
+        partial = BitVector.from_bools([1, 0])
+        assert partial.any()
+        assert not partial.all()
+
+    def test_all_multiword(self):
+        vec = BitVector.ones(130)
+        assert vec.all()
+        vec[129] = False
+        assert not vec.all()
+        vec2 = BitVector.ones(130)
+        vec2[0] = False
+        assert not vec2.all()
+
+    def test_indices(self):
+        vec = BitVector.from_bools([0, 1, 0, 1, 1])
+        assert vec.indices().tolist() == [1, 3, 4]
+
+    def test_to_mask_roundtrip(self):
+        vec = BitVector.from_bools([1, 0, 1, 1, 0, 0, 1])
+        assert BitVector.from_mask(vec.to_mask()) == vec
+
+    def test_select_rows(self):
+        vec = BitVector.from_bools([0, 1, 1])
+        assert select_rows(vec) == [1, 2]
+
+
+class TestMutation:
+    def test_append(self):
+        vec = BitVector(0)
+        vec.append(True)
+        vec.append(False)
+        vec.append(True)
+        assert vec.to_bitstring() == "101"
+
+    def test_extend(self):
+        vec = BitVector(0)
+        vec.extend([True, True, False])
+        assert vec.to_bitstring() == "110"
+
+    def test_resize_grow(self):
+        vec = BitVector.from_bools([1, 1])
+        vec.resize(5)
+        assert vec.to_bitstring() == "11000"
+
+    def test_resize_shrink_masks(self):
+        vec = BitVector.ones(10)
+        vec.resize(4)
+        assert vec.count() == 4
+        vec.resize(10)
+        assert vec.count() == 4  # truncated bits stay cleared
+
+    def test_resize_across_word_boundary(self):
+        vec = BitVector.ones(64)
+        vec.resize(65)
+        assert vec.count() == 64
+        assert not vec[64]
+
+    def test_clear(self):
+        vec = BitVector.ones(9)
+        vec.clear()
+        assert vec.count() == 0
+        assert len(vec) == 9
+
+    def test_copy_is_independent(self):
+        vec = BitVector.from_bools([1, 0])
+        dup = vec.copy()
+        dup[1] = True
+        assert not vec[1]
+
+
+class TestProtocol:
+    def test_equality(self):
+        a = BitVector.from_bools([1, 0, 1])
+        b = BitVector.from_bools([1, 0, 1])
+        c = BitVector.from_bools([1, 0, 0])
+        assert a == b
+        assert a != c
+        assert a != BitVector(3 + 1)
+
+    def test_hash_consistent(self):
+        a = BitVector.from_bools([1, 0, 1])
+        b = BitVector.from_bools([1, 0, 1])
+        assert hash(a) == hash(b)
+
+    def test_repr_short_and_long(self):
+        assert "101" in repr(BitVector.from_bools([1, 0, 1]))
+        assert "nbits=100" in repr(BitVector(100))
+
+    def test_nbytes(self):
+        assert BitVector(64).nbytes() == 8
+        assert BitVector(65).nbytes() == 16

@@ -1,0 +1,149 @@
+"""Unit tests for repro.index.btree."""
+
+import random
+
+import pytest
+
+from repro.index.btree import BPlusTreeIndex
+from repro.query.predicates import Equals, InList, IsNull, Range
+from repro.table.table import Table
+from tests.conftest import matching_rows
+
+
+@pytest.fixture
+def int_table():
+    table = Table("t", ["k"])
+    rng = random.Random(11)
+    for _ in range(600):
+        table.append({"k": rng.randrange(200)})
+    return table
+
+
+class TestBuild:
+    def test_default_fanout_matches_paper(self, int_table):
+        """p=4K, entry 8 bytes -> M=512 (Section 2.1 parameters)."""
+        index = BPlusTreeIndex(int_table, "k")
+        assert index.fanout == 512
+
+    def test_small_fanout_grows_height(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=4, page_size=64)
+        assert index.height > 1
+        assert index.node_count > 1
+
+    def test_keys_sorted(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=8, page_size=256)
+        keys = index.keys()
+        assert keys == sorted(keys)
+        assert set(keys) == int_table.column("k").distinct_values()
+
+
+class TestLookup:
+    @pytest.mark.parametrize("fanout,page", [(4, 64), (16, 512), (512, 4096)])
+    def test_equals(self, int_table, fanout, page):
+        index = BPlusTreeIndex(int_table, "k", fanout=fanout, page_size=page)
+        pred = Equals("k", 42)
+        assert sorted(index.lookup(pred).indices().tolist()) == (
+            matching_rows(int_table, pred)
+        )
+
+    def test_equals_cost_is_height(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=4, page_size=64)
+        index.lookup(Equals("k", 50))
+        assert index.last_cost.node_accesses == index.height
+
+    def test_in_list(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=8, page_size=128)
+        pred = InList("k", [1, 50, 199])
+        assert sorted(index.lookup(pred).indices().tolist()) == (
+            matching_rows(int_table, pred)
+        )
+
+    def test_range(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=8, page_size=128)
+        for pred in [
+            Range("k", 10, 60),
+            Range("k", None, 30),
+            Range("k", 150, None),
+            Range("k", 10, 60, low_inclusive=False, high_inclusive=False),
+        ]:
+            assert sorted(index.lookup(pred).indices().tolist()) == (
+                matching_rows(int_table, pred)
+            )
+
+    def test_range_cost_grows_with_width(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=4, page_size=64)
+        index.lookup(Range("k", 0, 10))
+        narrow = index.last_cost.node_accesses
+        index.lookup(Range("k", 0, 150))
+        wide = index.last_cost.node_accesses
+        assert wide > narrow
+
+    def test_missing_key(self, int_table):
+        index = BPlusTreeIndex(int_table, "k")
+        assert index.lookup(Equals("k", 99999)).count() == 0
+
+    def test_nulls_fall_back_to_scan(self):
+        table = Table("t", ["k"])
+        for value in [1, None, 2]:
+            table.append({"k": value})
+        index = BPlusTreeIndex(table, "k")
+        assert index.lookup(IsNull("k")).indices().tolist() == [1]
+
+
+class TestSpace:
+    def test_space_independent_of_cardinality(self):
+        """The paper's point: B-tree space ~ 1.44 n/M * p depends on n,
+        not on m — unlike simple bitmaps."""
+        def build(m):
+            table = Table("t", ["k"])
+            rng = random.Random(5)
+            for _ in range(2000):
+                table.append({"k": rng.randrange(m)})
+            return BPlusTreeIndex(table, "k", fanout=64, page_size=512)
+
+        low_card = build(10)
+        high_card = build(1000)
+        ratio = high_card.nbytes() / low_card.nbytes()
+        assert 0.3 < ratio < 3.0
+
+    def test_nbytes_counts_pages(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=8, page_size=128)
+        assert index.nbytes() >= index.node_count * 128
+
+
+class TestMaintenance:
+    def test_append(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=8, page_size=128)
+        int_table.attach(index)
+        row_id = int_table.append({"k": 42})
+        assert row_id in index.lookup(Equals("k", 42)).indices().tolist()
+
+    def test_delete(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=8, page_size=128)
+        int_table.attach(index)
+        target = matching_rows(int_table, Equals("k", 42))[0]
+        int_table.delete(target)
+        assert target not in index.lookup(Equals("k", 42)).indices().tolist()
+
+    def test_update(self, int_table):
+        index = BPlusTreeIndex(int_table, "k", fanout=8, page_size=128)
+        int_table.attach(index)
+        target = matching_rows(int_table, Equals("k", 42))[0]
+        int_table.update(target, "k", 777)
+        assert target in index.lookup(Equals("k", 777)).indices().tolist()
+        assert target not in index.lookup(Equals("k", 42)).indices().tolist()
+
+    def test_many_random_inserts_stay_consistent(self):
+        table = Table("t", ["k"])
+        index = BPlusTreeIndex(table, "k", fanout=4, page_size=64)
+        table.attach(index)
+        rng = random.Random(3)
+        inserted = {}
+        for _ in range(500):
+            key = rng.randrange(100)
+            row_id = table.append({"k": key})
+            inserted.setdefault(key, []).append(row_id)
+        for key, rows in list(inserted.items())[:20]:
+            assert sorted(
+                index.lookup(Equals("k", key)).indices().tolist()
+            ) == sorted(rows)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig9_defaults(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.cardinality == 50
+
+
+class TestCommands:
+    def test_fig9(self, capsys):
+        assert main(["fig9", "--cardinality", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "c_e_best" in out
+        assert "delta >= 7" in out
+
+    def test_fig9_custom_cardinality(self, capsys):
+        assert main(["fig9", "--cardinality", "1000",
+                     "--points", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "1000" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10", "--max-cardinality", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "64" in out
+
+    def test_worst_case_defaults(self, capsys):
+        assert main(["worst-case"]) == 0
+        out = capsys.readouterr().out
+        assert "0.843" in out
+        assert "0.901" in out
+        assert "83.3%" in out
+
+    def test_worst_case_custom(self, capsys):
+        assert main(["worst-case", "--cardinality", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "100" in out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover"]) == 0
+        out = capsys.readouterr().out
+        assert "92.2" in out
+
+    def test_crossover_custom_params(self, capsys):
+        assert main(["crossover", "--degree", "256",
+                     "--page-size", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "368" in out  # 11.52 * 8192 / 256
+
+    def test_tpcd(self, capsys):
+        assert main(["tpcd"]) == 0
+        out = capsys.readouterr().out
+        assert "12/17" in out
+        assert "Q16" in out

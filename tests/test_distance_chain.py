@@ -1,0 +1,139 @@
+"""Unit tests for repro.encoding.distance and repro.encoding.chain
+(Definitions 2.2-2.4 of the paper)."""
+
+import pytest
+
+from repro.encoding.chain import (
+    find_chain,
+    find_prime_chain,
+    is_chain,
+    is_prime_chain,
+)
+from repro.encoding.distance import binary_distance, hamming_ball, neighbors
+
+
+class TestBinaryDistance:
+    def test_paper_example(self):
+        """lambda(011, 111) = 1 (Definition 2.2's example)."""
+        assert binary_distance(0b011, 0b111) == 1
+
+    def test_identity(self):
+        assert binary_distance(5, 5) == 0
+
+    def test_symmetry(self):
+        assert binary_distance(3, 12) == binary_distance(12, 3)
+
+    def test_triangle_inequality(self):
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert binary_distance(a, c) <= binary_distance(
+                        a, b
+                    ) + binary_distance(b, c)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            binary_distance(-1, 0)
+
+
+class TestHammingBall:
+    def test_radius_zero(self):
+        assert list(hamming_ball(5, 0, 3)) == [5]
+
+    def test_radius_one(self):
+        ball = set(hamming_ball(0, 1, 3))
+        assert ball == {0, 1, 2, 4}
+
+    def test_full_radius(self):
+        assert len(list(hamming_ball(0, 3, 3))) == 8
+
+    def test_neighbors(self):
+        assert set(neighbors(0b000, 3)) == {0b001, 0b010, 0b100}
+
+
+class TestIsChain:
+    def test_paper_prime_chain_example(self):
+        """<000, 100, 110, 010> is a chain (the paper's example)."""
+        assert is_chain([0b000, 0b100, 0b110, 0b010])
+
+    def test_wraparound_required(self):
+        # path without closing edge: 000-001-011-111 (111 to 000 is 3)
+        assert not is_chain([0b000, 0b001, 0b011, 0b111])
+
+    def test_duplicates_rejected(self):
+        assert not is_chain([0, 1, 0, 1])
+
+    def test_too_short(self):
+        assert not is_chain([0])
+
+    def test_two_element_chain(self):
+        # 0-1 and back: both steps distance 1
+        assert is_chain([0, 1])
+
+
+class TestIsPrimeChain:
+    def test_paper_example(self):
+        assert is_prime_chain([0b000, 0b100, 0b110, 0b010])
+
+    def test_non_power_of_two_size(self):
+        assert not is_prime_chain([0, 1, 3])
+
+    def test_pairwise_bound_violated(self):
+        # 4 codes = 2^2 but 000 and 111 at distance 3 > 2
+        assert not is_prime_chain([0b000, 0b001, 0b011, 0b111])
+
+    def test_singleton_is_prime_chain(self):
+        assert is_prime_chain([5])
+
+
+class TestFindChain:
+    def test_paper_negative_example(self):
+        """No chain exists on {001, 011, 111} (paper, Section 2.2)."""
+        assert find_chain([0b001, 0b011, 0b111]) is None
+
+    def test_finds_cycle_on_face(self):
+        chain = find_chain([0b00, 0b01, 0b10, 0b11])
+        assert chain is not None
+        assert is_chain(chain)
+
+    def test_odd_size_has_no_chain(self):
+        # hypercube is bipartite: odd cycles impossible
+        assert find_chain([0, 1, 3]) is None
+
+    def test_parity_imbalance_rejected(self):
+        # four codes, 3 even parity + 1 odd: no Hamiltonian cycle
+        assert find_chain([0b000, 0b011, 0b101, 0b110]) is None or False
+        # (all of 011,101,110 have even bit count = 2; 000 has 0 ->
+        # parity classes are 4/0, cannot alternate)
+        assert find_chain([0b000, 0b011, 0b101, 0b110]) is None
+
+    def test_full_cube_gray_cycle(self):
+        chain = find_chain(list(range(8)))
+        assert chain is not None
+        assert is_chain(chain)
+        assert sorted(chain) == list(range(8))
+
+    def test_fewer_than_two(self):
+        assert find_chain([3]) is None
+        assert find_chain([]) is None
+
+
+class TestFindPrimeChain:
+    def test_paper_example_set(self):
+        chain = find_prime_chain([0b000, 0b110, 0b010, 0b100])
+        assert chain is not None
+        assert is_prime_chain(chain)
+
+    def test_subcube_always_has_prime_chain(self):
+        # the subcube x2=1 of a 3-cube
+        chain = find_prime_chain([0b100, 0b101, 0b110, 0b111])
+        assert chain is not None
+
+    def test_none_for_scattered_codes(self):
+        assert find_prime_chain([0b000, 0b011, 0b101, 0b110]) is None
+
+    def test_none_for_wrong_size(self):
+        assert find_prime_chain([0, 1, 2]) is None
+
+    def test_singleton(self):
+        assert find_prime_chain([7]) == [7]

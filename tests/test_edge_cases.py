@@ -1,0 +1,184 @@
+"""Edge cases and failure injection across the stack.
+
+Small domains, empty selections, all-NULL columns, single values,
+domain-of-one, deleting everything, querying after total deletion,
+appending to empty tables, and misuse errors.
+"""
+
+import pytest
+
+from repro.encoding.mapping import MappingTable
+from repro.errors import IndexBuildError, UnsupportedPredicateError
+from repro.index.btree import BPlusTreeIndex
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.index.range_bitmap import RangeBitmapIndex
+from repro.index.simple_bitmap import SimpleBitmapIndex
+from repro.query.predicates import Equals, InList, IsNull, Range
+from repro.table.table import Table
+
+
+def _table(values):
+    table = Table("t", ["v"])
+    for value in values:
+        table.append({"v": value})
+    return table
+
+
+class TestTinyDomains:
+    def test_single_value_domain(self):
+        table = _table(["only"] * 10)
+        index = EncodedBitmapIndex(table, "v")
+        assert index.lookup(Equals("v", "only")).count() == 10
+        assert index.lookup(Equals("v", "other")).count() == 0
+
+    def test_single_row_table(self):
+        table = _table([42])
+        for cls in (EncodedBitmapIndex, SimpleBitmapIndex):
+            index = cls(table, "v")
+            assert index.lookup(Equals("v", 42)).indices().tolist() == [0]
+
+    def test_two_value_domain_is_one_vector(self):
+        table = _table(["M", "F"] * 20)
+        index = EncodedBitmapIndex(table, "v", void_mode="vector")
+        assert index.width == 1  # the paper's GENDER example, encoded
+
+    def test_empty_in_list(self):
+        table = _table([1, 2, 3])
+        index = EncodedBitmapIndex(table, "v")
+        assert index.lookup(InList("v", [])).count() == 0
+
+
+class TestNullHeavy:
+    def test_all_null_column_simple(self):
+        table = _table([None, None, None])
+        index = SimpleBitmapIndex(table, "v")
+        assert index.lookup(IsNull("v")).count() == 3
+        assert index.lookup(Equals("v", 1)).count() == 0
+
+    def test_all_null_column_encoded(self):
+        table = _table([None, None])
+        index = EncodedBitmapIndex(table, "v")
+        assert index.lookup(IsNull("v")).count() == 2
+
+    def test_null_not_in_range(self):
+        table = _table([1, None, 3])
+        index = EncodedBitmapIndex(table, "v")
+        result = index.lookup(Range("v", 0, 10))
+        assert result.indices().tolist() == [0, 2]
+
+    def test_null_updates(self):
+        table = _table([1, 2])
+        index = EncodedBitmapIndex(table, "v")
+        table.attach(index)
+        table.update(0, "v", None)
+        assert index.lookup(IsNull("v")).indices().tolist() == [0]
+        table.update(0, "v", 2)
+        assert index.lookup(IsNull("v")).count() == 0
+        table.detach(index)
+
+
+class TestMassDeletion:
+    def test_delete_everything(self):
+        table = _table([1, 2, 3, 4])
+        index = EncodedBitmapIndex(table, "v")
+        table.attach(index)
+        for row_id in range(4):
+            table.delete(row_id)
+        assert index.lookup(Range("v", 0, 10)).count() == 0
+        assert table.live_count() == 0
+        table.detach(index)
+
+    def test_append_after_total_deletion(self):
+        table = _table([1, 2])
+        index = EncodedBitmapIndex(table, "v")
+        table.attach(index)
+        table.delete(0)
+        table.delete(1)
+        row_id = table.append({"v": 1})
+        assert index.lookup(Equals("v", 1)).indices().tolist() == [row_id]
+        table.detach(index)
+
+    def test_btree_after_heavy_deletion(self):
+        table = _table(list(range(50)))
+        index = BPlusTreeIndex(table, "v", fanout=4, page_size=64)
+        table.attach(index)
+        for row_id in range(0, 50, 2):
+            table.delete(row_id)
+        result = index.lookup(Range("v", 0, 49))
+        assert sorted(result.indices().tolist()) == list(range(1, 50, 2))
+
+
+class TestMisuse:
+    def test_predicate_on_other_column(self):
+        table = Table("t", ["a", "b"])
+        table.append({"a": 1, "b": 2})
+        index = EncodedBitmapIndex(table, "a")
+        with pytest.raises(UnsupportedPredicateError):
+            index.lookup(Equals("b", 2))
+
+    def test_range_bitmap_needs_values(self):
+        table = _table([None, None])
+        with pytest.raises(IndexBuildError):
+            RangeBitmapIndex(table, "v")
+
+    def test_range_bitmap_rejects_null_predicate(self):
+        table = _table([1, 2, 3])
+        index = RangeBitmapIndex(table, "v", buckets=2)
+        with pytest.raises(UnsupportedPredicateError):
+            index.lookup(IsNull("v"))
+
+
+class TestIntervalFastPath:
+    def test_large_contiguous_selection_uses_fast_path(self):
+        """Above the threshold, contiguous code intervals bypass QM
+        and still return exact results."""
+        values = list(range(300))
+        table = _table([v % 300 for v in range(900)])
+        mapping = MappingTable.from_pairs(
+            [(v, v) for v in values], width=9
+        )
+        index = EncodedBitmapIndex(
+            table, "v", mapping=mapping, void_mode="vector"
+        )
+        selected = values[:256]  # contiguous, above threshold
+        result = index.lookup(InList("v", selected))
+        expected = [
+            row_id
+            for row_id in range(len(table))
+            if table.row(row_id)["v"] < 256
+        ]
+        assert sorted(result.indices().tolist()) == expected
+        assert index.last_cost.vectors_accessed <= index.width + 1
+
+    def test_fast_path_vector_budget(self):
+        from repro.boolean.intervals import reduce_interval
+
+        reduced = reduce_interval(3, 250, 9)
+        assert reduced.vector_count() <= 9
+
+
+class TestUnhashableSafety:
+    def test_mixed_type_domain(self):
+        """String/int mixed domains still encode (sorted by str)."""
+        table = _table(["x", 1, "y", 2, "x"])
+        index = EncodedBitmapIndex(table, "v")
+        assert index.lookup(Equals("v", "x")).count() == 2
+        assert index.lookup(Equals("v", 1)).count() == 1
+
+
+class TestGrowthBoundary:
+    def test_repeated_expansion_through_powers_of_two(self):
+        """Append 1..20 distinct values one at a time; every width
+        transition must keep lookups exact."""
+        table = Table("t", ["v"])
+        index = None
+        table.append({"v": 0})
+        index = EncodedBitmapIndex(table, "v")
+        table.attach(index)
+        for value in range(1, 20):
+            table.append({"v": value})
+            # every value so far still retrievable
+            for probe in range(0, value + 1, max(1, value // 3)):
+                got = index.lookup(Equals("v", probe)).count()
+                assert got == 1, (value, probe)
+        table.detach(index)

@@ -1,0 +1,126 @@
+"""Unit tests for repro.boolean.evaluator."""
+
+import pytest
+
+from repro.bitmap.bitvector import BitVector
+from repro.boolean.evaluator import (
+    AccessCounter,
+    evaluate_dnf,
+    evaluate_expression,
+)
+from repro.boolean.expr import And, Const, Not, Or, Var, Xor, dnf_expression
+from repro.boolean.reduction import minterm_dnf, reduce_values
+
+
+def _vectors_for_codes(codes, width, nbits=None):
+    """Bitmap vectors B_i for a column whose row j holds codes[j]."""
+    nbits = nbits or len(codes)
+    vectors = []
+    for i in range(width):
+        vectors.append(
+            BitVector.from_bools(
+                [(code >> i) & 1 for code in codes]
+            )
+        )
+    return vectors
+
+
+class TestAccessCounter:
+    def test_distinct_accesses(self):
+        counter = AccessCounter()
+        counter.record(0)
+        counter.record(1)
+        counter.record(0)
+        assert counter.distinct_accesses == 2
+        assert counter.reads == 3
+
+    def test_merge(self):
+        a, b = AccessCounter(), AccessCounter()
+        a.record(0)
+        b.record(1)
+        a.merge(b)
+        assert a.distinct_accesses == 2
+
+
+class TestEvaluateDnf:
+    def setup_method(self):
+        self.codes = [0b00, 0b01, 0b10, 0b01, 0b00, 0b10]
+        self.vectors = _vectors_for_codes(self.codes, 2)
+
+    def _fetch(self, i):
+        return self.vectors[i]
+
+    def test_selects_matching_rows(self):
+        function = reduce_values([0b00], 2)
+        result = evaluate_dnf(function, self._fetch, 6)
+        assert result.indices().tolist() == [0, 4]
+
+    def test_reduced_function_touches_fewer_vectors(self):
+        counter = AccessCounter()
+        function = reduce_values([0b00, 0b01], 2)  # -> B1'
+        result = evaluate_dnf(function, self._fetch, 6, counter)
+        assert counter.distinct_accesses == 1
+        assert result.indices().tolist() == [0, 1, 3, 4]
+
+    def test_unreduced_touches_all(self):
+        counter = AccessCounter()
+        function = minterm_dnf([0b00, 0b01], 2)
+        evaluate_dnf(function, self._fetch, 6, counter)
+        assert counter.distinct_accesses == 2
+
+    def test_false_function(self):
+        function = reduce_values([], 2)
+        result = evaluate_dnf(function, self._fetch, 6)
+        assert result.count() == 0
+
+    def test_true_function(self):
+        function = reduce_values(range(4), 2)
+        result = evaluate_dnf(function, self._fetch, 6)
+        assert result.count() == 6
+
+    def test_matches_per_row_semantics(self):
+        function = reduce_values([0b01, 0b10], 2)
+        result = evaluate_dnf(function, self._fetch, 6)
+        for row, code in enumerate(self.codes):
+            assert result[row] == function.evaluate_value(code)
+
+
+class TestEvaluateExpression:
+    def setup_method(self):
+        self.codes = [0b000, 0b001, 0b011, 0b111, 0b101, 0b010]
+        self.vectors = _vectors_for_codes(self.codes, 3)
+
+    def _fetch(self, i):
+        return self.vectors[i]
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            Var(0),
+            Not(Var(1)),
+            And((Var(0), Var(1))),
+            Or((Var(0), Not(Var(2)))),
+            Xor((Var(0), Var(1), Var(2))),
+            Const(True),
+            Const(False),
+            And((Or((Var(0), Var(1))), Not(Var(2)))),
+        ],
+    )
+    def test_expression_matches_value_semantics(self, expr):
+        result = evaluate_expression(expr, self._fetch, 6)
+        for row, code in enumerate(self.codes):
+            assert result[row] == expr.evaluate_value(code)
+
+    def test_counter_tracks_variables(self):
+        counter = AccessCounter()
+        expr = And((Var(0), Var(2)))
+        evaluate_expression(expr, self._fetch, 6, counter)
+        assert counter.touched == {0, 2}
+
+    def test_dnf_and_expression_agree(self):
+        function = reduce_values([1, 3, 5], 3)
+        via_dnf = evaluate_dnf(function, self._fetch, 6)
+        via_expr = evaluate_expression(
+            dnf_expression(function), self._fetch, 6
+        )
+        assert via_dnf == via_expr

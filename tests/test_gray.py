@@ -1,0 +1,69 @@
+"""Unit tests for repro.encoding.gray."""
+
+import pytest
+
+from repro.encoding.chain import is_chain, is_prime_chain
+from repro.encoding.distance import binary_distance
+from repro.encoding.gray import (
+    gray_code,
+    gray_pairs,
+    gray_sequence,
+    inverse_gray,
+)
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+
+    def test_consecutive_distance_one(self):
+        for i in range(100):
+            assert binary_distance(gray_code(i), gray_code(i + 1)) == 1
+
+    def test_bijective_on_cube(self):
+        codes = [gray_code(i) for i in range(64)]
+        assert sorted(codes) == list(range(64))
+
+
+class TestInverseGray:
+    def test_roundtrip(self):
+        for i in range(256):
+            assert inverse_gray(gray_code(i)) == i
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_gray(-1)
+
+
+class TestGraySequence:
+    def test_sequence_is_prime_chain(self):
+        """The full Gray sequence of a cube is a prime chain."""
+        for width in (1, 2, 3):
+            seq = gray_sequence(width)
+            assert is_prime_chain(seq)
+
+    def test_sequence_is_chain(self):
+        assert is_chain(gray_sequence(3))
+
+    def test_width_zero(self):
+        assert gray_sequence(0) == [0]
+
+    def test_gray_pairs_all_adjacent(self):
+        for a, b in gray_pairs(4):
+            assert binary_distance(a, b) == 1
+
+    def test_aligned_window_lies_in_subcube(self):
+        """A 2^p-aligned window of the Gray sequence fills a subcube."""
+        seq = gray_sequence(4)
+        window = seq[8:12]  # aligned block of 4
+        common_or = 0
+        common_and = (1 << 4) - 1
+        for code in window:
+            common_or |= code
+            common_and &= code
+        free_bits = bin(common_or & ~common_and).count("1")
+        assert 1 << free_bits == len(window)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.encoding.heuristics."""
+
+import pytest
+
+from repro.encoding.heuristics import (
+    encode_for_predicates,
+    encoding_cost,
+    random_encoding,
+    sequential_encoding,
+)
+from repro.encoding.mapping import VOID
+
+
+class TestBaselines:
+    def test_sequential_encoding(self):
+        table = sequential_encoding("abcd", reserve_void_zero=False)
+        assert [table.encode(v) for v in "abcd"] == [0, 1, 2, 3]
+
+    def test_random_encoding_is_permutation(self):
+        table = random_encoding("abcdefgh", seed=1, reserve_void_zero=False)
+        codes = sorted(table.encode(v) for v in "abcdefgh")
+        assert codes == list(range(8))
+
+    def test_random_encoding_deterministic(self):
+        a = random_encoding("abc", seed=5)
+        b = random_encoding("abc", seed=5)
+        assert a == b
+
+    def test_random_encoding_reserves_void(self):
+        table = random_encoding("abc", seed=2)
+        assert table.encode(VOID) == 0
+        assert all(table.encode(v) != 0 for v in "abc")
+
+
+class TestEncodingCost:
+    def test_cost_counts_vectors_per_predicate(self):
+        table = sequential_encoding("abcd", reserve_void_zero=False)
+        # {a,b} = {00,01} -> B1' (1 vector); {a,d} = {00,11} -> 2 vectors
+        assert encoding_cost(table, [["a", "b"]]) == 1.0
+        assert encoding_cost(table, [["a", "d"]]) == 2.0
+
+    def test_weights(self):
+        table = sequential_encoding("abcd", reserve_void_zero=False)
+        cost = encoding_cost(table, [["a", "b"], ["a", "d"]], [10.0, 1.0])
+        assert cost == 12.0
+
+    def test_weight_length_mismatch(self):
+        table = sequential_encoding("ab", reserve_void_zero=False)
+        with pytest.raises(ValueError):
+            encoding_cost(table, [["a"]], [1.0, 2.0])
+
+
+class TestEncodeForPredicates:
+    def test_reproduces_figure3_optimum(self):
+        """For the paper's two predicates on {a..h}, the heuristic must
+        find a 1-vector encoding for each (Figure 3(a) quality)."""
+        predicates = [list("abcd"), list("cdef")]
+        table = encode_for_predicates(
+            "abcdefgh", predicates, reserve_void_zero=False, seed=0
+        )
+        assert encoding_cost(table, predicates) <= 2.0  # 1 + 1
+
+    def test_beats_random_encoding(self):
+        predicates = [list("abcd"), list("cdef"), list("gh")]
+        tuned = encode_for_predicates(
+            "abcdefgh", predicates, reserve_void_zero=False, seed=0
+        )
+        baseline = random_encoding("abcdefgh", seed=123,
+                                   reserve_void_zero=False)
+        assert encoding_cost(tuned, predicates) <= encoding_cost(
+            baseline, predicates
+        )
+
+    def test_unknown_predicate_value_rejected(self):
+        with pytest.raises(ValueError):
+            encode_for_predicates("ab", [["z"]])
+
+    def test_preserves_void_reservation(self):
+        table = encode_for_predicates("abc", [["a", "b"]], seed=0)
+        assert table.encode(VOID) == 0
+
+    def test_one_to_one(self):
+        table = encode_for_predicates(
+            "abcdefgh", [list("abcd")], reserve_void_zero=False, seed=0
+        )
+        codes = [table.encode(v) for v in "abcdefgh"]
+        assert len(set(codes)) == 8
+
+    def test_local_search_never_hurts(self):
+        predicates = [list("aceg"), list("bdfh")]
+        no_search = encode_for_predicates(
+            "abcdefgh", predicates, reserve_void_zero=False,
+            local_search_steps=0, seed=0,
+        )
+        with_search = encode_for_predicates(
+            "abcdefgh", predicates, reserve_void_zero=False,
+            local_search_steps=300, seed=0,
+        )
+        assert encoding_cost(with_search, predicates) <= encoding_cost(
+            no_search, predicates
+        )
+
+    def test_empty_predicates(self):
+        table = encode_for_predicates("abc", [], reserve_void_zero=False)
+        assert len(table) == 3

@@ -1,0 +1,126 @@
+"""Unit tests for repro.encoding.hierarchy (Section 2.3, Figure 5)."""
+
+import pytest
+
+from repro.encoding.heuristics import encoding_cost
+from repro.encoding.hierarchy import Hierarchy, hierarchy_encoding
+from repro.errors import SchemaError
+
+# The paper's SALESPOINT example (Figure 5a): 12 branches, 5 companies,
+# 3 alliances, with m:N memberships.
+BRANCHES = list(range(1, 13))
+COMPANIES = {
+    "a": [1, 2, 3, 4],
+    "b": [5, 6],
+    "c": [7, 8],
+    "d": [3, 4, 9, 10],
+    "e": [9, 10, 11, 12],
+}
+ALLIANCES = {"X": ["a", "b", "c"], "Y": ["c", "d"], "Z": ["d", "e"]}
+
+
+@pytest.fixture
+def salespoint():
+    return Hierarchy(
+        BRANCHES, {"company": COMPANIES, "alliance": ALLIANCES}
+    )
+
+
+class TestHierarchy:
+    def test_levels(self, salespoint):
+        assert salespoint.level_names == ["company", "alliance"]
+        assert set(salespoint.elements("company")) == set("abcde")
+        assert set(salespoint.elements("alliance")) == set("XYZ")
+
+    def test_direct_members(self, salespoint):
+        assert salespoint.members("company", "b") == {5, 6}
+        assert salespoint.members("alliance", "Y") == {"c", "d"}
+
+    def test_base_members_transitive(self, salespoint):
+        """Alliance X = companies {a,b,c} = branches {1..8}."""
+        assert salespoint.base_members("alliance", "X") == set(range(1, 9))
+
+    def test_base_members_mn_overlap(self, salespoint):
+        """m:N: branches 3,4 belong to both a and d; Z covers d,e."""
+        assert salespoint.base_members("alliance", "Z") == {
+            3, 4, 9, 10, 11, 12,
+        }
+
+    def test_base_members_of_company_level(self, salespoint):
+        assert salespoint.base_members("company", "d") == {3, 4, 9, 10}
+
+    def test_unknown_level(self, salespoint):
+        with pytest.raises(SchemaError):
+            salespoint.members("country", "x")
+        with pytest.raises(SchemaError):
+            salespoint.base_members("country", "x")
+
+    def test_unknown_element(self, salespoint):
+        with pytest.raises(SchemaError):
+            salespoint.members("company", "zz")
+
+    def test_bad_member_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            Hierarchy([1, 2], {"level": {"g": [99]}})
+
+    def test_selection_predicates(self, salespoint):
+        predicates = salespoint.selection_predicates()
+        # one per company + one per alliance
+        assert len(predicates) == 5 + 3
+        assert sorted(map(len, predicates)) == sorted(
+            [4, 2, 2, 4, 4, 8, 6, 6]
+        )
+
+
+class TestHierarchyEncoding:
+    def test_produces_one_to_one_mapping(self, salespoint):
+        mapping = hierarchy_encoding(salespoint, seed=0)
+        codes = [mapping.encode(b) for b in BRANCHES]
+        assert len(set(codes)) == 12
+        assert mapping.width == 4  # ceil(log2 12)
+
+    def test_cheaper_than_sequential(self, salespoint):
+        """The hierarchy encoding must beat the naive sequential one
+        on the hierarchy predicate set."""
+        from repro.encoding.heuristics import sequential_encoding
+
+        predicates = salespoint.selection_predicates()
+        tuned = hierarchy_encoding(salespoint, seed=0)
+        naive = sequential_encoding(BRANCHES, reserve_void_zero=False)
+        assert encoding_cost(tuned, predicates) <= encoding_cost(
+            naive, predicates
+        )
+
+    def test_alliance_selection_cost_reasonable(self, salespoint):
+        """Figure 5(b) achieves 1 vector for 'alliance = X'; our
+        heuristic must stay within the worst case of 4 and generally
+        do much better across the predicate set."""
+        mapping = hierarchy_encoding(salespoint, seed=0)
+        predicates = salespoint.selection_predicates()
+        total = encoding_cost(mapping, predicates)
+        worst = 4 * len(predicates)
+        assert total < worst * 0.75
+
+
+class TestPaperFigure5Encoding:
+    """Pin the paper's own Figure 5(b) mapping and verify its claim."""
+
+    FIG5B = {
+        1: 0b0000, 2: 0b0001, 3: 0b0100, 4: 0b0101,
+        5: 0b0010, 6: 0b0011, 7: 0b0110, 8: 0b0111,
+        9: 0b1100, 10: 0b1101, 11: 0b1111, 12: 0b1110,
+    }
+
+    def test_alliance_x_needs_one_vector(self, salespoint):
+        """'For selection alliance = X, only one bit vector is
+        accessed' (paper, Section 2.3)."""
+        from repro.boolean.reduction import reduce_values
+
+        branches = sorted(salespoint.base_members("alliance", "X"))
+        codes = [self.FIG5B[b] for b in branches]
+        dont_cares = [
+            c for c in range(16) if c not in self.FIG5B.values()
+        ]
+        reduced = reduce_values(codes, 4, dont_cares=dont_cares)
+        assert reduced.vector_count() == 1
+        assert reduced.to_string() == "B3'"

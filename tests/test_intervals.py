@@ -1,0 +1,86 @@
+"""Unit tests for repro.boolean.intervals (binary interval covers)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.intervals import interval_cubes, reduce_interval
+from repro.boolean.reduction import reduce_values
+
+
+class TestIntervalCubes:
+    def test_empty_interval(self):
+        assert interval_cubes(5, 4, 4) == []
+
+    def test_single_point(self):
+        cubes = interval_cubes(5, 5, 3)
+        assert len(cubes) == 1
+        assert cubes[0].covers(5)
+        assert cubes[0].literal_count() == 3
+
+    def test_full_cube(self):
+        cubes = interval_cubes(0, 7, 3)
+        assert len(cubes) == 1
+        assert cubes[0].is_constant_true()
+
+    def test_aligned_half(self):
+        cubes = interval_cubes(0, 31, 6)
+        assert len(cubes) == 1
+        assert cubes[0].to_string() == "B5'"
+
+    def test_cube_count_bounded(self):
+        for width in (4, 6, 8):
+            for lo in range(0, 1 << width, 7):
+                for hi in range(lo, 1 << width, 5):
+                    cubes = interval_cubes(lo, hi, width)
+                    assert len(cubes) <= 2 * width
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            interval_cubes(0, 8, 3)
+        with pytest.raises(ValueError):
+            interval_cubes(-1, 3, 3)
+
+
+class TestReduceInterval:
+    def test_exact_semantics(self):
+        for width in (3, 5):
+            for lo in range(1 << width):
+                for hi in range(lo, 1 << width):
+                    reduced = reduce_interval(lo, hi, width)
+                    for value in range(1 << width):
+                        assert reduced.evaluate_value(value) == (
+                            lo <= value <= hi
+                        ), (lo, hi, value)
+
+    def test_matches_qm_vector_count_on_prefixes(self):
+        """For [0, delta) intervals the binary decomposition uses the
+        same variables as the QM reduction."""
+        width = 6
+        for delta in (1, 2, 4, 8, 16, 32, 48, 63):
+            fast = reduce_interval(0, delta - 1, width)
+            exact = reduce_values(range(delta), width)
+            assert fast.vector_count() == exact.vector_count()
+
+    @given(
+        st.integers(0, 255),
+        st.integers(0, 255),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_semantics_width8(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        reduced = reduce_interval(lo, hi, 8)
+        # spot-check boundaries and a few interior/exterior points
+        probes = {lo, hi, max(0, lo - 1), min(255, hi + 1),
+                  (lo + hi) // 2, 0, 255}
+        for value in probes:
+            assert reduced.evaluate_value(value) == (lo <= value <= hi)
+
+    def test_cheap_for_wide_widths(self):
+        """The whole point: works instantly at widths where QM cannot."""
+        reduced = reduce_interval(12345, 8_000_000, 24)
+        assert reduced.vector_count() <= 24
+        assert reduced.evaluate_value(12345)
+        assert reduced.evaluate_value(8_000_000)
+        assert not reduced.evaluate_value(12344)
+        assert not reduced.evaluate_value(8_000_001)

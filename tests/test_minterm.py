@@ -1,0 +1,107 @@
+"""Unit tests for repro.boolean.minterm."""
+
+import pytest
+
+from repro.boolean.minterm import Implicant
+
+
+class TestConstruction:
+    def test_minterm(self):
+        term = Implicant.minterm(0b101, 3)
+        assert term.bits == 0b101
+        assert term.care == 0b111
+        assert term.literal_count() == 3
+
+    def test_minterm_value_too_wide(self):
+        with pytest.raises(ValueError):
+            Implicant.minterm(0b1000, 3)
+
+    def test_care_exceeds_width(self):
+        with pytest.raises(ValueError):
+            Implicant(bits=0, care=0b1000, width=3)
+
+    def test_bits_outside_care(self):
+        with pytest.raises(ValueError):
+            Implicant(bits=0b10, care=0b01, width=2)
+
+
+class TestCovers:
+    def test_full_minterm_covers_only_itself(self):
+        term = Implicant.minterm(5, 3)
+        assert term.covers(5)
+        assert not term.covers(4)
+
+    def test_cube_covers_free_dimension(self):
+        # x2' x0  (bit 1 free)
+        term = Implicant(bits=0b001, care=0b101, width=3)
+        assert term.covers(0b001)
+        assert term.covers(0b011)
+        assert not term.covers(0b000)
+        assert not term.covers(0b101)
+
+    def test_constant_true_covers_everything(self):
+        term = Implicant(bits=0, care=0, width=3)
+        assert term.is_constant_true()
+        assert all(term.covers(v) for v in range(8))
+
+
+class TestMerge:
+    def test_adjacent_merge(self):
+        a = Implicant.minterm(0b000, 3)
+        b = Implicant.minterm(0b001, 3)
+        merged = a.merge(b)
+        assert merged is not None
+        assert merged.care == 0b110
+        assert merged.bits == 0b000
+
+    def test_non_adjacent_returns_none(self):
+        a = Implicant.minterm(0b000, 3)
+        b = Implicant.minterm(0b011, 3)
+        assert a.merge(b) is None
+
+    def test_identical_returns_none(self):
+        a = Implicant.minterm(0b010, 3)
+        assert a.merge(a) is None
+
+    def test_different_care_returns_none(self):
+        a = Implicant(bits=0b00, care=0b01, width=2)
+        b = Implicant(bits=0b00, care=0b10, width=2)
+        assert a.merge(b) is None
+
+    def test_merge_is_symmetric(self):
+        a = Implicant.minterm(0b100, 3)
+        b = Implicant.minterm(0b101, 3)
+        assert a.merge(b) == b.merge(a)
+
+
+class TestEnumeration:
+    def test_minterms_of_cube(self):
+        term = Implicant(bits=0b100, care=0b100, width=3)
+        assert sorted(term.minterms()) == [0b100, 0b101, 0b110, 0b111]
+
+    def test_minterms_of_full_minterm(self):
+        term = Implicant.minterm(6, 3)
+        assert list(term.minterms()) == [6]
+
+    def test_variables(self):
+        term = Implicant(bits=0b001, care=0b101, width=3)
+        assert term.variables() == (0, 2)
+
+
+class TestRendering:
+    def test_paper_notation(self):
+        # B2'B1B0' as in the paper
+        term = Implicant(bits=0b010, care=0b111, width=3)
+        assert term.to_string() == "B2'B1B0'"
+
+    def test_partial_term(self):
+        term = Implicant(bits=0b000, care=0b010, width=3)
+        assert term.to_string() == "B1'"
+
+    def test_constant(self):
+        term = Implicant(bits=0, care=0, width=3)
+        assert term.to_string() == "1"
+
+    def test_custom_prefix(self):
+        term = Implicant(bits=0b1, care=0b1, width=1)
+        assert term.to_string(prefix="x") == "x0"

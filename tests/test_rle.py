@@ -1,0 +1,134 @@
+"""Unit tests for repro.bitmap.rle."""
+
+import pytest
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.rle import RunLengthBitmap
+from repro.errors import LengthMismatchError
+
+
+class TestConstruction:
+    def test_empty(self):
+        bitmap = RunLengthBitmap(0)
+        assert len(bitmap) == 0
+        assert bitmap.run_count() == 0
+
+    def test_zeroed(self):
+        bitmap = RunLengthBitmap(100)
+        assert len(bitmap) == 100
+        assert bitmap.run_count() == 1
+        assert bitmap.count() == 0
+
+    def test_from_runs_canonicalises(self):
+        bitmap = RunLengthBitmap.from_runs(
+            [(True, 2), (True, 3), (False, 0), (False, 1)]
+        )
+        assert bitmap.runs == [(True, 5), (False, 1)]
+        assert len(bitmap) == 6
+
+    def test_from_runs_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RunLengthBitmap.from_runs([(True, -1)])
+
+    def test_from_bitvector(self):
+        vec = BitVector.from_bools([1, 1, 0, 0, 0, 1])
+        bitmap = RunLengthBitmap.from_bitvector(vec)
+        assert bitmap.runs == [(True, 2), (False, 3), (True, 1)]
+
+    def test_from_bools(self):
+        bitmap = RunLengthBitmap.from_bools([0, 0, 1])
+        assert bitmap.runs == [(False, 2), (True, 1)]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "bits",
+        [
+            [],
+            [True],
+            [False],
+            [True] * 100,
+            [False] * 100,
+            [True, False] * 50,
+            [False, False, True, True, True, False],
+        ],
+    )
+    def test_roundtrip(self, bits):
+        vec = BitVector.from_bools(bits)
+        assert RunLengthBitmap.from_bitvector(vec).to_bitvector() == vec
+
+
+class TestLogicalOps:
+    def _pair(self):
+        a = RunLengthBitmap.from_bools([1, 1, 0, 0, 1, 0])
+        b = RunLengthBitmap.from_bools([1, 0, 1, 0, 1, 1])
+        return a, b
+
+    def test_and(self):
+        a, b = self._pair()
+        assert (a & b).to_bitvector().to_bitstring() == "100010"
+
+    def test_or(self):
+        a, b = self._pair()
+        assert (a | b).to_bitvector().to_bitstring() == "111011"
+
+    def test_xor(self):
+        a, b = self._pair()
+        assert (a ^ b).to_bitvector().to_bitstring() == "011001"
+
+    def test_invert(self):
+        a, _ = self._pair()
+        assert (~a).to_bitvector().to_bitstring() == "001101"
+        assert (~~a) == a
+
+    def test_ops_match_bitvector_semantics(self):
+        a, b = self._pair()
+        av, bv = a.to_bitvector(), b.to_bitvector()
+        assert (a & b).to_bitvector() == (av & bv)
+        assert (a | b).to_bitvector() == (av | bv)
+        assert (a ^ b).to_bitvector() == (av ^ bv)
+
+    def test_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            RunLengthBitmap(3) & RunLengthBitmap(4)
+
+    def test_result_is_canonical(self):
+        a = RunLengthBitmap.from_bools([1, 1, 1, 1])
+        b = RunLengthBitmap.from_bools([1, 1, 1, 1])
+        assert (a & b).run_count() == 1
+
+
+class TestCompression:
+    def test_sparse_bitmap_compresses_well(self):
+        bits = [False] * 1000
+        bits[500] = True
+        bitmap = RunLengthBitmap.from_bools(bits)
+        assert bitmap.run_count() == 3
+        assert bitmap.nbytes() == 24
+        # uncompressed would be 1000/8 = 125 bytes rounded to words
+        assert bitmap.nbytes() < BitVector.from_bools(bits).nbytes()
+
+    def test_dense_alternating_does_not_compress(self):
+        bits = [True, False] * 500
+        bitmap = RunLengthBitmap.from_bools(bits)
+        assert bitmap.run_count() == 1000
+        assert bitmap.nbytes() > BitVector.from_bools(bits).nbytes()
+
+    def test_count(self):
+        bitmap = RunLengthBitmap.from_bools([1, 0, 1, 1])
+        assert bitmap.count() == 3
+
+
+class TestMutation:
+    def test_append_merges_runs(self):
+        bitmap = RunLengthBitmap(0)
+        for bit in [True, True, False, True]:
+            bitmap.append(bit)
+        assert bitmap.runs == [(True, 2), (False, 1), (True, 1)]
+        assert len(bitmap) == 4
+
+    def test_equality_and_hash(self):
+        a = RunLengthBitmap.from_bools([1, 0])
+        b = RunLengthBitmap.from_bools([1, 0])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,148 @@
+"""Unit tests for repro.table.schema and repro.table.catalog."""
+
+import pytest
+
+from repro.encoding.hierarchy import Hierarchy
+from repro.errors import SchemaError, TableError
+from repro.index.simple_bitmap import SimpleBitmapIndex
+from repro.table.catalog import Catalog
+from repro.table.schema import Dimension, FactTable, StarSchema
+from repro.table.table import Table
+
+
+@pytest.fixture
+def star():
+    """A small sales star: fact SALES -> dimension SALESPOINT."""
+    salespoint = Table("salespoint", ["branch", "city"])
+    for branch in range(1, 13):
+        salespoint.append({"branch": branch, "city": f"c{branch % 3}"})
+    hierarchy = Hierarchy(
+        range(1, 13),
+        {
+            "company": {
+                "a": [1, 2, 3, 4], "b": [5, 6], "c": [7, 8],
+                "d": [3, 4, 9, 10], "e": [9, 10, 11, 12],
+            },
+            "alliance": {"X": ["a", "b", "c"], "Y": ["c", "d"],
+                         "Z": ["d", "e"]},
+        },
+    )
+    dim = Dimension(salespoint, key="branch", hierarchy=hierarchy)
+
+    sales = Table("sales", ["branch", "amount"])
+    for i in range(60):
+        sales.append({"branch": (i % 12) + 1, "amount": i})
+    fact = FactTable(sales, {"branch": dim})
+    return StarSchema(fact)
+
+
+class TestDimension:
+    def test_key_column_required(self):
+        table = Table("d", ["k"])
+        with pytest.raises(SchemaError):
+            Dimension(table, key="missing")
+
+    def test_key_values(self, star):
+        dim = star.dimension("salespoint")
+        assert dim.key_values() == set(range(1, 13))
+
+    def test_members_requires_hierarchy(self):
+        table = Table("d", ["k"])
+        table.append({"k": 1})
+        dim = Dimension(table, key="k")
+        with pytest.raises(SchemaError):
+            dim.members_of("level", "x")
+
+
+class TestFactTable:
+    def test_foreign_key_column_must_exist(self):
+        dim_table = Table("d", ["k"])
+        dim = Dimension(dim_table, key="k")
+        fact_table = Table("f", ["x"])
+        with pytest.raises(SchemaError):
+            FactTable(fact_table, {"missing": dim})
+
+    def test_dimension_for(self, star):
+        dim = star.fact.dimension_for("branch")
+        assert dim.name == "salespoint"
+        with pytest.raises(SchemaError):
+            star.fact.dimension_for("amount")
+
+
+class TestStarSchema:
+    def test_dimension_lookup(self, star):
+        assert star.dimension("salespoint").key == "branch"
+        with pytest.raises(SchemaError):
+            star.dimension("nope")
+
+    def test_fact_column_for(self, star):
+        assert star.fact_column_for("salespoint") == "branch"
+        with pytest.raises(SchemaError):
+            star.fact_column_for("nope")
+
+    def test_rollup_in_list(self, star):
+        """Alliance X -> branches 1..8 (through companies a, b, c)."""
+        in_list = star.rollup_in_list("salespoint", "alliance", "X")
+        assert in_list == list(range(1, 9))
+
+    def test_hierarchy_predicates(self, star):
+        predicates = star.hierarchy_predicates("salespoint")
+        assert len(predicates) == 8  # 5 companies + 3 alliances
+
+    def test_hierarchy_predicates_require_hierarchy(self):
+        table = Table("d", ["k"])
+        table.append({"k": 1})
+        dim = Dimension(table, key="k")
+        fact_table = Table("f", ["k"])
+        fact = FactTable(fact_table, {"k": dim})
+        schema = StarSchema(fact)
+        with pytest.raises(SchemaError):
+            schema.hierarchy_predicates("d")
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        table = Table("t", ["a"])
+        catalog.register_table(table)
+        assert catalog.table("t") is table
+        assert catalog.tables() == [table]
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.register_table(Table("t", ["a"]))
+        with pytest.raises(TableError):
+            catalog.register_table(Table("t", ["b"]))
+
+    def test_unknown_table(self):
+        with pytest.raises(TableError):
+            Catalog().table("zzz")
+
+    def test_register_index_attaches(self):
+        catalog = Catalog()
+        table = Table("t", ["a"])
+        table.append({"a": 1})
+        catalog.register_table(table)
+        index = SimpleBitmapIndex(table, "a")
+        catalog.register_index(index)
+        assert catalog.indexes_on("t", "a") == [index]
+        # attached: appends flow through
+        table.append({"a": 2})
+        assert index.vector_for(2) is not None
+
+    def test_register_index_without_attach(self):
+        catalog = Catalog()
+        table = Table("t", ["a"])
+        table.append({"a": 1})
+        index = SimpleBitmapIndex(table, "a")
+        catalog.register_index(index, attach=False)
+        table.append({"a": 9})
+        assert index.vector_for(9) is None
+
+    def test_all_indexes(self):
+        catalog = Catalog()
+        table = Table("t", ["a", "b"])
+        table.append({"a": 1, "b": 2})
+        catalog.register_index(SimpleBitmapIndex(table, "a"))
+        catalog.register_index(SimpleBitmapIndex(table, "b"))
+        assert len(catalog.all_indexes()) == 2

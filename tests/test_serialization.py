@@ -1,0 +1,105 @@
+"""Unit tests for repro.index.serialization."""
+
+import random
+
+import pytest
+
+from repro.encoding.mapping import NULL, VOID
+from repro.errors import IndexBuildError
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.index.serialization import dumps, load, loads, save
+from repro.query.predicates import Equals, InList, IsNull, Range
+from repro.table.table import Table
+
+
+@pytest.fixture
+def indexed_table():
+    table = Table("t", ["v"])
+    rng = random.Random(41)
+    for _ in range(200):
+        value = rng.randrange(30)
+        table.append({"v": value if value else None})
+    index = EncodedBitmapIndex(table, "v")
+    return table, index
+
+
+class TestRoundtrip:
+    def test_bytes_roundtrip_preserves_lookups(self, indexed_table):
+        table, index = indexed_table
+        restored = loads(dumps(index), table)
+        for predicate in (
+            Equals("v", 7),
+            InList("v", [1, 2, 3]),
+            Range("v", 10, 20),
+            IsNull("v"),
+        ):
+            assert restored.lookup(predicate) == index.lookup(predicate)
+
+    def test_mapping_preserved(self, indexed_table):
+        table, index = indexed_table
+        restored = loads(dumps(index), table)
+        assert restored.mapping == index.mapping
+        assert restored.width == index.width
+        assert restored.mapping.encode(VOID) == 0
+        assert NULL in restored.mapping
+
+    def test_file_roundtrip(self, indexed_table, tmp_path):
+        table, index = indexed_table
+        path = tmp_path / "index.ebix"
+        save(index, str(path))
+        restored = load(str(path), table)
+        pred = Range("v", 5, 25)
+        assert restored.lookup(pred) == index.lookup(pred)
+
+    def test_restored_index_maintainable(self, indexed_table):
+        table, index = indexed_table
+        restored = loads(dumps(index), table)
+        table.attach(restored)
+        row_id = table.append({"v": 7})
+        assert row_id in restored.lookup(
+            Equals("v", 7)
+        ).indices().tolist()
+        table.detach(restored)
+
+    def test_void_vector_mode_roundtrip(self):
+        table = Table("t", ["v"])
+        for value in ["a", "b", "c", "a"]:
+            table.append({"v": value})
+        index = EncodedBitmapIndex(table, "v", void_mode="vector")
+        table.attach(index)
+        table.delete(1)
+        restored = loads(dumps(index), table)
+        pred = InList("v", ["a", "b", "c"])
+        assert restored.lookup(pred) == index.lookup(pred)
+        table.detach(index)
+
+
+class TestValidation:
+    def test_bad_magic(self, indexed_table):
+        table, _ = indexed_table
+        with pytest.raises(IndexBuildError):
+            loads(b"NOPE" + b"\x00" * 20, table)
+
+    def test_row_count_mismatch(self, indexed_table):
+        table, index = indexed_table
+        payload = dumps(index)
+        other = Table("o", ["v"])
+        other.append({"v": 1})
+        with pytest.raises(IndexBuildError):
+            loads(payload, other)
+
+    def test_missing_column(self, indexed_table):
+        table, index = indexed_table
+        payload = dumps(index)
+        other = Table("o", ["w"])
+        for _ in range(len(table)):
+            other.append({"w": 1})
+        with pytest.raises(IndexBuildError):
+            loads(payload, other)
+
+    def test_unserialisable_value(self):
+        table = Table("t", ["v"])
+        table.append({"v": (1, 2)})  # tuple values not supported
+        index = EncodedBitmapIndex(table, "v")
+        with pytest.raises(IndexBuildError):
+            dumps(index)

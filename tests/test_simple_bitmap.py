@@ -1,0 +1,137 @@
+"""Unit tests for repro.index.simple_bitmap."""
+
+import pytest
+
+from repro.index.simple_bitmap import SimpleBitmapIndex
+from repro.query.predicates import Equals, InList, IsNull, Range
+from tests.conftest import matching_rows
+
+
+class TestBuild:
+    def test_one_vector_per_value(self, abc_table):
+        index = SimpleBitmapIndex(abc_table, "A")
+        assert index.vector_count == 3
+
+    def test_figure1_vectors(self, abc_table):
+        """Figure 1: rows a,b,c,b,a,c give B_a=100010, B_b=010100,
+        B_c=001001."""
+        index = SimpleBitmapIndex(abc_table, "A")
+        assert index.vector_for("a").to_bitstring() == "100010"
+        assert index.vector_for("b").to_bitstring() == "010100"
+        assert index.vector_for("c").to_bitstring() == "001001"
+
+    def test_nulls_get_dedicated_vector(self):
+        from repro.table.table import Table
+
+        table = Table("t", ["A"])
+        for value in ["x", None, "y", None]:
+            table.append({"A": value})
+        index = SimpleBitmapIndex(table, "A")
+        result = index.lookup(IsNull("A"))
+        assert result.indices().tolist() == [1, 3]
+
+
+class TestLookup:
+    def test_equals_cost_is_one(self, abc_table):
+        """Q1-style single-value selection reads exactly one vector."""
+        index = SimpleBitmapIndex(abc_table, "A")
+        result = index.lookup(Equals("A", "a"))
+        assert result.indices().tolist() == [0, 4]
+        assert index.last_cost.vectors_accessed == 1
+
+    def test_in_list_cost_is_delta(self, abc_table):
+        """Q2-style: c_s = delta (one vector per selected value)."""
+        index = SimpleBitmapIndex(abc_table, "A")
+        result = index.lookup(InList("A", ["a", "b"]))
+        assert result.indices().tolist() == [0, 1, 3, 4]
+        assert index.last_cost.vectors_accessed == 2
+
+    def test_unknown_value_free(self, abc_table):
+        index = SimpleBitmapIndex(abc_table, "A")
+        result = index.lookup(Equals("A", "zzz"))
+        assert result.count() == 0
+        assert index.last_cost.vectors_accessed == 0
+
+    def test_range_on_numeric(self, sales_table):
+        index = SimpleBitmapIndex(sales_table, "qty")
+        pred = Range("qty", 10, 20)
+        result = index.lookup(pred)
+        assert sorted(result.indices().tolist()) == matching_rows(
+            sales_table, pred
+        )
+        assert index.last_cost.vectors_accessed == len(
+            [v for v in sales_table.column("qty").distinct_values()
+             if 10 <= v <= 20]
+        )
+
+    def test_boolean_combination(self, sales_table):
+        index = SimpleBitmapIndex(sales_table, "region")
+        pred = Equals("region", "N") | Equals("region", "S")
+        result = index.lookup(pred)
+        assert sorted(result.indices().tolist()) == matching_rows(
+            sales_table, pred
+        )
+
+    def test_negation_excludes_void(self, abc_table):
+        index = SimpleBitmapIndex(abc_table, "A")
+        abc_table.attach(index)
+        abc_table.delete(0)
+        result = index.lookup(~Equals("A", "b"))
+        assert 0 not in result.indices().tolist()
+
+
+class TestSparsity:
+    def test_average_sparsity_formula(self):
+        """Section 3.1: simple bitmap sparsity ~ (m-1)/m under a
+        uniform distribution."""
+        import random
+
+        from repro.table.table import Table
+
+        rng = random.Random(0)
+        table = Table("t", ["A"])
+        m = 20
+        for _ in range(2000):
+            table.append({"A": rng.randrange(m)})
+        index = SimpleBitmapIndex(table, "A")
+        assert index.average_sparsity() == pytest.approx(
+            (m - 1) / m, abs=0.01
+        )
+
+
+class TestMaintenance:
+    def test_append_existing_value(self, abc_table):
+        index = SimpleBitmapIndex(abc_table, "A")
+        abc_table.attach(index)
+        abc_table.append({"A": "b"})
+        assert index.vector_for("b")[6]
+        assert len(index.vector_for("a")) == 7
+
+    def test_append_new_value_expands(self, abc_table):
+        index = SimpleBitmapIndex(abc_table, "A")
+        abc_table.attach(index)
+        before_ops = index.stats.maintenance_ops
+        abc_table.append({"A": "zzz"})
+        # O(|T|) cost recorded for the new full-length vector
+        assert index.stats.maintenance_ops - before_ops >= len(abc_table)
+        assert index.vector_count == 4
+
+    def test_update(self, abc_table):
+        index = SimpleBitmapIndex(abc_table, "A")
+        abc_table.attach(index)
+        abc_table.update(0, "A", "c")
+        assert not index.vector_for("a")[0]
+        assert index.vector_for("c")[0]
+
+    def test_delete(self, abc_table):
+        index = SimpleBitmapIndex(abc_table, "A")
+        abc_table.attach(index)
+        abc_table.delete(1)
+        assert not index.vector_for("b")[1]
+        assert not index.existence_vector()[1]
+
+    def test_nbytes_linear_in_m(self, sales_table):
+        index = SimpleBitmapIndex(sales_table, "product")
+        m = sales_table.column("product").cardinality()
+        per_vec = (len(sales_table) + 63) // 64 * 8
+        assert index.nbytes() == per_vec * (m + 2)

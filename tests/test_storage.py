@@ -1,0 +1,172 @@
+"""Unit tests for repro.storage (page, pager, buffer pool, stats)."""
+
+import pytest
+
+from repro.errors import InvalidPageError, PageOverflowError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page import PAGE_SIZE_DEFAULT, Page
+from repro.storage.pager import Pager
+from repro.storage.stats import IOStatistics
+
+
+class TestPage:
+    def test_default_size_matches_paper(self):
+        """Section 2.1 assumes p = 4K."""
+        assert PAGE_SIZE_DEFAULT == 4096
+
+    def test_read_write(self):
+        page = Page(0, size=64)
+        page.write(b"hello", offset=3)
+        assert page.read(3, 5) == b"hello"
+        assert page.dirty
+
+    def test_read_whole(self):
+        page = Page(0, size=8)
+        assert page.read() == b"\x00" * 8
+
+    def test_overflow(self):
+        page = Page(0, size=8)
+        with pytest.raises(PageOverflowError):
+            page.write(b"123456789")
+        with pytest.raises(PageOverflowError):
+            page.read(4, 8)
+
+    def test_clear(self):
+        page = Page(0, size=8)
+        page.write(b"xx")
+        page.clear()
+        assert page.read(0, 2) == b"\x00\x00"
+
+    def test_free_after(self):
+        page = Page(0, size=100)
+        assert page.free_after(40) == 60
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Page(0, size=0)
+
+
+class TestPager:
+    def test_allocate_sequential_ids(self):
+        pager = Pager(page_size=64)
+        a = pager.allocate()
+        b = pager.allocate()
+        assert (a.page_id, b.page_id) == (0, 1)
+        assert pager.page_count == 2
+        assert pager.stats.allocations == 2
+
+    def test_read_counts_physical(self):
+        pager = Pager(page_size=64)
+        page = pager.allocate()
+        pager.read(page.page_id)
+        pager.read(page.page_id)
+        assert pager.stats.physical_reads == 2
+
+    def test_read_unknown(self):
+        pager = Pager()
+        with pytest.raises(InvalidPageError):
+            pager.read(99)
+
+    def test_write_clears_dirty(self):
+        pager = Pager(page_size=64)
+        page = pager.allocate()
+        page.write(b"x")
+        pager.write(page)
+        assert not page.dirty
+        assert pager.stats.writes == 1
+
+    def test_free(self):
+        pager = Pager(page_size=64)
+        page = pager.allocate()
+        pager.free(page.page_id)
+        assert page.page_id not in pager
+        with pytest.raises(InvalidPageError):
+            pager.free(page.page_id)
+
+    def test_total_bytes(self):
+        pager = Pager(page_size=128)
+        pager.allocate()
+        pager.allocate()
+        assert pager.total_bytes() == 256
+
+
+class TestBufferPool:
+    def test_hit_avoids_physical_read(self):
+        pager = Pager(page_size=64)
+        pool = BufferPool(pager, capacity=2)
+        page = pool.new_page()
+        pool.fetch(page.page_id)
+        pool.fetch(page.page_id)
+        assert pager.stats.logical_reads == 2
+        assert pager.stats.physical_reads == 0
+
+    def test_miss_reads_physically(self):
+        pager = Pager(page_size=64)
+        pool = BufferPool(pager, capacity=1)
+        a = pool.new_page()
+        b = pool.new_page()  # evicts a
+        pool.fetch(a.page_id)  # miss
+        assert pager.stats.physical_reads == 1
+        assert pager.stats.evictions >= 1
+
+    def test_lru_order(self):
+        pager = Pager(page_size=64)
+        pool = BufferPool(pager, capacity=2)
+        a = pool.new_page()
+        b = pool.new_page()
+        pool.fetch(a.page_id)  # a most recent
+        c = pool.new_page()  # evicts b
+        assert a.page_id in pool
+        assert b.page_id not in pool
+        assert c.page_id in pool
+
+    def test_dirty_eviction_writes_back(self):
+        pager = Pager(page_size=64)
+        pool = BufferPool(pager, capacity=1)
+        a = pool.new_page()
+        a.write(b"z")
+        pool.new_page()  # evict dirty a
+        assert pager.stats.writes == 1
+
+    def test_flush(self):
+        pager = Pager(page_size=64)
+        pool = BufferPool(pager, capacity=4)
+        page = pool.new_page()
+        page.write(b"q")
+        pool.flush()
+        assert not page.dirty
+
+    def test_clear(self):
+        pager = Pager(page_size=64)
+        pool = BufferPool(pager, capacity=4)
+        pool.new_page()
+        pool.clear()
+        assert pool.resident == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(Pager(), capacity=0)
+
+
+class TestIOStatistics:
+    def test_hit_ratio(self):
+        stats = IOStatistics(logical_reads=10, physical_reads=2)
+        assert stats.hit_ratio() == 0.8
+
+    def test_hit_ratio_empty(self):
+        assert IOStatistics().hit_ratio() == 0.0
+
+    def test_reset(self):
+        stats = IOStatistics(logical_reads=5, writes=2)
+        stats.reset()
+        assert stats.logical_reads == 0
+        assert stats.writes == 0
+
+    def test_snapshot_and_subtract(self):
+        stats = IOStatistics(logical_reads=10, physical_reads=4)
+        before = stats.snapshot()
+        stats.record_logical_read()
+        stats.record_physical_read()
+        delta = stats - before
+        assert delta.logical_reads == 1
+        assert delta.physical_reads == 1

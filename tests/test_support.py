@@ -1,0 +1,78 @@
+"""Unit tests for repro.boolean.support (minimal variable support)."""
+
+import pytest
+
+from repro.boolean.support import (
+    is_valid_support,
+    minimal_support,
+    minimal_support_size,
+)
+
+
+class TestIsValidSupport:
+    def test_full_mask_always_valid(self):
+        assert is_valid_support(0b111, {1, 2}, {0, 3})
+
+    def test_projection_conflict_invalid(self):
+        # 0b01 and 0b11 agree on bit 0; one ON one OFF
+        assert not is_valid_support(0b01, {0b01}, {0b11})
+
+    def test_empty_off_valid_with_empty_mask(self):
+        assert is_valid_support(0, {1, 2}, set())
+
+
+class TestMinimalSupport:
+    def test_constant_function(self):
+        assert minimal_support(range(8), 3) == ()
+        assert minimal_support([], 3) == ()
+
+    def test_single_variable_function(self):
+        # ON = odd values: depends only on bit 0
+        on = [v for v in range(8) if v & 1]
+        assert minimal_support(on, 3) == (0,)
+
+    def test_aligned_interval(self):
+        # [0, 32) in a 6-cube depends only on bit 5
+        assert minimal_support(range(32), 6) == (5,)
+
+    def test_odd_interval_needs_all(self):
+        # [0, 3) in a 3-cube: |f| = 3 not divisible by 2 -> all 3 vars
+        assert minimal_support_size(range(3), 3) == 3
+
+    def test_divisibility_lower_bound(self):
+        # |f| = 6 = 2 * 3: at most one variable can be dropped
+        assert minimal_support_size(range(6), 3) >= 2
+
+    def test_dont_cares_can_reduce_support(self):
+        # ON = {0..5}, DC = {6,7}: completable to constant true
+        assert minimal_support(range(6), 3, dont_cares=[6, 7]) == ()
+
+    def test_dont_cares_partial(self):
+        # ON = [0, 6), DC = {7}: g can be "not 6" ... still needs vars;
+        # with DC {6}: g = [0,6) u {6} = [0,7) -> needs all 3? no:
+        # [0,8) minus {7}: that's "not all ones" = 3 vars.  With DC {6,7}
+        # constant works (previous test).  Here check DC {6} helps vs none.
+        base = minimal_support_size(range(6), 3)
+        with_dc = minimal_support_size(range(6), 3, dont_cares=[6])
+        assert with_dc <= base
+
+    def test_width_cap(self):
+        with pytest.raises(ValueError):
+            minimal_support([1], 20)
+
+    def test_matches_paper_best_case_model(self):
+        """Property 3.1 check: support of an optimally placed interval
+        of width delta equals k - tz(delta)."""
+        k = 5
+        for t in range(k + 1):
+            delta = 1 << t
+            assert minimal_support_size(range(delta), k) == k - t
+
+    def test_returns_actual_separating_set(self):
+        on = {0b000, 0b001}
+        support = minimal_support(on, 3)
+        mask = 0
+        for var in support:
+            mask |= 1 << var
+        off = set(range(8)) - on
+        assert is_valid_support(mask, on, off)

@@ -1,0 +1,119 @@
+"""Unit tests for repro.encoding.total_order (Section 2.3, Figure 6)."""
+
+import pytest
+
+from repro.encoding.mapping import VOID
+from repro.encoding.total_order import (
+    bit_slice_encoding,
+    is_order_preserving,
+    order_preserving_encoding,
+    range_cost,
+)
+
+
+class TestBitSliceEncoding:
+    def test_consecutive_codes(self):
+        table = bit_slice_encoding([10, 30, 20])
+        assert table.encode(10) == 0
+        assert table.encode(20) == 1
+        assert table.encode(30) == 2
+
+    def test_with_void(self):
+        table = bit_slice_encoding([5, 6], reserve_void_zero=True)
+        assert table.encode(VOID) == 0
+        assert table.encode(5) == 1
+
+    def test_order_preserving(self):
+        table = bit_slice_encoding(range(100, 150))
+        assert is_order_preserving(table)
+
+    def test_width(self):
+        table = bit_slice_encoding(range(6))
+        assert table.width == 3
+
+
+class TestIsOrderPreserving:
+    def test_detects_violation(self):
+        from repro.encoding.mapping import MappingTable
+
+        table = MappingTable.from_pairs([(1, 1), (2, 0)])
+        assert not is_order_preserving(table)
+
+    def test_unorderable_domain(self):
+        from repro.encoding.mapping import MappingTable
+
+        table = MappingTable.from_pairs([("a", 0), (1, 1)])
+        with pytest.raises(ValueError):
+            is_order_preserving(table)
+
+
+class TestOrderPreservingEncoding:
+    def test_paper_figure6(self):
+        """Domain {101..106}, hot set {101,102,104,105}: an order
+        preserving encoding exists that also reduces the hot IN-list."""
+        domain = [101, 102, 103, 104, 105, 106]
+        hot = [[101, 102], [104, 105]]
+        table = order_preserving_encoding(domain, hot_sets=hot)
+        assert is_order_preserving(table)
+        # hot set reads at most 2 of 3 vectors (paper's Figure 6
+        # mapping reads 2: B2'B1' covers 000,001 and B2B1' covers
+        # 100,101 -> B1' alone after reduction with don't-cares).
+        from repro.boolean.reduction import reduce_values
+
+        codes = [table.encode(v) for v in (101, 102, 104, 105)]
+        reduced = reduce_values(
+            codes, table.width, dont_cares=table.unused_codes()
+        )
+        assert reduced.vector_count() <= 2
+
+    def test_exact_paper_mapping_cost(self):
+        """Pin Figure 6 itself: 101->000, 102->001, 103->010,
+        104->100, 105->101, 106->110."""
+        from repro.boolean.reduction import reduce_values
+
+        fig6 = {101: 0b000, 102: 0b001, 103: 0b010,
+                104: 0b100, 105: 0b101, 106: 0b110}
+        codes = [fig6[v] for v in (101, 102, 104, 105)]
+        dont_cares = [c for c in range(8) if c not in fig6.values()]
+        reduced = reduce_values(codes, 3, dont_cares=dont_cares)
+        # {000,001,100,101} = B1' -> a single vector
+        assert reduced.to_string() == "B1'"
+        assert reduced.vector_count() == 1
+
+    def test_no_hot_sets_reduces_to_bit_slice(self):
+        domain = list(range(8))
+        table = order_preserving_encoding(domain)
+        assert is_order_preserving(table)
+        assert [table.encode(v) for v in domain] == list(range(8))
+
+    def test_keeps_order_with_gaps(self):
+        domain = list(range(12))
+        table = order_preserving_encoding(
+            domain, hot_sets=[[4, 5, 6, 7]]
+        )
+        assert is_order_preserving(table)
+
+    def test_void_reservation(self):
+        table = order_preserving_encoding(
+            [1, 2, 3], reserve_void_zero=True
+        )
+        assert table.encode(VOID) == 0
+        assert is_order_preserving(table)
+
+
+class TestRangeCost:
+    def test_aligned_range_is_cheap(self):
+        table = bit_slice_encoding(range(16))
+        # values 0..7 -> codes 0..7 -> B3'
+        assert range_cost(table, 0, 7) == 1
+
+    def test_empty_range(self):
+        table = bit_slice_encoding(range(4))
+        assert range_cost(table, 100, 200) == 0
+
+    def test_exclusive_range(self):
+        table = bit_slice_encoding(range(8))
+        cost_incl = range_cost(table, 2, 5, inclusive=True)
+        cost_excl = range_cost(table, 2, 5, inclusive=False)
+        assert cost_excl >= 1
+        assert cost_incl >= 1

@@ -1,0 +1,139 @@
+"""Unit tests for repro.encoding.well_defined (Definition 2.5,
+Theorems 2.2/2.3)."""
+
+import pytest
+
+from repro.boolean.reduction import reduce_values
+from repro.encoding.mapping import MappingTable
+from repro.encoding.well_defined import (
+    is_well_defined,
+    subcube_mask,
+    verify_well_defined_cost,
+)
+
+# The paper's Figure 3 mappings over domain {a..h} (3 bits).
+FIG3A = [("a", 0b000), ("c", 0b001), ("g", 0b010), ("e", 0b011),
+         ("b", 0b100), ("d", 0b101), ("h", 0b110), ("f", 0b111)]
+FIG3A_PRIME = [("a", 0b000), ("b", 0b001), ("c", 0b010), ("d", 0b011),
+               ("g", 0b100), ("h", 0b101), ("e", 0b110), ("f", 0b111)]
+FIG3B = [("a", 0b000), ("c", 0b001), ("g", 0b010), ("b", 0b011),
+         ("e", 0b100), ("d", 0b101), ("h", 0b110), ("f", 0b111)]
+
+
+def _mapping(pairs):
+    return MappingTable.from_pairs(pairs, width=3)
+
+
+class TestSubcubeMask:
+    def test_full_subcube(self):
+        result = subcube_mask([0b000, 0b001, 0b100, 0b101])
+        assert result is not None
+        bits, care = result
+        assert bits == 0
+        # free dims are bits 0 and 2 -> care has bit 1 only
+        assert care & 0b010
+
+    def test_not_a_subcube(self):
+        assert subcube_mask([0b000, 0b011]) is None
+
+    def test_wrong_size(self):
+        assert subcube_mask([0, 1, 2]) is None
+
+    def test_single_code(self):
+        result = subcube_mask([0b101])
+        assert result is not None
+
+    def test_empty(self):
+        assert subcube_mask([]) is None
+
+
+class TestIsWellDefined:
+    def test_figure3a_both_selections(self):
+        """Figure 3(a) is well-defined for both paper selections."""
+        mapping = _mapping(FIG3A)
+        assert is_well_defined(mapping, ["a", "b", "c", "d"])
+        assert is_well_defined(mapping, ["c", "d", "e", "f"])
+
+    def test_figure3a_prime_both_selections(self):
+        """Figure 3(a') is also optimal (paper, Section 2.2)."""
+        mapping = _mapping(FIG3A_PRIME)
+        assert is_well_defined(mapping, ["a", "b", "c", "d"])
+        assert is_well_defined(mapping, ["c", "d", "e", "f"])
+
+    def test_figure3b_improper(self):
+        """Figure 3(b) is NOT well-defined for either selection."""
+        mapping = _mapping(FIG3B)
+        assert not is_well_defined(mapping, ["a", "b", "c", "d"])
+        assert not is_well_defined(mapping, ["c", "d", "e", "f"])
+
+    def test_requires_two_values(self):
+        mapping = _mapping(FIG3A)
+        with pytest.raises(ValueError):
+            is_well_defined(mapping, ["a"])
+
+    def test_case_ii_even_non_power(self):
+        """|s| = 6 (even, between 4 and 8): prime chain on 4 + chain
+        on 6 + pairwise <= 3."""
+        # codes 0..5: {000..101}; subcube {000,001,010,011} has prime
+        # chain; chain on all six: 000-001-011-010-110? 110 not in set.
+        # Use a known-good set: the Gray layout 000,001,011,010,110,100
+        pairs = [("v0", 0b000), ("v1", 0b001), ("v2", 0b011),
+                 ("v3", 0b010), ("v4", 0b110), ("v5", 0b100),
+                 ("v6", 0b101), ("v7", 0b111)]
+        mapping = MappingTable.from_pairs(pairs, width=3)
+        assert is_well_defined(
+            mapping, ["v0", "v1", "v2", "v3", "v4", "v5"]
+        )
+
+    def test_case_iii_odd(self):
+        """|s| = 3 (odd): prime chain on a 2-subset plus a borrowed w."""
+        pairs = [("x", 0b00), ("y", 0b01), ("z", 0b11), ("w", 0b10)]
+        mapping = MappingTable.from_pairs(pairs, width=2)
+        # {x,y,z} = {00,01,11}: subset {00,01} prime chain; adding w=10
+        # closes the chain 00-01-11-10.
+        assert is_well_defined(mapping, ["x", "y", "z"])
+
+    def test_case_iii_fails_without_completion(self):
+        """Odd subdomain with no completing code is not well-defined."""
+        pairs = [("x", 0b000), ("y", 0b011), ("z", 0b101),
+                 ("w", 0b110)]
+        mapping = MappingTable.from_pairs(pairs, width=3)
+        # {x,y,z}: no 2^1 subset at distance 1 (all pairwise dist 2)
+        assert not is_well_defined(mapping, ["x", "y", "z"])
+
+
+class TestTheorem22:
+    """Well-defined encodings minimise vectors accessed."""
+
+    def test_figure3a_costs_one_vector(self):
+        mapping = _mapping(FIG3A)
+        assert verify_well_defined_cost(mapping, ["a", "b", "c", "d"]) == 1
+        assert verify_well_defined_cost(mapping, ["c", "d", "e", "f"]) == 1
+
+    def test_figure3b_costs_three_vectors(self):
+        """The paper: 'three bitmap vectors must be read instead of
+        one' under the improper mapping."""
+        mapping = _mapping(FIG3B)
+        assert verify_well_defined_cost(mapping, ["a", "b", "c", "d"]) == 3
+        assert verify_well_defined_cost(mapping, ["c", "d", "e", "f"]) == 3
+
+    def test_figure3b_expressions_match_paper(self):
+        """Exact expressions from the paper's Section 2.2."""
+        mapping = _mapping(FIG3B)
+        codes = [mapping.encode(v) for v in "abcd"]
+        reduced = reduce_values(codes, 3)
+        # B2'B1' + B2'B0 + B1'B0 (any order)
+        assert reduced.vector_count() == 3
+        assert len(reduced.terms) == 3
+        for term in reduced.terms:
+            assert term.literal_count() == 2
+
+    def test_well_defined_never_worse(self):
+        """Theorem 2.2/2.3 sanity: the Fig 3(a) cost <= Fig 3(b) cost
+        for the paper's predicate set."""
+        good = _mapping(FIG3A)
+        bad = _mapping(FIG3B)
+        for subdomain in (["a", "b", "c", "d"], ["c", "d", "e", "f"]):
+            assert verify_well_defined_cost(
+                good, subdomain
+            ) <= verify_well_defined_cost(bad, subdomain)

@@ -1,0 +1,165 @@
+"""Unit tests for repro.workload (generators, queries, TPC-D-like)."""
+
+import random
+
+import pytest
+
+from repro.query.predicates import Equals, InList
+from repro.workload.generators import (
+    build_table,
+    clustered_column,
+    sequential_column,
+    uniform_column,
+    zipf_column,
+)
+from repro.workload.queries import (
+    contiguous_range,
+    point_query,
+    query_mix,
+    random_in_list,
+)
+from repro.workload.tpcd import (
+    DEFAULT_CARDINALITIES,
+    TPCD_QUERY_CLASSES,
+    build_tpcd_schema,
+    generate_query,
+    generate_workload,
+    range_query_share,
+)
+
+
+class TestGenerators:
+    def test_uniform_in_range(self):
+        values = uniform_column(1000, 10, seed=1, base=5)
+        assert all(5 <= v <= 14 for v in values)
+        assert len(set(values)) == 10
+
+    def test_uniform_deterministic(self):
+        assert uniform_column(50, 5, seed=9) == uniform_column(
+            50, 5, seed=9
+        )
+
+    def test_zipf_skew(self):
+        values = zipf_column(5000, 50, skew=1.5, seed=2)
+        counts = {}
+        for value in values:
+            counts[value] = counts.get(value, 0) + 1
+        top = max(counts.values())
+        assert top > 5000 / 50 * 3  # heavily skewed toward rank 1
+
+    def test_zipf_cardinality_bound(self):
+        values = zipf_column(100, 5, seed=0)
+        assert set(values) <= set(range(5))
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_column(10, 0)
+
+    def test_sequential_round_robin(self):
+        assert sequential_column(6, 3) == [0, 1, 2, 0, 1, 2]
+
+    def test_clustered_runs(self):
+        values = clustered_column(100, 10, run_length=10, seed=4)
+        assert len(values) == 100
+        # runs: consecutive equal values dominate
+        repeats = sum(
+            1 for a, b in zip(values, values[1:]) if a == b
+        )
+        assert repeats > 50
+
+    def test_build_table(self):
+        table = build_table("t", 5, {"a": [1, 2, 3, 4, 5]})
+        assert len(table) == 5
+        assert table.row(2)["a"] == 3
+
+    def test_build_table_length_mismatch(self):
+        with pytest.raises(ValueError):
+            build_table("t", 5, {"a": [1, 2]})
+
+
+class TestQueryGenerators:
+    def test_point_query(self, rng):
+        pred = point_query("c", [1, 2, 3], rng)
+        assert isinstance(pred, Equals)
+        assert pred.value in (1, 2, 3)
+
+    def test_random_in_list_size(self, rng):
+        pred = random_in_list("c", range(100), 7, rng)
+        assert isinstance(pred, InList)
+        assert len(pred.values) == 7
+
+    def test_contiguous_range_is_contiguous(self, rng):
+        domain = list(range(0, 200, 2))  # even numbers
+        pred = contiguous_range("c", domain, 5, rng)
+        values = sorted(pred.values)
+        positions = [domain.index(v) for v in values]
+        assert positions == list(
+            range(positions[0], positions[0] + 5)
+        )
+
+    def test_query_mix_share(self):
+        queries = query_mix("c", range(50), 300, range_share=0.5, seed=1)
+        ranges = sum(1 for q in queries if isinstance(q, InList))
+        assert 100 < ranges < 200
+
+    def test_query_mix_validation(self):
+        with pytest.raises(ValueError):
+            query_mix("c", range(5), 3, range_share=1.5)
+
+
+class TestTpcd:
+    def test_range_share_is_12_of_17(self):
+        """The paper's TPC-D statistic."""
+        assert range_query_share() == (12, 17)
+
+    def test_the_twelve_classes(self):
+        """Q1, Q3-Q10, Q12, Q14, Q16 per the paper."""
+        ranges = {
+            qc.name for qc in TPCD_QUERY_CLASSES if qc.involves_range
+        }
+        assert ranges == {
+            "Q1", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10",
+            "Q12", "Q14", "Q16",
+        }
+
+    def test_schema_columns(self):
+        table = build_tpcd_schema(n=200)
+        assert set(table.column_names) == set(DEFAULT_CARDINALITIES)
+        assert len(table) == 200
+
+    def test_schema_cardinalities_bounded(self):
+        table = build_tpcd_schema(n=2000)
+        for name, cardinality in DEFAULT_CARDINALITIES.items():
+            assert table.column(name).cardinality() <= cardinality
+
+    def test_generate_query_shapes(self):
+        table = build_tpcd_schema(n=500)
+        rng = random.Random(0)
+        for query_class in TPCD_QUERY_CLASSES:
+            predicate = generate_query(query_class, table, rng)
+            if query_class.involves_range:
+                assert isinstance(predicate, InList)
+                assert len(predicate.values) >= 1
+            else:
+                assert isinstance(predicate, Equals)
+
+    def test_generate_workload(self):
+        table = build_tpcd_schema(n=300)
+        workload = generate_workload(table, queries_per_class=2, seed=1)
+        assert len(workload) == 34
+        range_count = sum(
+            1 for qc, _ in workload if qc.involves_range
+        )
+        assert range_count == 24  # 12 classes x 2
+
+    def test_queries_select_something(self):
+        table = build_tpcd_schema(n=1000)
+        rng = random.Random(5)
+        hits = 0
+        for query_class in TPCD_QUERY_CLASSES:
+            predicate = generate_query(query_class, table, rng)
+            if any(
+                predicate.matches(row) for row in table.scan()
+            ):
+                hits += 1
+        assert hits >= 15  # nearly every query matches some rows
