@@ -1,12 +1,21 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test bench tables validate examples all
+.PHONY: install test bench tables validate examples lint typecheck all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.lint src tests
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	else echo "ruff not installed (pip install -e .[lint]); skipped"; fi
+
+typecheck:
+	@if python -c "import mypy" 2>/dev/null; then python -m mypy src/repro; \
+	else echo "mypy not installed (pip install -e .[lint]); skipped"; fi
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -20,4 +29,4 @@ validate:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
-all: test bench validate
+all: lint typecheck test bench validate

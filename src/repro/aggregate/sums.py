@@ -15,12 +15,12 @@ Two algorithms, matching the two encoding families:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.bitmap.bitvector import BitVector
 from repro.index.bitsliced import BitSlicedIndex
 from repro.index.encoded_bitmap import EncodedBitmapIndex
-from repro.query.predicates import Equals, Predicate
+from repro.query.predicates import Equals
 
 
 def sum_bitsliced(

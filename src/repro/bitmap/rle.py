@@ -16,7 +16,7 @@ number of bits.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Callable, Iterable, List, Tuple
 
 import numpy as np
 
@@ -137,7 +137,11 @@ class RunLengthBitmap:
     # ------------------------------------------------------------------
     # run-wise logical operations
     # ------------------------------------------------------------------
-    def _merge(self, other: "RunLengthBitmap", op) -> "RunLengthBitmap":
+    def _merge(
+        self,
+        other: "RunLengthBitmap",
+        op: Callable[[bool, bool], bool],
+    ) -> "RunLengthBitmap":
         if self._nbits != other._nbits:
             raise LengthMismatchError(self._nbits, other._nbits)
         result: List[Run] = []

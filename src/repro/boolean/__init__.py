@@ -37,7 +37,13 @@ from repro.boolean.expr import (
     Or,
     Xor,
     Const,
+    and_,
+    const,
     dnf_expression,
+    not_,
+    or_,
+    var,
+    xor_,
 )
 from repro.boolean.evaluator import AccessCounter, evaluate_dnf, evaluate_expression
 
@@ -56,7 +62,13 @@ __all__ = [
     "Or",
     "Xor",
     "Const",
+    "and_",
+    "const",
     "dnf_expression",
+    "not_",
+    "or_",
+    "var",
+    "xor_",
     "AccessCounter",
     "evaluate_dnf",
     "evaluate_expression",

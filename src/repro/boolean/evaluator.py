@@ -10,14 +10,14 @@ one access (footnote 4 ignores the CPU cost of the logical ops).  The
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Sequence, Set
+from typing import Callable, Dict, Optional, Set
 
 from repro.bitmap.bitvector import BitVector
 from repro.boolean.expr import And, Const, Expression, Not, Or, Var, Xor
 from repro.boolean.reduction import ReducedFunction
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessCounter:
     """Records bitmap-vector accesses during one evaluation."""
 
@@ -41,6 +41,8 @@ class AccessCounter:
 class VectorSource:
     """Callable adaptor giving the evaluator access-counted vectors."""
 
+    __slots__ = ("_fetch", "_counter", "_cache")
+
     def __init__(
         self,
         fetch: Callable[[int], BitVector],
@@ -61,7 +63,7 @@ def evaluate_expression(
     expression: Expression,
     fetch: Callable[[int], BitVector],
     nbits: int,
-    counter: AccessCounter = None,
+    counter: Optional[AccessCounter] = None,
 ) -> BitVector:
     """Evaluate an expression tree into a result bit vector.
 
@@ -114,7 +116,7 @@ def evaluate_dnf(
     function: ReducedFunction,
     fetch: Callable[[int], BitVector],
     nbits: int,
-    counter: AccessCounter = None,
+    counter: Optional[AccessCounter] = None,
 ) -> BitVector:
     """Evaluate a reduced DNF directly (fast path, no AST needed)."""
     if counter is None:
@@ -123,12 +125,14 @@ def evaluate_dnf(
 
     if function.is_false:
         return BitVector(nbits)
+    # A constant-true term makes the whole OR true; deciding this up
+    # front also keeps vector allocation out of the term loop (EBI102).
+    if any(term.is_constant_true() for term in function.terms):
+        return BitVector.ones(nbits)
 
     result = BitVector(nbits)
     for term in function.terms:
-        if term.is_constant_true():
-            return BitVector.ones(nbits)
-        term_vector: BitVector = None
+        term_vector: Optional[BitVector] = None
         for i in term.variables():
             vector = source(i)
             literal = vector if (term.bits >> i) & 1 else ~vector
@@ -136,5 +140,6 @@ def evaluate_dnf(
                 term_vector = literal.copy() if literal is vector else literal
             else:
                 term_vector &= literal
-        result |= term_vector
+        if term_vector is not None:
+            result |= term_vector
     return result

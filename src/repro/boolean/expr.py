@@ -10,7 +10,7 @@ implemented in :mod:`repro.boolean.evaluator`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple
+from typing import FrozenSet, Tuple
 
 from repro.boolean.minterm import Implicant
 from repro.boolean.reduction import ReducedFunction
@@ -18,6 +18,8 @@ from repro.boolean.reduction import ReducedFunction
 
 class Expression:
     """Base class for Boolean expression nodes."""
+
+    __slots__ = ()
 
     def variables(self) -> FrozenSet[int]:
         """Distinct variable indexes appearing in the expression."""
@@ -41,7 +43,7 @@ class Expression:
         return Not(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Const(Expression):
     """Constant true/false."""
 
@@ -57,7 +59,7 @@ class Const(Expression):
         return "1" if self.value else "0"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Var(Expression):
     """Bitmap-vector variable ``B_index``."""
 
@@ -73,7 +75,7 @@ class Var(Expression):
         return f"B{self.index}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Not(Expression):
     """Negation."""
 
@@ -92,7 +94,7 @@ class Not(Expression):
         return f"({inner})'"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class And(Expression):
     """Conjunction of two or more operands."""
 
@@ -117,7 +119,7 @@ class And(Expression):
         return "".join(parts)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Or(Expression):
     """Disjunction of two or more operands."""
 
@@ -136,7 +138,7 @@ class Or(Expression):
         return " + ".join(str(op) for op in self.operands)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Xor(Expression):
     """Exclusive-or of two or more operands (footnote 3 of the paper)."""
 
@@ -156,6 +158,84 @@ class Xor(Expression):
 
     def __str__(self) -> str:
         return " XOR ".join(str(op) for op in self.operands)
+
+
+# ----------------------------------------------------------------------
+# factory helpers — the sanctioned construction path outside this
+# package (ebilint EBI203).  They normalise operand lists so client
+# code never touches the raw operand-tuple layout of the dataclasses.
+# ----------------------------------------------------------------------
+def var(index: int) -> Var:
+    """Variable ``B_index``."""
+    return Var(index)
+
+
+def const(value: bool) -> Const:
+    """Constant true/false."""
+    return Const(bool(value))
+
+
+def not_(operand: Expression) -> Expression:
+    """Negation, collapsing double negation."""
+    if isinstance(operand, Not):
+        return operand.operand
+    return Not(operand)
+
+
+def and_(*operands: Expression) -> Expression:
+    """Conjunction; flattens nested ANDs and normalises arity.
+
+    Zero operands give the AND identity ``Const(True)``; a single
+    operand is returned unchanged.
+    """
+    flat = _flatten(operands, And)
+    if not flat:
+        return Const(True)
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def or_(*operands: Expression) -> Expression:
+    """Disjunction; flattens nested ORs and normalises arity.
+
+    Zero operands give the OR identity ``Const(False)``.
+    """
+    flat = _flatten(operands, Or)
+    if not flat:
+        return Const(False)
+    if len(flat) == 1:
+        return flat[0]
+    return Or(flat)
+
+
+def xor_(*operands: Expression) -> Expression:
+    """Exclusive-or; flattens nested XORs (associativity).
+
+    Zero operands give the XOR identity ``Const(False)``.
+    """
+    flat = _flatten(operands, Xor)
+    if not flat:
+        return Const(False)
+    if len(flat) == 1:
+        return flat[0]
+    return Xor(flat)
+
+
+def _flatten(
+    operands: Tuple[Expression, ...], node_type: type
+) -> Tuple[Expression, ...]:
+    flat: list = []
+    for operand in operands:
+        if not isinstance(operand, Expression):
+            raise TypeError(
+                f"expression operand expected, got {operand!r}"
+            )
+        if isinstance(operand, node_type):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    return tuple(flat)
 
 
 def term_expression(term: Implicant) -> Expression:

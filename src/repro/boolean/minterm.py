@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Implicant:
     """A product term over ``width`` variables."""
 
@@ -52,7 +52,7 @@ class Implicant:
 
     def literal_count(self) -> int:
         """Number of literals (cared variables) in the term."""
-        return bin(self.care).count("1")
+        return self.care.bit_count()
 
     def variables(self) -> Tuple[int, ...]:
         """Indices of variables appearing in the term, ascending."""

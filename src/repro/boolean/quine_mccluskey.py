@@ -64,7 +64,7 @@ def prime_implicants(
         # are compared.
         groups: Dict[Tuple[int, int], List[int]] = {}
         for bits, care in current:
-            key = (care, bin(bits).count("1"))
+            key = (care, bits.bit_count())
             groups.setdefault(key, []).append(bits)
         for (care, ones), members in groups.items():
             partner_key = (care, ones + 1)

@@ -9,15 +9,15 @@ counts how many bitmap vectors the reduced expression actually touches
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Set, Tuple
 
 from repro.boolean.minterm import Implicant
 from repro.boolean.petrick import minimal_cover
 from repro.boolean.quine_mccluskey import prime_implicants
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReducedFunction:
     """A logically reduced retrieval function.
 

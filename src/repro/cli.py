@@ -158,6 +158,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    forwarded: List[str] = list(args.paths)
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
+    return lint_main(forwarded or None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -199,6 +208,15 @@ def build_parser() -> argparse.ArgumentParser:
         "implementation",
     )
     p_validate.set_defaults(func=cmd_validate)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run ebilint, the paper-invariant static-analysis pass "
+        "(full options: python -m repro.lint --help)",
+    )
+    p_lint.add_argument("paths", nargs="*", default=[])
+    p_lint.add_argument("--no-baseline", action="store_true")
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

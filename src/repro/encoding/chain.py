@@ -82,7 +82,7 @@ def find_chain(codes: Sequence[int]) -> Optional[List[int]]:
     # cycle needs an even number of vertices with equal parity classes.
     if n % 2:
         return None
-    even = sum(1 for code in unique if bin(code).count("1") % 2 == 0)
+    even = sum(1 for code in unique if code.bit_count() % 2 == 0)
     if even * 2 != n:
         return None
 

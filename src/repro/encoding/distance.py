@@ -13,7 +13,7 @@ def binary_distance(x: int, y: int) -> int:
     """Hamming distance between two non-negative code integers."""
     if x < 0 or y < 0:
         raise ValueError("codes must be non-negative")
-    return bin(x ^ y).count("1")
+    return (x ^ y).bit_count()
 
 
 def hamming_ball(center: int, radius: int, width: int) -> Iterator[int]:

@@ -23,7 +23,8 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.boolean.reduction import reduce_values
 from repro.encoding.gray import gray_code
-from repro.encoding.mapping import VOID, MappingTable, code_width
+from repro.encoding.mapping import MappingTable, code_width
+from repro.encoding.well_defined import check_mapping
 
 Predicate = Sequence[Hashable]
 
@@ -32,8 +33,8 @@ def sequential_encoding(
     values: Iterable[Hashable], reserve_void_zero: bool = True
 ) -> MappingTable:
     """Codes assigned in iteration order (the paper's default)."""
-    return MappingTable.from_values(
-        values, reserve_void_zero=reserve_void_zero
+    return check_mapping(
+        MappingTable.from_values(values, reserve_void_zero=reserve_void_zero)
     )
 
 
@@ -54,7 +55,7 @@ def random_encoding(
     table = MappingTable(width=width, reserve_void_zero=reserve_void_zero)
     for value, code in zip(ordered, codes):
         table.assign(value, code)
-    return table
+    return check_mapping(table)
 
 
 def encoding_cost(
@@ -227,7 +228,7 @@ def encode_for_predicates(
             break
 
     if local_search_steps <= 0 or not predicates:
-        return table
+        return check_mapping(table)
 
     rng = random.Random(seed)
     swappable = list(ordered)
@@ -256,7 +257,7 @@ def encode_for_predicates(
             table = candidate
             all_codes = proposal
             spare_codes = list(table.unused_codes())
-    return table
+    return check_mapping(table)
 
 
 def _table_from_codes(

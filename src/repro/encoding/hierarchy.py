@@ -17,6 +17,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 
 from repro.encoding.heuristics import encode_for_predicates
 from repro.encoding.mapping import MappingTable
+from repro.encoding.well_defined import check_mapping
 from repro.errors import SchemaError
 
 
@@ -135,11 +136,11 @@ def hierarchy_encoding(
     Figure 5.
     """
     predicates = hierarchy.selection_predicates()
-    return encode_for_predicates(
+    return check_mapping(encode_for_predicates(
         hierarchy.base_values,
         predicates,
         weights=weights,
         reserve_void_zero=reserve_void_zero,
         local_search_steps=local_search_steps,
         seed=seed,
-    )
+    ))

@@ -18,6 +18,7 @@ from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.encoding.heuristics import encode_for_predicates
 from repro.encoding.mapping import MappingTable
+from repro.encoding.well_defined import check_mapping
 from repro.query.predicates import (
     AndPredicate,
     Equals,
@@ -29,7 +30,7 @@ from repro.query.predicates import (
 )
 
 
-def _sorted_values(values):
+def _sorted_values(values: Iterable[Hashable]) -> List[Hashable]:
     """Sort by natural order, falling back to string order for mixed
     or unorderable types."""
     values = list(values)
@@ -141,10 +142,12 @@ def encoding_from_history(
         history, column, domain,
         min_support=min_support, max_subdomains=max_subdomains,
     )
-    return encode_for_predicates(
-        domain,
-        [list(subdomain) for subdomain in mined.subdomains],
-        weights=list(mined.weights) or None,
-        reserve_void_zero=reserve_void_zero,
-        seed=seed,
+    return check_mapping(
+        encode_for_predicates(
+            domain,
+            [list(subdomain) for subdomain in mined.subdomains],
+            weights=list(mined.weights) or None,
+            reserve_void_zero=reserve_void_zero,
+            seed=seed,
+        )
     )

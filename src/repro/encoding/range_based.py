@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.encoding.heuristics import encode_for_predicates
 from repro.encoding.mapping import MappingTable
+from repro.encoding.well_defined import check_mapping
 
 
 @dataclass(frozen=True, order=True)
@@ -125,11 +126,11 @@ def range_encoding(
     in_lists = [
         partition.covering(low, high) for low, high in predicate_list
     ]
-    return encode_for_predicates(
+    return check_mapping(encode_for_predicates(
         partition.intervals,
         in_lists,
         weights=weights,
         reserve_void_zero=reserve_void_zero,
         local_search_steps=local_search_steps,
         seed=seed,
-    )
+    ))

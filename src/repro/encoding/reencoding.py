@@ -16,7 +16,7 @@ the rebuild cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.encoding.heuristics import (
     Predicate,
@@ -24,6 +24,9 @@ from repro.encoding.heuristics import (
     encoding_cost,
 )
 from repro.encoding.mapping import MappingTable
+
+if TYPE_CHECKING:
+    from repro.index.encoded_bitmap import EncodedBitmapIndex
 
 
 @dataclass(frozen=True)
@@ -103,7 +106,9 @@ def evaluate_reencoding(
     )
 
 
-def apply_reencoding(index, decision: ReencodingDecision) -> None:
+def apply_reencoding(
+    index: "EncodedBitmapIndex", decision: ReencodingDecision
+) -> None:
     """Rebuild an :class:`EncodedBitmapIndex` under the new mapping.
 
     Rewrites every bitmap vector in place (the O(n*k) cost the model

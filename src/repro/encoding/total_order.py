@@ -12,10 +12,11 @@ optimised for hot IN-lists by spending spare codes as gaps.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Optional, Sequence
+from typing import Hashable, Iterable, Iterator, List, Sequence, Set
 
 from repro.boolean.reduction import reduce_values
 from repro.encoding.mapping import MappingTable, code_width
+from repro.encoding.well_defined import check_mapping
 
 
 def bit_slice_encoding(
@@ -33,7 +34,7 @@ def bit_slice_encoding(
     table = MappingTable(width=width, reserve_void_zero=reserve_void_zero)
     for position, value in enumerate(ordered):
         table.assign(value, position + offset)
-    return table
+    return check_mapping(table)
 
 
 def is_order_preserving(mapping: MappingTable) -> bool:
@@ -94,16 +95,21 @@ def order_preserving_encoding(
         candidates.append(table)
 
     if len(candidates) == 1 or not hot_sets:
-        return candidates[0]
-    return min(
-        candidates,
-        key=lambda table: sum(
-            _hot_set_cost(table, hot) for hot in hot_sets
-        ),
+        return check_mapping(candidates[0])
+    return check_mapping(
+        min(
+            candidates,
+            key=lambda table: sum(
+                _hot_set_cost(table, hot) for hot in hot_sets
+            ),
+        )
     )
 
 
-def _boundary_candidates(ordered: List, hot_sets: Sequence[Sequence]):
+def _boundary_candidates(
+    ordered: List[Hashable],
+    hot_sets: Sequence[Sequence[Hashable]],
+) -> Iterator[Set[Hashable]]:
     """Gap-placement strategies to evaluate: no gaps, run starts,
     and run starts + ends of each hot set's consecutive components."""
     yield set()
@@ -189,7 +195,10 @@ def _best_alignment(code: int, spare: int) -> int:
 
 
 def range_cost(
-    mapping: MappingTable, low, high, inclusive: bool = True
+    mapping: MappingTable,
+    low: Hashable,
+    high: Hashable,
+    inclusive: bool = True,
 ) -> int:
     """Vectors accessed for ``low <= A <= high`` under the mapping.
 

@@ -17,16 +17,68 @@ cross-check.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.boolean.reduction import reduce_values
 from repro.encoding.chain import find_chain, find_prime_chain
 from repro.encoding.distance import binary_distance
-from repro.encoding.mapping import MappingTable
+from repro.encoding.mapping import NULL, VOID, MappingTable
+from repro.errors import EncodingError
 
 #: Above this subdomain size, prime-chain existence is decided by the
 #: subcube fast path only (exhaustive subset search would blow up).
 _EXHAUSTIVE_LIMIT = 12
+
+
+def check_mapping(mapping: Optional[MappingTable]) -> MappingTable:
+    """Structural well-definedness check run by encoding constructors.
+
+    Verifies the invariants of Definition 2.1 and Theorem 2.1 that
+    every constructed encoding must satisfy regardless of the
+    predicate set:
+
+    * the mapping is one-to-one (no code carries two values),
+    * every code fits the declared width ``k``,
+    * when the VOID sentinel is mapped, it carries code 0, and
+    * sentinels do not crowd out the domain (NULL never takes code 0
+      while VOID is absent *and* code 0 is handed to a real value is
+      caught by the one-to-one/VOID checks above).
+
+    Returns the mapping unchanged so constructors can end with
+    ``return check_mapping(table)``; ebilint's EBI202 requires exactly
+    that call.  Raises :class:`~repro.errors.EncodingError` (or a
+    subclass) on violation.
+    """
+    if mapping is None:
+        raise EncodingError("encoding construction produced no mapping")
+    codes = mapping.codes()
+    if len(set(codes)) != len(codes):
+        raise EncodingError("mapping is not one-to-one: duplicate codes")
+    top = 1 << mapping.width
+    for value, code in mapping.items():
+        if not 0 <= code < top:
+            raise EncodingError(
+                f"code {code} of value {value!r} does not fit "
+                f"width {mapping.width}"
+            )
+    if VOID in mapping and mapping.encode(VOID) != 0:
+        raise EncodingError(
+            "Theorem 2.1 violated: VOID is mapped but not to code 0"
+        )
+    if NULL in mapping and VOID not in mapping and mapping.encode(NULL) == 0:
+        raise EncodingError(
+            "NULL occupies code 0; Theorem 2.1 reserves it for VOID"
+        )
+    return mapping
 
 
 def subcube_mask(codes: Iterable[int]) -> Optional[Tuple[int, int]]:
@@ -46,7 +98,7 @@ def subcube_mask(codes: Iterable[int]) -> Optional[Tuple[int, int]]:
         common_and &= code
         common_or |= code
     free = common_or & ~common_and
-    if 1 << bin(free).count("1") != n:
+    if 1 << free.bit_count() != n:
         return None
     care = ~free
     bits = common_and
@@ -79,7 +131,7 @@ def _has_prime_chain_subset(codes: Sequence[int], size: int) -> bool:
     return False
 
 
-def _subcubes_within(code_set: Set[int], size: int):
+def _subcubes_within(code_set: Set[int], size: int) -> Iterator[List[int]]:
     """Yield full subcubes of ``size`` codes contained in ``code_set``."""
     p = size.bit_length() - 1
     seen = set()

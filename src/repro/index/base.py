@@ -14,8 +14,8 @@ directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Dict
 
 from repro.bitmap.bitvector import BitVector
 from repro.errors import UnsupportedPredicateError

@@ -11,7 +11,7 @@ significant slice down — no IN-list rewrite, at the cost of touching
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from repro.bitmap.bitvector import BitVector
 from repro.encoding.total_order import bit_slice_encoding

@@ -23,7 +23,7 @@ from repro.encoding.mapping import MappingTable
 from repro.errors import IndexBuildError
 from repro.index.base import IndexStatistics, LookupCost
 from repro.index.encoded_bitmap import EncodedBitmapIndex
-from repro.query.predicates import Equals, InList, Predicate
+from repro.query.predicates import Equals, InList
 from repro.table.table import Table
 
 

@@ -16,7 +16,7 @@ values.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Set
+from typing import Any, Dict, Hashable, List, Optional
 
 from repro.bitmap.bitvector import BitVector
 from repro.encoding.mapping import MappingTable

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, List, Tuple
+from typing import Any, List
 
 import numpy as np
 

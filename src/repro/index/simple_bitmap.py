@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.bitmap.bitvector import BitVector
-from repro.errors import IndexBuildError, UnsupportedPredicateError
+from repro.errors import UnsupportedPredicateError
 from repro.index.base import Index, LookupCost, range_values
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table

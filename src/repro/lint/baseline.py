@@ -1,0 +1,73 @@
+"""Baseline file for grandfathered findings.
+
+A baseline lets ebilint be adopted on a tree that is not yet clean:
+``python -m repro.lint --write-baseline`` records every current
+finding's fingerprint; subsequent runs report only findings *not* in
+the baseline, so new violations fail while old ones are tracked debt.
+
+Fingerprints key on (rule, path, offending source text) — see
+:meth:`repro.lint.core.Finding.fingerprint` — so pure line-number
+drift does not invalidate entries.  Identical findings on distinct
+lines (same rule, same text) are handled by counting: a baseline entry
+absorbs at most as many findings as were recorded for it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.core import Finding
+
+#: Default baseline location, resolved relative to the working tree.
+DEFAULT_BASELINE = ".ebilint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load fingerprint counts; a missing file is an empty baseline."""
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text())
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline version in {path}: {data.get('version')!r}"
+        )
+    return Counter(
+        {str(fp): int(count) for fp, count in data.get("findings", {}).items()}
+    )
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist the fingerprints of ``findings`` as the new baseline."""
+    counts = Counter(finding.fingerprint() for finding in findings)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": {fp: counts[fp] for fp in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[str]]:
+    """Split findings into (new, still-suppressed-stale-check).
+
+    Returns the findings that survive the baseline plus the list of
+    *stale* baseline fingerprints — entries whose violation no longer
+    exists, which the caller may report so the baseline gets ratcheted
+    down.
+    """
+    remaining: Dict[str, int] = dict(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+        else:
+            fresh.append(finding)
+    stale = sorted(fp for fp, count in remaining.items() if count > 0)
+    return fresh, stale

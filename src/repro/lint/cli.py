@@ -1,0 +1,141 @@
+"""Command-line entry point: ``python -m repro.lint [paths]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import DEFAULT_BASELINE, write_baseline
+from repro.lint.core import all_rules
+from repro.lint.runner import lint_paths, selected_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "ebilint: check the paper's structural invariants "
+            "(Theorem 2.1, Definition 2.5) and the word-packed "
+            "performance contracts as static-analysis rules"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--ignore",
+        nargs="+",
+        metavar="RULE",
+        help="skip these rule ids",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print findings only, no summary line",
+    )
+    return parser
+
+
+def _print_rule_catalogue() -> None:
+    for rule in all_rules():
+        print(f"{rule.id}  {rule.name}  [{rule.severity.value}]")
+        print(f"    {rule.description}")
+        if rule.rationale:
+            print(f"    rationale: {rule.rationale}")
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    return default if default.exists() else None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rule_catalogue()
+        return 0
+
+    try:
+        rules = selected_rules(select=args.select, ignore=args.ignore)
+    except KeyError as exc:
+        parser.error(str(exc))
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    if args.write_baseline:
+        report = lint_paths(paths, rules=rules, baseline_path=None)
+        target = Path(args.baseline or DEFAULT_BASELINE)
+        write_baseline(target, report.findings)
+        print(
+            f"wrote {len(report.findings)} finding(s) to baseline {target}"
+        )
+        return 0
+
+    report = lint_paths(
+        paths, rules=rules, baseline_path=_resolve_baseline(args)
+    )
+    for finding in report.findings:
+        print(finding.render())
+    for fingerprint in report.stale_baseline:
+        print(
+            "stale baseline entry (violation fixed — regenerate with "
+            f"--write-baseline): {fingerprint}"
+        )
+    if not args.quiet:
+        noun = "file" if report.files_checked == 1 else "files"
+        print(
+            f"ebilint: {report.files_checked} {noun} checked, "
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.stale_baseline)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'}"
+        )
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Rule framework for ebilint.
+
+A :class:`Rule` inspects one parsed module and yields
+:class:`Finding` objects.  Rules are singletons held in a registry
+keyed by rule id (``EBI101`` ...); the runner instantiates nothing at
+lint time, it just iterates the registry.
+
+Scoping: many rules only make sense inside specific packages (a
+per-bit loop is fine in a test, fatal in ``repro.bitmap``).  The
+:class:`LintContext` therefore carries the *dotted module name* of the
+file under analysis when it can be derived from its path (``src/repro
+/bitmap/ops.py`` -> ``repro.bitmap.ops``); files outside the package
+tree (tests, examples) lint with ``module=None`` and only the
+everywhere-scoped rules apply to them.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Type
+
+
+class Severity(enum.Enum):
+    """Severity of a finding; errors gate the exit code."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: Severity = Severity.ERROR
+    source_line: str = ""
+
+    def fingerprint(self) -> str:
+        """Location-stable identity used by the baseline mechanism.
+
+        Deliberately excludes the line *number* so that unrelated edits
+        above a grandfathered finding do not invalidate the baseline;
+        it keys on the rule, the file, and the offending source text.
+        """
+        return f"{self.rule}::{self.path}::{self.source_line.strip()}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.severity.value} {self.rule}: {self.message}"
+        )
+
+
+@dataclass(slots=True)
+class LintContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module: Optional[str] = None
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Is this file's module inside any of the dotted prefixes?"""
+        if self.module is None:
+            return False
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+class Rule:
+    """Base class for ebilint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies` narrows the rule to the modules whose contracts it
+    enforces.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: Paper theorem/definition or performance contract being enforced.
+    rationale: str = ""
+
+    def applies(self, ctx: LintContext) -> bool:
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: LintContext, node: ast.AST, message: Optional[str] = None
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            message=message if message is not None else self.description,
+            path=ctx.path,
+            line=lineno,
+            col=col,
+            severity=self.severity,
+            source_line=ctx.source_line(lineno),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule singleton to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, ordered by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}") from None
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+def identifiers_in(node: ast.AST) -> Iterator[str]:
+    """Every Name id and Attribute attr in a subtree."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The called name: ``f(...)`` -> ``f``, ``obj.m(...)`` -> ``m``."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def call_qualifier(node: ast.Call) -> Optional[str]:
+    """``Cls.method(...)`` -> ``Cls``; plain calls -> ``None``."""
+    if isinstance(node.func, ast.Attribute) and isinstance(
+        node.func.value, ast.Name
+    ):
+        return node.func.value.id
+    return None
+
+
+def is_int_literal(node: ast.AST, value: int) -> bool:
+    """True for an int constant equal to ``value`` (bools excluded)."""
+    return (
+        isinstance(node, ast.Constant)
+        and type(node.value) is int
+        and node.value == value
+    )
+
+

@@ -1,0 +1,289 @@
+"""Paper-invariant rules (EBI2xx).
+
+Each rule machine-checks a structural guarantee the paper proves or
+assumes: the void code reservation (Theorem 2.1), well-definedness of
+constructed encodings (Definition 2.5), disciplined construction of
+retrieval expressions, and the absence of shared mutable defaults that
+would let one query's state leak into another's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    call_name,
+    call_qualifier,
+    is_int_literal,
+    register_rule,
+)
+
+#: Names that legitimately carry code 0 (Theorem 2.1 sentinel).
+_VOID_NAMES = frozenset({"VOID", "NULL"})
+
+
+def _names_sentinel(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _VOID_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _VOID_NAMES
+    return False
+
+
+def _keyword_value(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+@register_rule
+class VoidCodeZeroRule(Rule):
+    """EBI201: code 0 belongs to VOID, never to a real value.
+
+    Theorem 2.1: reserving code 0 for non-existing tuples lets every
+    selection on existing tuples drop the existence conjunct.  A
+    mapping literal that hands code 0 to a real domain value while
+    void handling is enabled silently re-introduces phantom rows.
+    """
+
+    id = "EBI201"
+    name = "void-code-zero"
+    description = (
+        "code 0 assigned to a non-VOID value; Theorem 2.1 reserves "
+        "code 0 for the void sentinel"
+    )
+    rationale = (
+        "Theorem 2.1: with code 0 reserved for VOID, selections on "
+        "existing tuples need no existence filter."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "assign" and len(node.args) == 2:
+                value_arg, code_arg = node.args
+                if is_int_literal(code_arg, 0) and not _names_sentinel(
+                    value_arg
+                ):
+                    yield self.finding(ctx, node)
+            elif name == "from_pairs":
+                yield from self._check_from_pairs(ctx, node)
+
+    def _check_from_pairs(
+        self, ctx: LintContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        reserve = _keyword_value(node, "reserve_void_zero")
+        if not (isinstance(reserve, ast.Constant) and reserve.value is True):
+            return
+        if not node.args:
+            return
+        pairs = node.args[0]
+        if not isinstance(pairs, (ast.List, ast.Tuple)):
+            return
+        for element in pairs.elts:
+            if (
+                isinstance(element, (ast.Tuple, ast.List))
+                and len(element.elts) == 2
+                and is_int_literal(element.elts[1], 0)
+                and not _names_sentinel(element.elts[0])
+            ):
+                yield self.finding(
+                    ctx,
+                    element,
+                    "mapping literal assigns code 0 to a real value while "
+                    "reserve_void_zero=True (Theorem 2.1)",
+                )
+
+
+#: Modules holding the primitive mapping/checker machinery themselves.
+_ENCODING_PRIMITIVE_MODULES = frozenset(
+    {
+        "repro.encoding.mapping",
+        "repro.encoding.well_defined",
+        "repro.encoding.distance",
+        "repro.encoding.chain",
+        "repro.encoding.gray",
+    }
+)
+
+_CHECKER_NAMES = frozenset(
+    {"check_mapping", "is_well_defined", "verify_well_defined_cost"}
+)
+
+
+@register_rule
+class UncheckedEncodingRule(Rule):
+    """EBI202: encoding constructors validate before returning.
+
+    Definition 2.5 ties the cost guarantees to the encoding being
+    well-defined; at minimum every constructor must run the structural
+    checker (:func:`repro.encoding.well_defined.check_mapping`) on the
+    mapping it hands out, so a buggy search can never leak an
+    inconsistent or void-violating table into an index.
+    """
+
+    id = "EBI202"
+    name = "unchecked-encoding"
+    description = (
+        "encoding constructor returns a MappingTable without calling "
+        "the well-definedness checker (check_mapping)"
+    )
+    rationale = (
+        "Definition 2.5 / Theorem 2.2: the access-cost guarantees only "
+        "hold for well-defined encodings; constructors must validate."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return (
+            ctx.in_package("repro.encoding")
+            and ctx.module not in _ENCODING_PRIMITIVE_MODULES
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not self._returns_mapping_table(node):
+                continue
+            if not self._calls_checker(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"encoding constructor {node.name}() returns a "
+                    "MappingTable without calling check_mapping()",
+                )
+
+    @staticmethod
+    def _returns_mapping_table(node: ast.AST) -> bool:
+        annotation = getattr(node, "returns", None)
+        if isinstance(annotation, ast.Name):
+            return annotation.id == "MappingTable"
+        if isinstance(annotation, ast.Constant):
+            return annotation.value == "MappingTable"
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr == "MappingTable"
+        return False
+
+    @staticmethod
+    def _calls_checker(node: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Call) and call_name(sub) in _CHECKER_NAMES
+            for sub in ast.walk(node)
+        )
+
+
+_RAW_NODE_NAMES = frozenset({"And", "Or", "Xor"})
+
+
+@register_rule
+class RawExpressionRule(Rule):
+    """EBI203: build expressions via the ``expr`` factory helpers.
+
+    ``And((Var(0), Var(1)))`` hard-codes the operand-tuple layout of
+    the AST dataclasses.  Outside :mod:`repro.boolean` itself, client
+    code must use the factories (``and_``, ``or_``, ``xor_``) or the
+    operator overloads, which normalise operands and keep call sites
+    stable if the node layout changes.
+    """
+
+    id = "EBI203"
+    name = "raw-expression-node"
+    description = (
+        "Expression node built from a raw operand tuple; use the "
+        "expr factory helpers (and_/or_/xor_) or operators instead"
+    )
+    rationale = (
+        "API contract: retrieval expressions are constructed through "
+        "the factory layer so operand normalisation stays centralised."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return (
+            ctx.module is not None
+            and ctx.in_package("repro")
+            and not ctx.in_package("repro.boolean")
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _RAW_NODE_NAMES
+                and len(node.args) == 1
+                and isinstance(node.args[0], (ast.Tuple, ast.List))
+            ):
+                yield self.finding(ctx, node)
+
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)
+
+
+def _is_mutable_default(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        qualifier = call_qualifier(node)
+        return (
+            name in _MUTABLE_FACTORIES
+            and (qualifier is None or qualifier == "collections")
+        )
+    return False
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """EBI204: no mutable default arguments anywhere.
+
+    A shared default ``[]``/``{}`` makes state leak across calls —
+    for query evaluation that means one query's accesses polluting the
+    next query's cost accounting.  Use ``None`` plus an in-body
+    default, or ``dataclasses.field(default_factory=...)``.
+    """
+
+    id = "EBI204"
+    name = "mutable-default-argument"
+    description = (
+        "mutable default argument; use None (or field(default_factory))"
+        " and create the value per call"
+    )
+    rationale = (
+        "Correctness contract: evaluation state (counters, caches) is "
+        "per-call; a shared default aliases it across queries."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            arguments = node.args
+            for default in list(arguments.defaults) + [
+                kw for kw in arguments.kw_defaults if kw is not None
+            ]:
+                if _is_mutable_default(default):
+                    yield self.finding(ctx, default)

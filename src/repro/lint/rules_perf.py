@@ -1,0 +1,241 @@
+"""Performance-contract rules (EBI1xx).
+
+These enforce the structural assumptions behind the word-packed
+bitmap design: hot paths must stay on word-level numpy operations
+(one op per 64 bits), must not allocate fresh vectors per loop
+iteration, and must keep every vector read visible to the paper's
+cost accounting (distinct bitmap vectors accessed).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    call_name,
+    call_qualifier,
+    identifiers_in,
+    register_rule,
+)
+
+#: Identifiers that denote a *bit length* — looping ``range()`` over one
+#: of these is a per-bit scan of the vector.
+_BIT_LENGTH_NAMES = frozenset(
+    {"nbits", "_nbits", "n_bits", "num_bits", "bit_count", "bitlen"}
+)
+
+
+def _mentions_bit_length(node: ast.AST) -> bool:
+    return any(name in _BIT_LENGTH_NAMES for name in identifiers_in(node))
+
+
+@register_rule
+class BitLoopRule(Rule):
+    """EBI101: no per-bit Python loops in word-packed hot paths.
+
+    A ``for j in range(nbits)`` (or a ``while`` stepping a bit index up
+    to ``nbits``) inside ``repro.bitmap`` or the expression evaluator
+    defeats the 64-bits-per-op design the WAH-style compression
+    literature assumes; such scans must be expressed as word-level
+    numpy operations (skip zero words, extract set bits per word).
+    """
+
+    id = "EBI101"
+    name = "per-bit-loop"
+    description = (
+        "per-bit loop over bit indices in a word-packed hot path; "
+        "use word-level numpy ops instead"
+    )
+    rationale = (
+        "Performance contract: bitmap kernels operate on 64-bit words, "
+        "not individual bits (Section 3 cost model counts vector "
+        "accesses, assuming word-parallel logical ops)."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro.bitmap") or ctx.module == (
+            "repro.boolean.evaluator"
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterator = node.iter
+                if (
+                    isinstance(iterator, ast.Call)
+                    and isinstance(iterator.func, ast.Name)
+                    and iterator.func.id == "range"
+                    and any(_mentions_bit_length(arg) for arg in iterator.args)
+                ):
+                    yield self.finding(ctx, node)
+            elif isinstance(node, ast.While):
+                if isinstance(node.test, ast.Compare) and _mentions_bit_length(
+                    node.test
+                ):
+                    yield self.finding(ctx, node)
+
+
+#: BitVector classmethod constructors that allocate a fresh vector.
+_VECTOR_CONSTRUCTORS = frozenset(
+    {"ones", "zeros", "from_bools", "from_indices", "from_mask"}
+)
+
+#: Query-evaluation hot paths where per-iteration vector allocation is
+#: a measurable regression (one fresh numpy array per loop pass).
+_HOT_PATH_MODULES = frozenset(
+    {
+        "repro.boolean.evaluator",
+        "repro.query.executor",
+        "repro.index.encoded_bitmap",
+        "repro.index.paged",
+    }
+)
+
+
+def _is_vector_allocation(node: ast.Call) -> bool:
+    if isinstance(node.func, ast.Name):
+        return node.func.id == "BitVector"
+    return (
+        call_qualifier(node) == "BitVector"
+        and call_name(node) in _VECTOR_CONSTRUCTORS
+    )
+
+
+@register_rule
+class AllocInLoopRule(Rule):
+    """EBI102: no ``BitVector`` construction inside hot-path loops.
+
+    Evaluator/executor loops run once per DNF term or plan operand;
+    allocating a vector per iteration turns an O(terms) pass into
+    O(terms) array allocations.  Hoist the allocation before the loop
+    and combine in place (``&=``/``|=``).
+    """
+
+    id = "EBI102"
+    name = "vector-alloc-in-loop"
+    description = (
+        "BitVector allocated inside a query-evaluation loop; hoist the "
+        "allocation out of the loop and combine in place"
+    )
+    rationale = (
+        "Performance contract: result vectors are allocated once per "
+        "evaluation, not once per term/operand iteration."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.module in _HOT_PATH_MODULES
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and _is_vector_allocation(sub)
+                    and id(sub) not in seen
+                    and not self._in_nested_function(node, sub)
+                ):
+                    seen.add(id(sub))
+                    yield self.finding(ctx, sub)
+
+    @staticmethod
+    def _in_nested_function(loop: ast.AST, call: ast.Call) -> bool:
+        """Is ``call`` inside a def/lambda nested within ``loop``?
+
+        Such code runs per *invocation*, not per loop iteration.
+        """
+        for node in ast.walk(loop):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                for sub in ast.walk(node):
+                    if sub is call:
+                        return True
+        return False
+
+
+@register_rule
+class SlowPopcountRule(Rule):
+    """EBI104: use ``int.bit_count()``, not ``bin(x).count("1")``.
+
+    Popcounts sit on the inner loops of Hamming-distance, chain-search
+    and implicant machinery; the string round-trip allocates a str per
+    call and is ~5x slower than the native ``bit_count`` available
+    since Python 3.10 (the floor ``pyproject.toml`` declares).
+    """
+
+    id = "EBI104"
+    name = "slow-popcount"
+    description = (
+        'bin(x).count("1") popcount; use x.bit_count() '
+        "(native, no string allocation)"
+    )
+    rationale = (
+        "Performance contract: distance/chain kernels run popcount per "
+        "code pair; the string formatting dominates their cost."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and call_name(node) == "count"
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Call)
+                and isinstance(node.func.value.func, ast.Name)
+                and node.func.value.func.id == "bin"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == "1"
+            ):
+                yield self.finding(ctx, node)
+
+
+_EVALUATOR_ENTRYPOINTS = frozenset({"evaluate_dnf", "evaluate_expression"})
+
+
+@register_rule
+class UncountedEvalRule(Rule):
+    """EBI103: evaluator calls must flow through the AccessCounter.
+
+    The paper charges every query in distinct bitmap vectors accessed
+    (Section 3, footnote 4).  Index and query modules calling the
+    evaluator without passing a counter silently drop reads from the
+    measured ``c_e``/``c_s``.
+    """
+
+    id = "EBI103"
+    name = "uncounted-evaluation"
+    description = (
+        "evaluator called without an AccessCounter; vector reads "
+        "would escape the paper's cost accounting"
+    )
+    rationale = (
+        "Cost-accounting contract: every vector fetched during query "
+        "evaluation is recorded as one access (Section 3 cost unit)."
+    )
+
+    #: Position of the ``counter`` parameter in the evaluator API.
+    _COUNTER_ARG_POSITION = 3
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro.index", "repro.query")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) not in _EVALUATOR_ENTRYPOINTS:
+                continue
+            has_positional = len(node.args) > self._COUNTER_ARG_POSITION
+            has_keyword = any(
+                keyword.arg == "counter" for keyword in node.keywords
+            )
+            if not has_positional and not has_keyword:
+                yield self.finding(ctx, node)

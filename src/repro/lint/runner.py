@@ -1,0 +1,166 @@
+"""File discovery and rule execution for ebilint."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    Severity,
+    all_rules,
+)
+from repro.lint.suppress import parse_suppressions
+
+#: Rule id reserved for files that fail to parse.
+PARSE_ERROR_RULE = "EBI000"
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".pytest_cache"}
+)
+
+
+@dataclass(slots=True)
+class Report:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [
+            finding
+            for finding in self.findings
+            if finding.severity is Severity.ERROR
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors or self.stale_baseline else 0
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name when ``path`` sits inside the repro package.
+
+    ``.../src/repro/bitmap/ops.py`` -> ``repro.bitmap.ops``; files
+    outside a ``repro`` package root (tests, examples, scripts) return
+    ``None`` and are only subject to everywhere-scoped rules.
+    """
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i > 0 and parts[i - 1] == "src":
+            dotted = list(parts[i:-1]) + [path.stem]
+            if path.stem == "__init__":
+                dotted = dotted[:-1]
+            return ".".join(dotted)
+    return None
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` files."""
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def selected_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Resolve ``--select``/``--ignore`` into the rule list to run."""
+    rules = all_rules()
+    if select:
+        wanted = {rule_id.upper() for rule_id in select}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.id in wanted]
+    if ignore:
+        dropped = {rule_id.upper() for rule_id in ignore}
+        rules = [rule for rule in rules if rule.id not in dropped]
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source text (the unit tests' entry point).
+
+    Suppression pragmas are honoured; the baseline is not applied at
+    this level.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                severity=Severity.ERROR,
+            )
+        ]
+    ctx = LintContext(path=path, source=source, tree=tree, module=module)
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    display = _display_path(path)
+    return lint_source(
+        source, path=display, module=module_name_for(path), rules=rules
+    )
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative rendering so baselines are machine-independent."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd().resolve()))
+    except ValueError:
+        return str(path)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline_path: Optional[Path] = None,
+) -> Report:
+    """Lint files/directories, applying the baseline when given."""
+    report = Report()
+    for file_path in iter_python_files(paths):
+        report.files_checked += 1
+        report.findings.extend(lint_file(file_path, rules=rules))
+    if baseline_path is not None:
+        known = baseline_mod.load_baseline(baseline_path)
+        report.findings, report.stale_baseline = baseline_mod.apply_baseline(
+            report.findings, known
+        )
+    return report

@@ -1,0 +1,82 @@
+"""Inline suppression comments.
+
+Two forms are recognised, mirroring the usual linter conventions:
+
+``# ebilint: disable=EBI101,EBI204``
+    Suppresses the listed rules (or ``all``) on the line carrying the
+    comment.
+
+``# ebilint: disable-file=EBI101``
+    Anywhere in the file (conventionally near the top): suppresses the
+    listed rules (or ``all``) for the whole file.
+
+Suppressions are parsed from the token stream, not with a regex over
+raw source, so a pragma inside a string literal is not honoured.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from repro.lint.core import Finding
+
+_PRAGMA = re.compile(
+    r"#\s*ebilint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+#: Wildcard accepted in place of a rule list.
+ALL = "all"
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Parsed suppression pragmas of one file."""
+
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    whole_file: FrozenSet[str] = frozenset()
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if ALL in self.whole_file or finding.rule in self.whole_file:
+            return True
+        rules = self.by_line.get(finding.line, frozenset())
+        return ALL in rules or finding.rule in rules
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract pragmas from comments in ``source``.
+
+    Unparsable source yields no suppressions (the parse error is
+    reported separately by the runner).
+    """
+    by_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(token.string)
+            if match is None:
+                continue
+            rules = {
+                part.strip().upper() if part.strip() != ALL else ALL
+                for part in match.group("rules").split(",")
+                if part.strip()
+            }
+            if not rules:
+                continue
+            if match.group("kind") == "disable-file":
+                whole_file |= rules
+            else:
+                by_line.setdefault(token.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return Suppressions(
+        by_line={line: frozenset(rules) for line, rules in by_line.items()},
+        whole_file=frozenset(whole_file),
+    )

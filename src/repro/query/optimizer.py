@@ -12,7 +12,7 @@ breaking ties by operation count.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.boolean.reduction import ReducedFunction, reduce_values
 

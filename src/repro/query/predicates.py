@@ -12,7 +12,7 @@ results against a naive scan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, FrozenSet, Optional, Tuple
 
 

@@ -8,8 +8,6 @@ frame (writing it back if dirty).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
-
 from repro.storage.page import Page
 from repro.storage.pager import Pager
 

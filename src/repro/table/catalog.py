@@ -7,7 +7,7 @@ the index to the table for maintenance notifications.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import TableError
 from repro.table.table import Table

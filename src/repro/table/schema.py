@@ -10,7 +10,7 @@ foreign key column.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Set
+from typing import Dict, Hashable, List, Optional, Set
 
 from repro.encoding.hierarchy import Hierarchy
 from repro.errors import SchemaError

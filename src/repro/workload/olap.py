@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence
 
 from repro.encoding.hierarchy import Hierarchy
 from repro.query.predicates import InList, Predicate

@@ -9,9 +9,9 @@ range share (e.g. the TPC-D 12/17).
 from __future__ import annotations
 
 import random
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
-from repro.query.predicates import Equals, InList, Predicate, Range
+from repro.query.predicates import Equals, InList, Predicate
 
 
 def point_query(

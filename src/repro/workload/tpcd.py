@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.query.predicates import Equals, InList, Predicate, Range
+from repro.query.predicates import Equals, InList, Predicate
 from repro.table.table import Table
 from repro.workload.generators import uniform_column, zipf_column
 

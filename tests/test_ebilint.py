@@ -1,0 +1,567 @@
+"""Tests for ebilint itself: one positive + one negative fixture per
+rule, plus the suppression pragmas, the baseline mechanism, and the
+CLI exit codes the CI gate relies on."""
+
+import json
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, get_rule, lint_paths, lint_source
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.core import Severity
+from repro.lint.runner import PARSE_ERROR_RULE, Report, module_name_for
+
+
+def findings_for(rule_id, source, module):
+    """Run a single rule over a dedented fixture."""
+    return [
+        f
+        for f in lint_source(
+            textwrap.dedent(source), path="<fixture>", module=module
+        )
+        if f.rule == rule_id
+    ]
+
+
+# ----------------------------------------------------------------------
+# registry sanity
+# ----------------------------------------------------------------------
+def test_registry_ships_at_least_eight_rules():
+    rules = all_rules()
+    ids = [rule.id for rule in rules]
+    assert len(ids) == len(set(ids))
+    assert len(ids) >= 8
+    for expected in (
+        "EBI101", "EBI102", "EBI103", "EBI104",
+        "EBI201", "EBI202", "EBI203", "EBI204",
+    ):
+        assert expected in ids
+
+
+def test_every_rule_documents_itself():
+    for rule in all_rules():
+        assert rule.description
+        assert rule.rationale
+        assert rule.severity is Severity.ERROR
+
+
+def test_get_rule_unknown_id():
+    with pytest.raises(KeyError):
+        get_rule("EBI999")
+
+
+# ----------------------------------------------------------------------
+# EBI101 — per-bit loops in word-packed hot paths
+# ----------------------------------------------------------------------
+def test_ebi101_flags_per_bit_for_loop():
+    bad = """
+        def scan(self):
+            out = []
+            for j in range(self._nbits):
+                if self[j]:
+                    out.append(j)
+            return out
+    """
+    found = findings_for("EBI101", bad, module="repro.bitmap.fake")
+    assert len(found) == 1
+    assert "per-bit" in found[0].message
+
+
+def test_ebi101_flags_while_over_bit_index():
+    bad = """
+        def scan(nbits):
+            j = 0
+            while j < nbits:
+                j += 1
+    """
+    assert findings_for("EBI101", bad, module="repro.boolean.evaluator")
+
+
+def test_ebi101_accepts_word_level_loop():
+    good = """
+        def scan(self):
+            for word_index in np.nonzero(self._words)[0]:
+                word = int(self._words[word_index])
+                while word:
+                    word &= word - 1
+    """
+    assert not findings_for("EBI101", good, module="repro.bitmap.fake")
+
+
+def test_ebi101_out_of_scope_module_is_ignored():
+    bad = """
+        def scan(nbits):
+            for j in range(nbits):
+                pass
+    """
+    assert not findings_for("EBI101", bad, module="repro.table.fake")
+    assert not findings_for("EBI101", bad, module=None)
+
+
+# ----------------------------------------------------------------------
+# EBI102 — BitVector allocation inside hot-path loops
+# ----------------------------------------------------------------------
+def test_ebi102_flags_allocation_in_loop():
+    bad = """
+        def evaluate(terms, nbits):
+            result = BitVector.zeros(nbits)
+            for term in terms:
+                result |= BitVector.ones(nbits)
+            return result
+    """
+    found = findings_for("EBI102", bad, module="repro.boolean.evaluator")
+    assert len(found) == 1
+
+
+def test_ebi102_accepts_hoisted_allocation():
+    good = """
+        def evaluate(terms, nbits):
+            result = BitVector.zeros(nbits)
+            for term in terms:
+                result |= term.vector
+            return result
+    """
+    assert not findings_for("EBI102", good, module="repro.boolean.evaluator")
+
+
+def test_ebi102_ignores_nested_function_bodies():
+    good = """
+        def evaluate(terms, nbits):
+            for term in terms:
+                def fetch():
+                    return BitVector.zeros(nbits)
+                register(fetch)
+    """
+    assert not findings_for("EBI102", good, module="repro.query.executor")
+
+
+def test_ebi102_only_hot_path_modules():
+    bad = """
+        def build(rows, nbits):
+            vectors = []
+            for _ in range(8):
+                vectors.append(BitVector.zeros(nbits))
+            return vectors
+    """
+    # Index *construction* loops legitimately allocate per iteration.
+    assert not findings_for("EBI102", bad, module="repro.index.builder")
+
+
+# ----------------------------------------------------------------------
+# EBI103 — evaluator calls must pass an AccessCounter
+# ----------------------------------------------------------------------
+def test_ebi103_flags_uncounted_call():
+    bad = """
+        def run(function, source, nbits):
+            return evaluate_dnf(function, source, nbits)
+    """
+    found = findings_for("EBI103", bad, module="repro.query.fake")
+    assert len(found) == 1
+    assert "AccessCounter" in found[0].message
+
+
+def test_ebi103_accepts_counter_keyword_and_positional():
+    good = """
+        def run(function, source, nbits, counter):
+            a = evaluate_dnf(function, source, nbits, counter)
+            b = evaluate_expression(expr, source, nbits, counter=counter)
+            return a, b
+    """
+    assert not findings_for("EBI103", good, module="repro.index.fake")
+
+
+def test_ebi103_scope_is_index_and_query_only():
+    bad = """
+        def run(function, source, nbits):
+            return evaluate_dnf(function, source, nbits)
+    """
+    assert not findings_for("EBI103", bad, module="repro.analysis.fake")
+
+
+# ----------------------------------------------------------------------
+# EBI104 — slow string-based popcount
+# ----------------------------------------------------------------------
+def test_ebi104_flags_bin_count_popcount():
+    bad = """
+        def distance(x, y):
+            return bin(x ^ y).count("1")
+    """
+    found = findings_for("EBI104", bad, module="repro.encoding.distance")
+    assert len(found) == 1
+    assert "bit_count" in found[0].message
+
+
+def test_ebi104_accepts_native_bit_count():
+    good = """
+        def distance(x, y):
+            return (x ^ y).bit_count()
+    """
+    assert not findings_for("EBI104", good, module="repro.encoding.distance")
+
+
+def test_ebi104_ignores_other_count_calls():
+    good = """
+        def zeros(text):
+            return bin(7).count("0") + text.count("1")
+    """
+    # counting "0" digits or counting on a non-bin() receiver is not
+    # the popcount idiom.
+    assert not findings_for("EBI104", good, module=None)
+
+
+# ----------------------------------------------------------------------
+# EBI201 — code 0 is reserved for the VOID sentinel (Theorem 2.1)
+# ----------------------------------------------------------------------
+def test_ebi201_flags_assign_zero_to_real_value():
+    bad = """
+        def build(table):
+            table.assign("red", 0)
+    """
+    assert findings_for("EBI201", bad, module=None)
+
+
+def test_ebi201_accepts_void_on_zero():
+    good = """
+        def build(table):
+            table.assign(VOID, 0)
+            table.assign("red", 1)
+    """
+    assert not findings_for("EBI201", good, module=None)
+
+
+def test_ebi201_flags_from_pairs_literal():
+    bad = """
+        table = MappingTable.from_pairs(
+            [("red", 0), ("blue", 1)], reserve_void_zero=True
+        )
+    """
+    found = findings_for("EBI201", bad, module=None)
+    assert len(found) == 1
+    assert "Theorem 2.1" in found[0].message
+
+
+def test_ebi201_from_pairs_without_void_reservation_ok():
+    good = """
+        table = MappingTable.from_pairs([("red", 0), ("blue", 1)])
+    """
+    assert not findings_for("EBI201", good, module=None)
+
+
+# ----------------------------------------------------------------------
+# EBI202 — encoding constructors must run check_mapping
+# ----------------------------------------------------------------------
+def test_ebi202_flags_unchecked_constructor():
+    bad = """
+        def my_encoding(values) -> MappingTable:
+            return MappingTable.from_values(values)
+    """
+    found = findings_for("EBI202", bad, module="repro.encoding.fake")
+    assert len(found) == 1
+    assert "check_mapping" in found[0].message
+
+
+def test_ebi202_accepts_checked_constructor():
+    good = """
+        def my_encoding(values) -> MappingTable:
+            table = MappingTable.from_values(values)
+            return check_mapping(table)
+    """
+    assert not findings_for("EBI202", good, module="repro.encoding.fake")
+
+
+def test_ebi202_ignores_private_and_non_mapping_functions():
+    good = """
+        def _helper(values) -> MappingTable:
+            return MappingTable.from_values(values)
+
+        def width_of(values) -> int:
+            return len(values)
+    """
+    assert not findings_for("EBI202", good, module="repro.encoding.fake")
+
+
+def test_ebi202_primitive_modules_exempt():
+    bad = """
+        def from_values(values) -> MappingTable:
+            return MappingTable(values)
+    """
+    assert not findings_for("EBI202", bad, module="repro.encoding.mapping")
+
+
+# ----------------------------------------------------------------------
+# EBI203 — expression factories, not raw operand tuples
+# ----------------------------------------------------------------------
+def test_ebi203_flags_raw_tuple_construction():
+    bad = """
+        def plan(a, b):
+            return And((Var(0), Var(1)))
+    """
+    assert findings_for("EBI203", bad, module="repro.query.planner")
+
+
+def test_ebi203_accepts_factories_and_operators():
+    good = """
+        def plan(a, b):
+            return and_(var(0), var(1)) | or_(var(2))
+    """
+    assert not findings_for("EBI203", good, module="repro.query.planner")
+
+
+def test_ebi203_boolean_package_itself_exempt():
+    internal = """
+        def dnf(terms):
+            return Or(tuple(terms)) if terms else And((Const(True),))
+    """
+    assert not findings_for("EBI203", internal, module="repro.boolean.expr")
+    # Tests/examples (module=None) may also build raw nodes freely.
+    assert not findings_for("EBI203", internal, module=None)
+
+
+# ----------------------------------------------------------------------
+# EBI204 — mutable default arguments
+# ----------------------------------------------------------------------
+def test_ebi204_flags_mutable_defaults():
+    bad = """
+        def record(accesses=[], stats={}, *, seen=set()):
+            accesses.append(1)
+    """
+    found = findings_for("EBI204", bad, module=None)
+    assert len(found) == 3
+
+
+def test_ebi204_flags_factory_call_default():
+    bad = """
+        def record(stats=dict()):
+            pass
+    """
+    assert findings_for("EBI204", bad, module="repro.query.fake")
+
+
+def test_ebi204_accepts_none_and_immutable_defaults():
+    good = """
+        def record(accesses=None, width=0, names=(), label="x"):
+            if accesses is None:
+                accesses = []
+    """
+    assert not findings_for("EBI204", good, module=None)
+
+
+# ----------------------------------------------------------------------
+# EBI000 — parse failures are findings, not crashes
+# ----------------------------------------------------------------------
+def test_syntax_error_reported_as_finding():
+    findings = lint_source("def broken(:\n", path="<fixture>")
+    assert len(findings) == 1
+    assert findings[0].rule == PARSE_ERROR_RULE
+    assert findings[0].severity is Severity.ERROR
+
+
+# ----------------------------------------------------------------------
+# suppression pragmas
+# ----------------------------------------------------------------------
+def test_line_suppression():
+    source = """
+        def record(stats={}):  # ebilint: disable=EBI204
+            pass
+    """
+    assert not findings_for("EBI204", source, module=None)
+
+
+def test_line_suppression_is_rule_specific():
+    source = """
+        def record(stats={}):  # ebilint: disable=EBI101
+            pass
+    """
+    assert findings_for("EBI204", source, module=None)
+
+
+def test_file_suppression():
+    source = """
+        # ebilint: disable-file=EBI204
+        def record(stats={}):
+            pass
+
+        def record2(stats={}):
+            pass
+    """
+    assert not findings_for("EBI204", source, module=None)
+
+
+def test_all_wildcard_suppression():
+    source = """
+        def record(stats={}):  # ebilint: disable=all
+            pass
+    """
+    assert not findings_for("EBI204", source, module=None)
+
+
+def test_pragma_inside_string_not_honoured():
+    source = '''
+        PRAGMA = "# ebilint: disable-file=EBI204"
+
+        def record(stats={}):
+            pass
+    '''
+    assert findings_for("EBI204", source, module=None)
+
+
+# ----------------------------------------------------------------------
+# baseline mechanism
+# ----------------------------------------------------------------------
+BAD_MODULE = textwrap.dedent(
+    """
+    def record(stats={}):
+        pass
+    """
+)
+
+
+def test_baseline_absorbs_known_findings(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_MODULE)
+    baseline_file = tmp_path / "baseline.json"
+
+    report = lint_paths([target])
+    assert len(report.findings) == 1
+    write_baseline(baseline_file, report.findings)
+
+    rerun = lint_paths([target], baseline_path=baseline_file)
+    assert rerun.findings == []
+    assert rerun.stale_baseline == []
+    assert rerun.exit_code == 0
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_MODULE)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([target]).findings)
+
+    # Shift the offending line down; the fingerprint keys on the
+    # source text, so the entry still absorbs it.
+    target.write_text("\n\n# moved\n" + BAD_MODULE)
+    rerun = lint_paths([target], baseline_path=baseline_file)
+    assert rerun.findings == []
+    assert rerun.exit_code == 0
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_MODULE)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([target]).findings)
+
+    target.write_text("def record(stats=None):\n    pass\n")
+    rerun = lint_paths([target], baseline_path=baseline_file)
+    assert rerun.findings == []
+    assert len(rerun.stale_baseline) == 1
+    assert rerun.exit_code == 1  # stale entries must be ratcheted out
+
+
+def test_baseline_does_not_absorb_new_findings(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_MODULE)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([target]).findings)
+
+    target.write_text(BAD_MODULE + "\ndef extra(seen=set()):\n    pass\n")
+    rerun = lint_paths([target], baseline_path=baseline_file)
+    assert len(rerun.findings) == 1
+    assert "seen" in rerun.findings[0].source_line
+    assert rerun.exit_code == 1
+
+
+def test_baseline_counts_duplicate_fingerprints():
+    twin = Counter({"EBI204::<fixture>::x": 1})
+    # Two findings with the identical source text (a redefinition) share
+    # a fingerprint; the count bounds how many the baseline absorbs.
+    findings = lint_source(
+        "def f(a={}):\n    pass\n\ndef f(a={}):\n    pass\n",
+        path="p.py",
+    )
+    assert len(findings) == 2
+    fp = findings[0].fingerprint()
+    assert findings[1].fingerprint() == fp
+    fresh, stale = apply_baseline(findings, Counter({fp: 1}))
+    assert len(fresh) == 1  # one absorbed, the twin is fresh
+    assert stale == []
+    fresh, stale = apply_baseline(findings, twin)
+    assert len(fresh) == 2
+
+
+def test_load_baseline_rejects_unknown_version(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+    assert load_baseline(tmp_path / "missing.json") == Counter()
+
+
+# ----------------------------------------------------------------------
+# module scoping + CLI
+# ----------------------------------------------------------------------
+def test_module_name_for_maps_src_layout():
+    assert (
+        module_name_for(Path("src/repro/bitmap/bitvector.py"))
+        == "repro.bitmap.bitvector"
+    )
+    assert module_name_for(Path("src/repro/lint/__init__.py")) == "repro.lint"
+    assert module_name_for(Path("tests/test_ebilint.py")) is None
+
+
+def test_report_exit_code_clean():
+    assert Report().exit_code == 0
+
+
+def test_cli_exits_nonzero_on_violating_tree(tmp_path, capsys):
+    # A fixture tree violating every shipped rule family must fail the
+    # run even though module-scoped rules don't apply outside src/repro:
+    # EBI204/EBI201 are everywhere-scoped, and a src/repro layout under
+    # tmp_path exercises the scoped ones.
+    pkg = tmp_path / "src" / "repro" / "bitmap"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "def scan(nbits):\n"
+        "    for j in range(nbits):\n"
+        "        pass\n"
+    )
+    exit_code = lint_main([str(tmp_path), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "EBI101" in out
+
+
+def test_cli_exits_zero_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("def f(x=None):\n    return x\n")
+    assert lint_main([str(tmp_path), "--no-baseline"]) == 0
+
+
+def test_cli_select_and_ignore(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_MODULE)
+    assert lint_main([str(target), "--select", "EBI204"]) == 1
+    assert lint_main([str(target), "--ignore", "EBI204"]) == 0
+
+
+def test_cli_write_baseline_roundtrip(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_MODULE)
+    assert lint_main(["mod.py", "--write-baseline"]) == 0
+    assert (tmp_path / ".ebilint-baseline.json").exists()
+    # With the baseline in place the same tree is clean...
+    assert lint_main(["mod.py"]) == 0
+    # ...and fixing the violation flags the baseline as stale.
+    target.write_text("def record(stats=None):\n    pass\n")
+    assert lint_main(["mod.py"]) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "EBI101" in out and "EBI204" in out

@@ -65,5 +65,5 @@ class TestGraySequence:
         for code in window:
             common_or |= code
             common_and &= code
-        free_bits = bin(common_or & ~common_and).count("1")
+        free_bits = (common_or & ~common_and).bit_count()
         assert 1 << free_bits == len(window)
