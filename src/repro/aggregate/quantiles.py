@@ -14,6 +14,7 @@ from typing import List, Optional
 from repro.bitmap.bitvector import BitVector
 from repro.index.encoded_bitmap import EncodedBitmapIndex
 from repro.query.predicates import Equals
+from repro.errors import InvalidArgumentError
 
 
 def _ordered_counts(
@@ -38,7 +39,7 @@ def median(
         matched for _, matched in _ordered_counts(index, selection)
     )
     if total == 0:
-        raise ValueError("median of an empty selection")
+        raise InvalidArgumentError("median of an empty selection")
     target = (total + 1) // 2
     running = 0
     for value, matched in _ordered_counts(index, selection):
@@ -58,11 +59,11 @@ def ntile_boundaries(
     Returns ``tiles - 1`` boundary values (the paper's N-tile).
     """
     if tiles < 2:
-        raise ValueError("need at least 2 tiles")
+        raise InvalidArgumentError("need at least 2 tiles")
     counts = list(_ordered_counts(index, selection))
     total = sum(matched for _, matched in counts)
     if total == 0:
-        raise ValueError("N-tile of an empty selection")
+        raise InvalidArgumentError("N-tile of an empty selection")
     boundaries = []
     next_tile = 1
     running = 0

@@ -18,11 +18,12 @@ savings 83%/90%).
 from __future__ import annotations
 
 import math
+from repro.errors import InvalidArgumentError
 
 
 def _check_cardinality(m: int) -> None:
     if m < 2:
-        raise ValueError(f"cardinality must be >= 2, got {m}")
+        raise InvalidArgumentError(f"cardinality must be >= 2, got {m}")
 
 
 def encoded_vectors(m: int) -> int:
@@ -40,21 +41,21 @@ def simple_vectors(m: int) -> int:
 def trailing_zeros(x: int) -> int:
     """Number of trailing zero bits of a positive integer."""
     if x <= 0:
-        raise ValueError(f"expected positive integer, got {x}")
+        raise InvalidArgumentError(f"expected positive integer, got {x}")
     return (x & -x).bit_length() - 1
 
 
 def c_s(delta: int) -> int:
     """Simple-bitmap vectors accessed for a delta-wide range search."""
     if delta < 1:
-        raise ValueError(f"delta must be >= 1, got {delta}")
+        raise InvalidArgumentError(f"delta must be >= 1, got {delta}")
     return delta
 
 
 def c_e_best(delta: int, m: int) -> int:
     """Best-case encoded vectors accessed (Property 3.1 model)."""
     if delta < 1 or delta > m:
-        raise ValueError(f"delta must be in [1, {m}], got {delta}")
+        raise InvalidArgumentError(f"delta must be in [1, {m}], got {delta}")
     k = encoded_vectors(m)
     return max(0, k - trailing_zeros(delta))
 
@@ -155,7 +156,7 @@ def encoded_expansion_cost(n: int, m: int, grows_width: bool) -> float:
 def compound_btrees_needed(attributes: int) -> int:
     """``2^n - 1`` compound B-trees to cover all condition subsets."""
     if attributes < 1:
-        raise ValueError("need at least one attribute")
+        raise InvalidArgumentError("need at least one attribute")
     return (1 << attributes) - 1
 
 

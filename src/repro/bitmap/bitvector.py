@@ -20,7 +20,7 @@ from repro.bitmap.ops import (
     tail_mask,
     words_from_bools,
 )
-from repro.errors import LengthMismatchError
+from repro.errors import InvalidArgumentError, LengthMismatchError
 
 
 class BitVector:
@@ -41,7 +41,7 @@ class BitVector:
 
     def __init__(self, nbits: int = 0) -> None:
         if nbits < 0:
-            raise ValueError(f"negative bit length: {nbits}")
+            raise InvalidArgumentError(f"negative bit length: {nbits}")
         self._nbits = nbits
         self._words = np.zeros(packed_length(nbits), dtype=np.uint64)
 
@@ -287,7 +287,7 @@ class BitVector:
         discarded and the tail is re-masked.
         """
         if nbits < 0:
-            raise ValueError(f"negative bit length: {nbits}")
+            raise InvalidArgumentError(f"negative bit length: {nbits}")
         nwords = packed_length(nbits)
         if nwords != self._words.size:
             resized = np.zeros(nwords, dtype=np.uint64)

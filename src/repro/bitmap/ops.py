@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 import numpy as np
+from repro.errors import InvalidArgumentError
 
 WORD_BITS = 64
 _FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -19,7 +20,7 @@ _FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
 def packed_length(nbits: int) -> int:
     """Number of 64-bit words needed to hold ``nbits`` bits."""
     if nbits < 0:
-        raise ValueError(f"negative bit length: {nbits}")
+        raise InvalidArgumentError(f"negative bit length: {nbits}")
     return (nbits + WORD_BITS - 1) // WORD_BITS
 
 
@@ -43,7 +44,7 @@ def popcount_words(words: np.ndarray) -> int:
 
 
 def _require_same_length(vectors: Sequence) -> int:
-    from repro.errors import LengthMismatchError
+    from repro.errors import InvalidArgumentError, LengthMismatchError
 
     first = len(vectors[0])
     for vec in vectors[1:]:
@@ -57,7 +58,7 @@ def and_all(vectors: Sequence) -> "BitVector":
     from repro.bitmap.bitvector import BitVector
 
     if not vectors:
-        raise ValueError("and_all() requires at least one vector")
+        raise InvalidArgumentError("and_all() requires at least one vector")
     nbits = _require_same_length(vectors)
     words = vectors[0].words.copy()
     for vec in vectors[1:]:
@@ -70,7 +71,7 @@ def or_all(vectors: Sequence) -> "BitVector":
     from repro.bitmap.bitvector import BitVector
 
     if not vectors:
-        raise ValueError("or_all() requires at least one vector")
+        raise InvalidArgumentError("or_all() requires at least one vector")
     nbits = _require_same_length(vectors)
     words = vectors[0].words.copy()
     for vec in vectors[1:]:
@@ -83,7 +84,7 @@ def xor_all(vectors: Sequence) -> "BitVector":
     from repro.bitmap.bitvector import BitVector
 
     if not vectors:
-        raise ValueError("xor_all() requires at least one vector")
+        raise InvalidArgumentError("xor_all() requires at least one vector")
     nbits = _require_same_length(vectors)
     words = vectors[0].words.copy()
     for vec in vectors[1:]:

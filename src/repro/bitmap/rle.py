@@ -21,7 +21,7 @@ from typing import Callable, Iterable, List, Tuple
 import numpy as np
 
 from repro.bitmap.bitvector import BitVector
-from repro.errors import LengthMismatchError
+from repro.errors import InvalidArgumentError, LengthMismatchError
 
 Run = Tuple[bool, int]
 
@@ -33,7 +33,7 @@ class RunLengthBitmap:
 
     def __init__(self, nbits: int = 0) -> None:
         if nbits < 0:
-            raise ValueError(f"negative bit length: {nbits}")
+            raise InvalidArgumentError(f"negative bit length: {nbits}")
         self._nbits = nbits
         self._runs: List[Run] = [(False, nbits)] if nbits else []
 
@@ -48,7 +48,7 @@ class RunLengthBitmap:
         canonical: List[Run] = []
         for bit, length in runs:
             if length < 0:
-                raise ValueError("negative run length")
+                raise InvalidArgumentError("negative run length")
             if length == 0:
                 continue
             bit = bool(bit)

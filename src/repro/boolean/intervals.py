@@ -18,6 +18,7 @@ from typing import List
 
 from repro.boolean.minterm import Implicant
 from repro.boolean.reduction import ReducedFunction
+from repro.errors import InvalidArgumentError
 
 
 def interval_cubes(lo: int, hi: int, width: int) -> List[Implicant]:
@@ -29,7 +30,7 @@ def interval_cubes(lo: int, hi: int, width: int) -> List[Implicant]:
     """
     full = (1 << width) - 1
     if lo < 0 or hi > full:
-        raise ValueError(
+        raise InvalidArgumentError(
             f"interval [{lo}, {hi}] exceeds width {width}"
         )
     cubes: List[Implicant] = []

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
+from repro.errors import InvalidArgumentError
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,11 +31,11 @@ class Implicant:
     def __post_init__(self) -> None:
         full = (1 << self.width) - 1
         if self.care & ~full:
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"care mask {self.care:#x} exceeds width {self.width}"
             )
         if self.bits & ~self.care:
-            raise ValueError("bits set outside the care mask")
+            raise InvalidArgumentError("bits set outside the care mask")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -42,7 +43,7 @@ class Implicant:
         """The full minterm for ``value`` over ``width`` variables."""
         full = (1 << width) - 1
         if value & ~full:
-            raise ValueError(f"value {value} exceeds width {width}")
+            raise InvalidArgumentError(f"value {value} exceeds width {width}")
         return cls(bits=value, care=full, width=width)
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.boolean.minterm import Implicant
 from repro.boolean.quine_mccluskey import coverage_table
+from repro.errors import InvalidArgumentError
 
 #: Petrick expansion is only attempted when the reduced covering
 #: problem is small: at most this many still-uncovered minterms ...
@@ -52,7 +53,7 @@ def minimal_cover(
     if not on_list:
         return []
     if not primes:
-        raise ValueError("no prime implicants supplied for a non-empty ON set")
+        raise InvalidArgumentError("no prime implicants supplied for a non-empty ON set")
 
     table = coverage_table(list(primes), on_list)
 
@@ -157,7 +158,7 @@ def _greedy(
             if best_index < 0 or key > best_key:
                 best_index, best_key = i, key
         if best_index < 0:
-            raise ValueError("uncoverable minterms remain in greedy cover")
+            raise InvalidArgumentError("uncoverable minterms remain in greedy cover")
         chosen.add(best_index)
         remaining = {
             value

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.boolean.minterm import Implicant
+from repro.errors import InvalidArgumentError
 
 
 def prime_implicants(
@@ -43,7 +44,7 @@ def prime_implicants(
     full = (1 << width) - 1
     for value in on | dc:
         if value & ~full:
-            raise ValueError(f"minterm {value} exceeds width {width}")
+            raise InvalidArgumentError(f"minterm {value} exceeds width {width}")
 
     if not on:
         return []
@@ -108,7 +109,7 @@ def coverage_table(
             i for i, prime in enumerate(primes) if prime.covers(value)
         )
         if not covering:
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"minterm {value} not covered by any prime implicant"
             )
         table[value] = covering

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from itertools import combinations
 from typing import Iterable, Optional, Set, Tuple
+from repro.errors import InvalidArgumentError
 
 
 def _mask_of(variables: Iterable[int]) -> int:
@@ -68,7 +69,7 @@ def minimal_support(
     if max_subset_bits is None:
         max_subset_bits = 16
     if width > max_subset_bits:
-        raise ValueError(
+        raise InvalidArgumentError(
             f"width {width} exceeds exhaustive search cap {max_subset_bits}"
         )
 

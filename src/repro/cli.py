@@ -158,6 +158,32 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.index import serialization
+    from repro.index.verify import fsck_header, verify_payload
+
+    failed = 0
+    for path in args.paths:
+        try:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+        except OSError as exc:
+            print(f"FAIL  {path}  cannot read: {exc}")
+            failed += 1
+            continue
+        report = verify_payload(payload, path=path)
+        print(report.render())
+        if not report.ok:
+            failed += 1
+        elif args.verbose:
+            parsed = serialization.parse(payload)
+            for line in fsck_header(parsed.header):
+                print("      " + line)
+    total = len(args.paths)
+    print(f"\n{total - failed}/{total} index file(s) passed fsck")
+    return 1 if failed else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -208,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
         "implementation",
     )
     p_validate.set_defaults(func=cmd_validate)
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="verify saved encoded-bitmap index files: checksums, "
+        "structure, and paper invariants",
+    )
+    p_fsck.add_argument("paths", nargs="+")
+    p_fsck.add_argument("--verbose", action="store_true")
+    p_fsck.set_defaults(func=cmd_fsck)
 
     p_lint = sub.add_parser(
         "lint",

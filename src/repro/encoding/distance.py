@@ -7,12 +7,13 @@ The binary distance of two codes is the Hamming distance:
 from __future__ import annotations
 
 from typing import Iterator
+from repro.errors import InvalidArgumentError
 
 
 def binary_distance(x: int, y: int) -> int:
     """Hamming distance between two non-negative code integers."""
     if x < 0 or y < 0:
-        raise ValueError("codes must be non-negative")
+        raise InvalidArgumentError("codes must be non-negative")
     return (x ^ y).bit_count()
 
 
@@ -22,10 +23,10 @@ def hamming_ball(center: int, radius: int, width: int) -> Iterator[int]:
     Enumerated in ascending numeric order.
     """
     if radius < 0:
-        raise ValueError("radius must be non-negative")
+        raise InvalidArgumentError("radius must be non-negative")
     full = (1 << width) - 1
     if center & ~full:
-        raise ValueError(f"center {center} exceeds width {width}")
+        raise InvalidArgumentError(f"center {center} exceeds width {width}")
     for code in range(1 << width):
         if binary_distance(center, code) <= radius:
             yield code
@@ -35,6 +36,6 @@ def neighbors(code: int, width: int) -> Iterator[int]:
     """Codes at binary distance exactly 1 from ``code``."""
     full = (1 << width) - 1
     if code & ~full:
-        raise ValueError(f"code {code} exceeds width {width}")
+        raise InvalidArgumentError(f"code {code} exceeds width {width}")
     for i in range(width):
         yield code ^ (1 << i)

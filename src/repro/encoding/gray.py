@@ -10,19 +10,20 @@ use it to lay predicate subdomains onto subcubes.
 from __future__ import annotations
 
 from typing import Iterator, List
+from repro.errors import InvalidArgumentError
 
 
 def gray_code(index: int) -> int:
     """The ``index``-th reflected binary Gray code."""
     if index < 0:
-        raise ValueError("index must be non-negative")
+        raise InvalidArgumentError("index must be non-negative")
     return index ^ (index >> 1)
 
 
 def inverse_gray(code: int) -> int:
     """Position of ``code`` in the reflected Gray sequence."""
     if code < 0:
-        raise ValueError("code must be non-negative")
+        raise InvalidArgumentError("code must be non-negative")
     index = code
     shift = 1
     while (code >> shift) > 0:
@@ -40,7 +41,7 @@ def inverse_gray(code: int) -> int:
 def gray_sequence(width: int) -> List[int]:
     """The full Gray sequence of a ``width``-bit cube (a prime chain)."""
     if width < 0:
-        raise ValueError("width must be non-negative")
+        raise InvalidArgumentError("width must be non-negative")
     return [gray_code(i) for i in range(1 << width)]
 
 

@@ -25,6 +25,7 @@ from repro.boolean.reduction import reduce_values
 from repro.encoding.gray import gray_code
 from repro.encoding.mapping import MappingTable, code_width
 from repro.encoding.well_defined import check_mapping
+from repro.errors import InvalidArgumentError
 
 Predicate = Sequence[Hashable]
 
@@ -67,7 +68,7 @@ def encoding_cost(
     if weights is None:
         weights = [1.0] * len(predicates)
     if len(weights) != len(predicates):
-        raise ValueError("weights must match predicates")
+        raise InvalidArgumentError("weights must match predicates")
     dont_cares = mapping.unused_codes()
     total = 0.0
     for predicate, weight in zip(predicates, weights):
@@ -186,7 +187,7 @@ def encode_for_predicates(
     for predicate in predicates:
         for value in predicate:
             if value not in ordered:
-                raise ValueError(
+                raise InvalidArgumentError(
                     f"predicate value {value!r} is not in the domain"
                 )
     extra = 1 if reserve_void_zero else 0

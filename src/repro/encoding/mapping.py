@@ -19,6 +19,7 @@ from repro.errors import (
     DomainError,
     DuplicateCodeError,
     DuplicateValueError,
+    InvalidArgumentError,
 )
 
 
@@ -46,7 +47,7 @@ NULL = _Sentinel("NULL")
 def code_width(cardinality: int) -> int:
     """``k = ceil(log2 m)``: vectors needed for ``m`` distinct values."""
     if cardinality < 1:
-        raise ValueError(f"cardinality must be positive, got {cardinality}")
+        raise InvalidArgumentError(f"cardinality must be positive, got {cardinality}")
     if cardinality == 1:
         return 1
     return math.ceil(math.log2(cardinality))
@@ -66,7 +67,7 @@ class MappingTable:
 
     def __init__(self, width: int = 1, reserve_void_zero: bool = True) -> None:
         if width < 1:
-            raise ValueError(f"width must be >= 1, got {width}")
+            raise InvalidArgumentError(f"width must be >= 1, got {width}")
         self._width = width
         self._value_to_code: Dict[Hashable, int] = {}
         self._code_to_value: Dict[int, Hashable] = {}

@@ -16,6 +16,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.encoding.heuristics import encode_for_predicates
 from repro.encoding.mapping import MappingTable
 from repro.encoding.well_defined import check_mapping
+from repro.errors import InvalidArgumentError
 
 
 @dataclass(frozen=True, order=True)
@@ -27,7 +28,7 @@ class Interval:
 
     def __post_init__(self) -> None:
         if self.high <= self.low:
-            raise ValueError(f"empty interval [{self.low}, {self.high})")
+            raise InvalidArgumentError(f"empty interval [{self.low}, {self.high})")
 
     def contains(self, value: float) -> bool:
         return self.low <= value < self.high
@@ -49,7 +50,7 @@ class RangePartition:
         for interval in self.intervals:
             if interval.contains(value):
                 return interval
-        raise ValueError(f"value {value} outside the partitioned domain")
+        raise InvalidArgumentError(f"value {value} outside the partitioned domain")
 
     def covering(self, low: float, high: float) -> List[Interval]:
         """Intervals fully covering the half-open query ``[low, high)``.
@@ -64,11 +65,11 @@ class RangePartition:
             if interval.low >= low and interval.high <= high
         ]
         if not selected:
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"query [{low},{high}) does not cover any interval"
             )
         if selected[0].low != low or selected[-1].high != high:
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"query [{low},{high}) is not aligned with the partition"
             )
         return selected
@@ -89,13 +90,13 @@ def partition_from_predicates(
     the six partitions ``[6,8) [8,10) [10,12) [12,13) [13,16) [16,20)``.
     """
     if domain_high <= domain_low:
-        raise ValueError("empty attribute domain")
+        raise InvalidArgumentError("empty attribute domain")
     cuts = {domain_low, domain_high}
     for low, high in predicates:
         if high <= low:
-            raise ValueError(f"empty predicate range [{low}, {high})")
+            raise InvalidArgumentError(f"empty predicate range [{low}, {high})")
         if low < domain_low or high > domain_high:
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"predicate [{low},{high}) outside the domain "
                 f"[{domain_low},{domain_high})"
             )

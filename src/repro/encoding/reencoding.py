@@ -24,6 +24,7 @@ from repro.encoding.heuristics import (
     encoding_cost,
 )
 from repro.encoding.mapping import MappingTable
+from repro.errors import InvalidArgumentError
 
 if TYPE_CHECKING:
     from repro.index.encoded_bitmap import EncodedBitmapIndex
@@ -78,7 +79,7 @@ def evaluate_reencoding(
         read and one unit per 64 rewritten bits (a word write).
     """
     if horizon_executions < 0:
-        raise ValueError("horizon must be non-negative")
+        raise InvalidArgumentError("horizon must be non-negative")
     current_cost = encoding_cost(current, predicates, weights)
     candidate = encode_for_predicates(
         current.domain(),
@@ -116,7 +117,7 @@ def apply_reencoding(
     """
     new_mapping = decision.candidate
     if set(new_mapping.domain()) != set(index.mapping.domain()):
-        raise ValueError(
+        raise InvalidArgumentError(
             "candidate mapping does not cover the index domain"
         )
     translated = {}

@@ -17,6 +17,7 @@ from typing import Hashable, Iterable, Iterator, List, Sequence, Set
 from repro.boolean.reduction import reduce_values
 from repro.encoding.mapping import MappingTable, code_width
 from repro.encoding.well_defined import check_mapping
+from repro.errors import InvalidArgumentError
 
 
 def bit_slice_encoding(
@@ -46,7 +47,7 @@ def is_order_preserving(mapping: MappingTable) -> bool:
     try:
         ordered = sorted(values)
     except TypeError:
-        raise ValueError(
+        raise InvalidArgumentError(
             "domain values are not totally ordered; cannot check"
         ) from None
     codes = [mapping.encode(value) for value in ordered]

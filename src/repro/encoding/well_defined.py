@@ -32,7 +32,7 @@ from repro.boolean.reduction import reduce_values
 from repro.encoding.chain import find_chain, find_prime_chain
 from repro.encoding.distance import binary_distance
 from repro.encoding.mapping import NULL, VOID, MappingTable
-from repro.errors import EncodingError
+from repro.errors import EncodingError, InvalidArgumentError
 
 #: Above this subdomain size, prime-chain existence is decided by the
 #: subcube fast path only (exhaustive subset search would blow up).
@@ -174,7 +174,7 @@ def is_well_defined(
     values = list(dict.fromkeys(subdomain))
     n = len(values)
     if n < 2:
-        raise ValueError("Definition 2.5 requires a subdomain of size >= 2")
+        raise InvalidArgumentError("Definition 2.5 requires a subdomain of size >= 2")
     codes = [mapping.encode(value) for value in values]
     p = n.bit_length() - 1  # floor(log2 n)
 

@@ -13,6 +13,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
 
+class InvalidArgumentError(ReproError, ValueError):
+    """A caller-supplied argument violates a documented precondition.
+
+    Inherits :class:`ValueError` so call sites written against the
+    builtin keep working, while ``except ReproError`` at an API
+    boundary still catches it (ebilint EBI205).
+    """
+
+
 class BitmapError(ReproError):
     """Errors from the bit-vector substrate (``repro.bitmap``)."""
 
@@ -64,6 +73,33 @@ class UnsupportedPredicateError(IndexError_):
     """An index was asked to evaluate a predicate type it cannot serve."""
 
 
+class CorruptIndexError(IndexBuildError):
+    """A persisted index payload failed an integrity or structural check.
+
+    Raised by :mod:`repro.index.serialization` when a payload is
+    truncated, fails a CRC, or decodes into an inconsistent structure,
+    and by :mod:`repro.index.verify` when a live index violates one of
+    the paper's invariants.  ``offset`` (byte position in the payload)
+    and ``field`` (the header/section that failed) locate the damage
+    when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        offset: int | None = None,
+        field: str | None = None,
+    ) -> None:
+        detail = message
+        if field is not None:
+            detail += f" [field: {field}]"
+        if offset is not None:
+            detail += f" [offset: {offset}]"
+        super().__init__(detail)
+        self.offset = offset
+        self.field = field
+
+
 class StorageError(ReproError):
     """Errors from the simulated paged storage (``repro.storage``)."""
 
@@ -74,6 +110,35 @@ class PageOverflowError(StorageError):
 
 class InvalidPageError(StorageError):
     """A page id does not exist in the pager."""
+
+
+class ChecksumError(StorageError):
+    """A page's committed image no longer matches its CRC32 checksum.
+
+    Signals at-rest corruption (bit rot) or a torn write: the checksum
+    was computed for the full intended image but only part of it is
+    present.
+    """
+
+
+class IOFaultError(StorageError):
+    """An (injected or simulated) I/O operation failed."""
+
+
+class TransientIOError(IOFaultError):
+    """An I/O fault that may succeed when the operation is retried."""
+
+
+class PermanentIOError(IOFaultError):
+    """An I/O fault that will not go away on retry (media failure)."""
+
+
+class RetryExhaustedError(StorageError):
+    """A retried I/O operation kept failing past the attempt budget."""
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class TableError(ReproError):

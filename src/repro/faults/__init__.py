@@ -1,0 +1,36 @@
+"""Deterministic fault injection for the simulated storage layer.
+
+The paper's cost model treats the k bitmap vectors and the mapping
+table as trustworthy; this package supplies the machinery to test what
+happens when they are not.  :class:`FaultPolicy` is a seeded schedule
+of injected faults (failed reads/writes, torn page writes, bit rot);
+:class:`FaultyPager` is a drop-in :class:`~repro.storage.pager.Pager`
+that executes that schedule; :class:`RetryPolicy` is the bounded-
+backoff recovery path for transient faults.
+
+Everything is deterministic given a seed — no wall-clock time, no
+global randomness — so the fault-matrix suite can assert exactly which
+operation fails and how it is detected or recovered.
+"""
+
+from __future__ import annotations
+
+from repro.faults.pager import FaultyPager
+from repro.faults.policy import (
+    KINDS,
+    OPERATIONS,
+    FaultEvent,
+    FaultPolicy,
+    FaultRule,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "KINDS",
+    "OPERATIONS",
+    "FaultEvent",
+    "FaultPolicy",
+    "FaultRule",
+    "FaultyPager",
+    "RetryPolicy",
+]

@@ -1,0 +1,102 @@
+"""A drop-in pager that injects faults according to a policy.
+
+:class:`FaultyPager` subclasses :class:`~repro.storage.pager.Pager`
+and consults a :class:`~repro.faults.policy.FaultPolicy` before every
+physical read and write:
+
+* ``fail`` faults raise before touching committed state, so a failed
+  write leaves the previous image (and the page's dirty flag) intact;
+* ``torn`` writes commit the checksum of the full intended image but
+  only a prefix of its bytes — detected as
+  :class:`~repro.errors.ChecksumError` on the next physical read;
+* ``bitrot`` flips one committed bit (checksum untouched) before the
+  read proceeds, which then fails verification.
+
+Everything is deterministic given the policy's seed, which is what
+lets the fault-matrix tests assert detection-or-recovery per cell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PermanentIOError, TransientIOError
+from repro.faults.policy import FaultEvent, FaultPolicy
+from repro.storage.page import PAGE_SIZE_DEFAULT, Page, page_checksum
+from repro.storage.pager import Pager
+from repro.storage.stats import IOStatistics
+
+
+class FaultyPager(Pager):
+    """A :class:`Pager` whose physical I/O can fail on schedule."""
+
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        stats: Optional[IOStatistics] = None,
+        policy: Optional[FaultPolicy] = None,
+    ) -> None:
+        super().__init__(page_size=page_size, stats=stats)
+        self.policy = policy if policy is not None else FaultPolicy.none()
+
+    # ------------------------------------------------------------------
+    def read(self, page_id: int) -> Page:
+        event = self.policy.decide("read", page_id)
+        if event is not None:
+            if event.kind == "fail":
+                raise self._fault_error(event)
+            if event.kind == "bitrot":
+                self._rot_one_bit(page_id)
+        return super().read(page_id)
+
+    def write(self, page: Page) -> None:
+        event = self.policy.decide("write", page.page_id)
+        if event is None:
+            super().write(page)
+            return
+        if event.kind == "fail":
+            raise self._fault_error(event)
+        if event.kind == "torn":
+            self._torn_write(page)
+            return
+        super().write(page)
+
+    # ------------------------------------------------------------------
+    # injection mechanics
+    # ------------------------------------------------------------------
+    def _fault_error(self, event: FaultEvent) -> Exception:
+        message = (
+            f"injected {event.operation} fault on page {event.page_id} "
+            f"(op #{event.op_index})"
+        )
+        if event.transient:
+            return TransientIOError(message)
+        return PermanentIOError(message)
+
+    def _torn_write(self, page: Page) -> None:
+        """Commit a partial image under the full image's checksum.
+
+        From the writer's perspective the write succeeded (the page is
+        marked clean and the write is counted); the damage is only
+        observable at the next physical read, exactly like a torn
+        sector write under a crash.
+        """
+        intended = page.snapshot()
+        previous = self._images.get(
+            page.page_id, bytes(self.page_size)
+        )
+        cut = self.policy.draw_offset(len(intended))
+        self._images[page.page_id] = intended[:cut] + previous[cut:]
+        self._checksums[page.page_id] = page_checksum(intended)
+        self.stats.record_write()
+        page.dirty = False
+
+    def _rot_one_bit(self, page_id: int) -> None:
+        """Flip one bit of the committed image, leaving the CRC stale."""
+        image = self._images.get(page_id)
+        if image is None or not image:
+            return
+        bit = self.policy.draw_bit(len(image) * 8)
+        rotted = bytearray(image)
+        rotted[bit // 8] ^= 1 << (bit % 8)
+        self._images[page_id] = bytes(rotted)

@@ -1,0 +1,218 @@
+"""Deterministic, seedable fault policies.
+
+A :class:`FaultPolicy` decides, per physical I/O operation, whether a
+fault fires and which kind.  All randomness flows through one seeded
+``random.Random`` instance, so a given ``(seed, rules, operation
+sequence)`` always produces the same fault schedule — the fault-matrix
+tests rely on this to assert *exactly* which operation fails.
+
+Rules select operations either probabilistically (``probability``) or
+positionally (``skip_first`` / ``max_triggers``), and can be scoped to
+specific pages.  Kinds:
+
+``fail``
+    The operation raises (:class:`~repro.errors.TransientIOError` or
+    :class:`~repro.errors.PermanentIOError` depending on ``transient``)
+    and has no effect on the committed state.
+``torn``
+    A write commits the checksum of the *full* intended image but only
+    a prefix of the data — the classic torn/partial page write; the
+    next physical read fails its checksum.
+``bitrot``
+    A read first flips one bit of the committed image (checksum left
+    untouched), modelling at-rest media decay; the read then fails its
+    checksum.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import InvalidArgumentError
+
+#: Operations a rule can match.
+OPERATIONS = ("read", "write")
+
+#: Fault kinds a rule can inject.
+KINDS = ("fail", "torn", "bitrot")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """One matching clause of a fault policy.
+
+    Parameters
+    ----------
+    operation:
+        ``"read"`` or ``"write"``.
+    kind:
+        ``"fail"``, ``"torn"`` or ``"bitrot"`` (``torn`` only makes
+        sense on writes, ``bitrot`` on reads).
+    probability:
+        Chance the rule fires on a matching operation; ``1.0`` fires
+        always (and consumes no randomness, keeping schedules stable).
+    transient:
+        For ``kind="fail"``: raise a transient (retryable) rather than
+        permanent error.
+    skip_first:
+        Number of matching operations to let through before the rule
+        may fire — "fail the 3rd write" is ``skip_first=2``.
+    max_triggers:
+        Stop firing after this many hits (``None`` = unlimited); a
+        transient burst is ``transient=True, max_triggers=n``.
+    page_ids:
+        Restrict the rule to these pages (``None`` = all pages).
+    """
+
+    operation: str
+    kind: str
+    probability: float = 1.0
+    transient: bool = True
+    skip_first: int = 0
+    max_triggers: Optional[int] = None
+    page_ids: Optional[FrozenSet[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.operation not in OPERATIONS:
+            raise InvalidArgumentError(
+                f"unknown operation {self.operation!r}; "
+                f"expected one of {OPERATIONS}"
+            )
+        if self.kind not in KINDS:
+            raise InvalidArgumentError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise InvalidArgumentError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.kind == "torn" and self.operation != "write":
+            raise InvalidArgumentError(
+                "torn faults apply to writes only"
+            )
+        if self.kind == "bitrot" and self.operation != "read":
+            raise InvalidArgumentError(
+                "bitrot faults apply to reads only"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """A fault the policy decided to inject on one operation."""
+
+    kind: str
+    transient: bool
+    operation: str
+    page_id: int
+    op_index: int
+
+
+@dataclass
+class FaultPolicy:
+    """Seeded schedule of injected faults.
+
+    The policy is consulted by :class:`~repro.faults.FaultyPager`
+    before every physical read/write.  It is stateful (operation
+    counters, per-rule trigger counts, one RNG), so reuse one policy
+    per pager and rebuild it to replay a schedule.
+    """
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = ()
+    _rng: random.Random = field(init=False, repr=False)
+    _op_counts: Dict[str, int] = field(init=False, repr=False)
+    _seen_counts: Dict[int, int] = field(init=False, repr=False)
+    _trigger_counts: Dict[int, int] = field(init=False, repr=False)
+    events: List[FaultEvent] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rules = tuple(self.rules)
+        self._rng = random.Random(self.seed)
+        self._op_counts = {}
+        self._seen_counts = {}
+        self._trigger_counts = {}
+        self.events = []
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPolicy":
+        """A policy that never injects anything."""
+        return cls(seed=seed, rules=())
+
+    @classmethod
+    def single(
+        cls,
+        operation: str,
+        kind: str,
+        seed: int = 0,
+        **rule_kwargs: object,
+    ) -> "FaultPolicy":
+        """Policy with exactly one rule (the common test shape)."""
+        rule = FaultRule(operation=operation, kind=kind, **rule_kwargs)  # type: ignore[arg-type]
+        return cls(seed=seed, rules=(rule,))
+
+    def with_rules(self, rules: Iterable[FaultRule]) -> "FaultPolicy":
+        """A fresh policy (same seed) with ``rules`` appended."""
+        return FaultPolicy(
+            seed=self.seed, rules=self.rules + tuple(rules)
+        )
+
+    # ------------------------------------------------------------------
+    # the decision procedure
+    # ------------------------------------------------------------------
+    def decide(self, operation: str, page_id: int) -> Optional[FaultEvent]:
+        """Should this operation fault?  First matching rule wins."""
+        op_index = self._op_counts.get(operation, 0)
+        self._op_counts[operation] = op_index + 1
+        for rule_index, rule in enumerate(self.rules):
+            if rule.operation != operation:
+                continue
+            if rule.page_ids is not None and page_id not in rule.page_ids:
+                continue
+            seen = self._seen_counts.get(rule_index, 0)
+            self._seen_counts[rule_index] = seen + 1
+            if seen < rule.skip_first:
+                continue
+            triggered = self._trigger_counts.get(rule_index, 0)
+            if (
+                rule.max_triggers is not None
+                and triggered >= rule.max_triggers
+            ):
+                continue
+            if rule.probability < 1.0 and (
+                self._rng.random() >= rule.probability
+            ):
+                continue
+            self._trigger_counts[rule_index] = triggered + 1
+            event = FaultEvent(
+                kind=rule.kind,
+                transient=rule.transient,
+                operation=operation,
+                page_id=page_id,
+                op_index=op_index,
+            )
+            self.events.append(event)
+            return event
+        return None
+
+    # ------------------------------------------------------------------
+    # deterministic draws used by the injector
+    # ------------------------------------------------------------------
+    def draw_offset(self, size: int) -> int:
+        """Deterministic cut point in ``[1, size)`` for a torn write."""
+        if size <= 1:
+            return 1
+        return self._rng.randrange(1, size)
+
+    def draw_bit(self, nbits: int) -> int:
+        """Deterministic bit position in ``[0, nbits)`` for bit rot."""
+        if nbits <= 0:
+            raise InvalidArgumentError(
+                f"cannot pick a bit out of {nbits}"
+            )
+        return self._rng.randrange(nbits)

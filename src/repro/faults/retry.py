@@ -1,0 +1,105 @@
+"""Bounded retry with deterministic backoff for transient I/O faults.
+
+The policy retries only :class:`~repro.errors.TransientIOError`;
+permanent faults and checksum failures propagate immediately (retrying
+cannot fix decayed media — that is :func:`repro.index.verify.repair`'s
+job).  Backoff delays form a deterministic geometric series; the
+``sleep`` hook defaults to ``time.sleep`` but tests inject a recorder
+so no wall-clock time is ever spent in the suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, TypeVar
+
+from repro.errors import (
+    InvalidArgumentError,
+    RetryExhaustedError,
+    TransientIOError,
+)
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Retry a callable up to ``max_attempts`` times with backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts, including the first (must be >= 1).
+    base_delay:
+        Delay before the first retry, in seconds.
+    multiplier:
+        Geometric growth factor per retry.
+    max_delay:
+        Upper bound applied to every delay.
+    sleep:
+        Hook invoked with each delay; inject a recorder in tests.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.001,
+        multiplier: float = 2.0,
+        max_delay: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise InvalidArgumentError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if base_delay < 0 or max_delay < 0:
+            raise InvalidArgumentError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise InvalidArgumentError(
+                f"multiplier must be >= 1, got {multiplier}"
+            )
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.sleep = sleep
+
+    # ------------------------------------------------------------------
+    def delay_for(self, retry_index: int) -> float:
+        """Deterministic delay before the ``retry_index``-th retry."""
+        delay = self.base_delay * (self.multiplier**retry_index)
+        return min(delay, self.max_delay)
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule (``max_attempts - 1`` entries)."""
+        return [
+            self.delay_for(index)
+            for index in range(self.max_attempts - 1)
+        ]
+
+    def call(self, operation: Callable[[], T]) -> T:
+        """Run ``operation``, retrying transient I/O faults.
+
+        Raises :class:`~repro.errors.RetryExhaustedError` (chaining the
+        last transient fault) once the attempt budget is spent; every
+        other exception propagates unchanged on first occurrence.
+        """
+        last_error: TransientIOError | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return operation()
+            except TransientIOError as exc:
+                last_error = exc
+                if attempt + 1 < self.max_attempts:
+                    self.sleep(self.delay_for(attempt))
+        raise RetryExhaustedError(
+            f"I/O still failing after {self.max_attempts} attempts: "
+            f"{last_error}",
+            attempts=self.max_attempts,
+        ) from last_error
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, "
+            f"multiplier={self.multiplier}, max_delay={self.max_delay})"
+        )

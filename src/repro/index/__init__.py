@@ -22,8 +22,20 @@ from repro.index.groupset import GroupSetIndex
 from repro.index.compressed import CompressedBitmapIndex
 from repro.index.join_index import BitmapJoinIndex
 from repro.index.paged import PagedEncodedBitmapIndex, PagedSimpleBitmapIndex
+from repro.index.verify import (
+    FsckReport,
+    Violation,
+    repair,
+    verify_index,
+    verify_payload,
+)
 
 __all__ = [
+    "FsckReport",
+    "Violation",
+    "repair",
+    "verify_index",
+    "verify_payload",
     "Index",
     "IndexStatistics",
     "SimpleBitmapIndex",

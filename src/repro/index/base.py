@@ -85,6 +85,10 @@ class Index:
         self.column_name = column_name
         self.stats = IndexStatistics()
         self.last_cost = LookupCost()
+        #: Set by :func:`repro.index.verify.verify_index` when the
+        #: index fails fsck; the planner then refuses to serve
+        #: predicates from it and falls back to a table scan.
+        self.degraded = False
 
     # ------------------------------------------------------------------
     # public lookup API

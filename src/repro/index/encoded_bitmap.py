@@ -21,7 +21,11 @@ from repro.bitmap.bitvector import BitVector
 from repro.boolean.evaluator import AccessCounter, evaluate_dnf
 from repro.boolean.reduction import ReducedFunction, minterm_dnf, reduce_values
 from repro.encoding.mapping import NULL, VOID, MappingTable
-from repro.errors import IndexBuildError, UnsupportedPredicateError
+from repro.errors import (
+    IndexBuildError,
+    InvalidArgumentError,
+    UnsupportedPredicateError,
+)
 from repro.index.base import Index, LookupCost, range_values
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
@@ -64,9 +68,9 @@ class EncodedBitmapIndex(Index):
     ) -> None:
         super().__init__(table, column_name)
         if void_mode not in ("encode", "vector"):
-            raise ValueError(f"bad void_mode {void_mode!r}")
+            raise InvalidArgumentError(f"bad void_mode {void_mode!r}")
         if null_mode not in ("encode", "vector"):
-            raise ValueError(f"bad null_mode {null_mode!r}")
+            raise InvalidArgumentError(f"bad null_mode {null_mode!r}")
         self.void_mode = void_mode
         self.null_mode = null_mode
         self.exact_reduction = exact_reduction

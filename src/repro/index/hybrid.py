@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Union
 
 from repro.bitmap.bitvector import BitVector
-from repro.errors import UnsupportedPredicateError
+from repro.errors import InvalidArgumentError, UnsupportedPredicateError
 from repro.index.base import Index, LookupCost, range_values
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
@@ -51,7 +51,7 @@ class HybridBitmapBTreeIndex(Index):
     ) -> None:
         super().__init__(table, column_name)
         if not 0.0 < sparsity_threshold <= 1.0:
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"sparsity_threshold must be in (0, 1], got "
                 f"{sparsity_threshold}"
             )

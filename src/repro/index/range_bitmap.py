@@ -14,7 +14,11 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.bitmap.bitvector import BitVector
-from repro.errors import IndexBuildError, UnsupportedPredicateError
+from repro.errors import (
+    IndexBuildError,
+    InvalidArgumentError,
+    UnsupportedPredicateError,
+)
 from repro.index.base import Index, LookupCost
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
@@ -30,7 +34,7 @@ class RangeBitmapIndex(Index):
     ) -> None:
         super().__init__(table, column_name)
         if buckets < 1:
-            raise ValueError(f"buckets must be >= 1, got {buckets}")
+            raise InvalidArgumentError(f"buckets must be >= 1, got {buckets}")
         self.bucket_target = buckets
         self._boundaries: List[Any] = []  # upper bound per bucket (incl.)
         self._vectors: List[BitVector] = []

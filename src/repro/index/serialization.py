@@ -1,37 +1,71 @@
 """Serialization of encoded bitmap indexes.
 
 A deployed warehouse rebuilds indexes rarely; persisting them avoids
-the O(n * k) build scan.  The format is deliberately simple and
-self-describing:
+the O(n * k) build scan.  The format (version 2) is self-describing
+and *checked* end to end:
 
-* a JSON header (version, column, width, modes, row count, mapping
-  entries with sentinel markers),
-* the raw little-endian word arrays of the k bitmap vectors.
+* magic ``EBI2``, a binary version/length/CRC32 preamble,
+* a JSON header (column, width, modes, row count, mapping entries with
+  sentinel markers) protected by its own CRC32,
+* the raw little-endian word arrays of the k bitmap vectors, each
+  framed with a length and a CRC32.
+
+Any truncation, bit flip or structural inconsistency (non-bijective
+mapping, codes outside the width, VOID off code 0, wrong vector
+length) raises a typed :class:`~repro.errors.CorruptIndexError`
+carrying the byte offset and field that failed — never a raw
+``KeyError``/``struct.error``/JSON crash, and never a silently wrong
+index.  Version-1 payloads (magic ``EBIX``, no checksums) are still
+readable behind the same error contract.
 
 ``dumps``/``loads`` work on bytes; ``save``/``load`` wrap them with a
-file path.  Loading binds the index to a table the caller supplies —
-the table must have the same row count the index was saved with.
+file path.  ``save`` is atomic: write-temp + verify + rename, so a
+crashed save never clobbers the previous good index.  Loading binds
+the index to a table the caller supplies — the table must have the
+same row count the index was saved with.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
-from typing import Any, List
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
 from repro.bitmap.bitvector import BitVector
 from repro.encoding.mapping import NULL, VOID, MappingTable
-from repro.errors import IndexBuildError
+from repro.errors import (
+    CorruptIndexError,
+    EncodingError,
+    IndexBuildError,
+)
 from repro.index.encoded_bitmap import EncodedBitmapIndex
 from repro.table.table import Table
 
-MAGIC = b"EBIX"
-VERSION = 1
+#: Version-2 container magic (checksummed format).
+MAGIC = b"EBI2"
+#: Version-1 magic, still accepted by :func:`loads` (no checksums).
+MAGIC_V1 = b"EBIX"
+VERSION = 2
+
+#: Binary preamble after the magic: u16 version, u32 header length,
+#: u32 header CRC32.
+_PREAMBLE = struct.Struct("<HII")
+#: Per-vector frame: u32 payload length, u32 payload CRC32.
+_SECTION = struct.Struct("<II")
 
 _SENTINEL_TO_TAG = {VOID: "__void__", NULL: "__null__"}
 _TAG_TO_SENTINEL = {tag: obj for obj, tag in _SENTINEL_TO_TAG.items()}
+
+_MODES = ("encode", "vector")
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 def _encode_value(value: Any) -> List:
@@ -51,23 +85,44 @@ def _encode_value(value: Any) -> List:
     )
 
 
-def _decode_value(tagged: List) -> Any:
+def _decode_value(tagged: Any) -> Any:
+    if (
+        not isinstance(tagged, (list, tuple))
+        or len(tagged) != 2
+        or not isinstance(tagged[0], str)
+    ):
+        raise CorruptIndexError(
+            f"malformed mapping entry {tagged!r}", field="mapping"
+        )
     kind, payload = tagged
     if kind == "sentinel":
-        return _TAG_TO_SENTINEL[payload]
+        try:
+            return _TAG_TO_SENTINEL[payload]
+        except (KeyError, TypeError):
+            raise CorruptIndexError(
+                f"unknown sentinel tag {payload!r}", field="mapping"
+            ) from None
     if kind == "bool":
         return bool(payload)
-    if kind == "int":
-        return int(payload)
-    if kind == "float":
-        return float(payload)
-    if kind == "str":
-        return str(payload)
-    raise IndexBuildError(f"unknown value tag {kind!r}")
+    if kind in ("int", "float", "str"):
+        caster = {"int": int, "float": float, "str": str}[kind]
+        try:
+            return caster(payload)
+        except (TypeError, ValueError):
+            raise CorruptIndexError(
+                f"mapping value {payload!r} does not decode as {kind}",
+                field="mapping",
+            ) from None
+    raise CorruptIndexError(
+        f"unknown value tag {kind!r}", field="mapping"
+    )
 
 
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
 def dumps(index: EncodedBitmapIndex) -> bytes:
-    """Serialise an encoded bitmap index to bytes."""
+    """Serialise an encoded bitmap index to (checksummed) bytes."""
     header = {
         "version": VERSION,
         "column": index.column_name,
@@ -80,35 +135,283 @@ def dumps(index: EncodedBitmapIndex) -> bytes:
             for value, code in index.mapping.items()
         ],
     }
-    header_bytes = json.dumps(header).encode("utf-8")
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     parts = [
         MAGIC,
-        struct.pack("<I", len(header_bytes)),
+        _PREAMBLE.pack(VERSION, len(header_bytes), _crc(header_bytes)),
         header_bytes,
     ]
     for i in range(index.width):
         words = index.vector(i).words
         raw = words.astype("<u8").tobytes()
-        parts.append(struct.pack("<I", len(raw)))
+        parts.append(_SECTION.pack(len(raw), _crc(raw)))
         parts.append(raw)
     return b"".join(parts)
 
 
-def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
-    """Reconstruct an index from bytes, bound to ``table``."""
-    if payload[:4] != MAGIC:
-        raise IndexBuildError("not an EBIX payload")
-    offset = 4
-    (header_len,) = struct.unpack_from("<I", payload, offset)
-    offset += 4
-    header = json.loads(
-        payload[offset : offset + header_len].decode("utf-8")
-    )
-    offset += header_len
-    if header["version"] != VERSION:
-        raise IndexBuildError(
-            f"unsupported EBIX version {header['version']}"
+# ----------------------------------------------------------------------
+# parsing (table-free) — shared by loads() and the fsck CLI
+# ----------------------------------------------------------------------
+@dataclass
+class ParsedIndex:
+    """A structurally validated payload, not yet bound to a table."""
+
+    version: int
+    header: Dict[str, Any]
+    mapping: MappingTable
+    vectors: List[np.ndarray]
+
+
+def _slice(
+    payload: bytes, offset: int, length: int, field: str
+) -> bytes:
+    if length < 0 or offset + length > len(payload):
+        raise CorruptIndexError(
+            f"payload truncated: {field} needs {length} bytes at "
+            f"offset {offset}, have {len(payload) - offset}",
+            offset=offset,
+            field=field,
         )
+    return payload[offset : offset + length]
+
+
+def _header_field(
+    header: Dict[str, Any], name: str, kind: type, *extra: type
+) -> Any:
+    try:
+        value = header[name]
+    except KeyError:
+        raise CorruptIndexError(
+            f"header is missing required field {name!r}", field=name
+        ) from None
+    kinds: Tuple[type, ...] = (kind, *extra)
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise CorruptIndexError(
+            f"header field {name!r} has type "
+            f"{type(value).__name__}, expected "
+            f"{'/'.join(k.__name__ for k in kinds)}",
+            field=name,
+        )
+    return value
+
+
+def _build_mapping(header: Dict[str, Any]) -> MappingTable:
+    """Reconstruct and structurally validate the mapping table."""
+    width = _header_field(header, "width", int)
+    if width < 1:
+        raise CorruptIndexError(
+            f"width must be >= 1, got {width}", field="width"
+        )
+    entries = _header_field(header, "mapping", list)
+    mapping = MappingTable(width=width, reserve_void_zero=False)
+    for entry in entries:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise CorruptIndexError(
+                f"malformed mapping entry {entry!r}", field="mapping"
+            )
+        tagged, code = entry
+        if not isinstance(code, int) or isinstance(code, bool):
+            raise CorruptIndexError(
+                f"mapping code {code!r} is not an integer",
+                field="mapping",
+            )
+        value = _decode_value(tagged)
+        try:
+            # One-to-one and width bounds enforced by assign():
+            # duplicates or out-of-range codes are corruption here.
+            mapping.assign(value, code)
+        except EncodingError as exc:
+            raise CorruptIndexError(
+                f"mapping is not a valid bijection: {exc}",
+                field="mapping",
+            ) from exc
+    void_mode = _header_field(header, "void_mode", str)
+    if void_mode == "encode" and VOID not in mapping:
+        raise CorruptIndexError(
+            "void_mode='encode' but VOID is not in the mapping",
+            field="mapping",
+        )
+    if VOID in mapping and mapping.encode(VOID) != 0:
+        raise CorruptIndexError(
+            "Theorem 2.1 violated: VOID is mapped but not on code 0",
+            field="mapping",
+        )
+    return mapping
+
+
+def parse(payload: bytes) -> ParsedIndex:
+    """Structurally validate a payload without binding it to a table.
+
+    Verifies the magic, version, header CRC, header schema, mapping
+    bijectivity (and Theorem 2.1's code-0 reservation), and each
+    vector section's length and CRC.  Raises
+    :class:`~repro.errors.CorruptIndexError` on the first violation.
+    """
+    magic = _slice(payload, 0, 4, "magic")
+    if magic == MAGIC_V1:
+        return _parse_v1(payload)
+    if magic != MAGIC:
+        raise CorruptIndexError(
+            f"bad magic {magic!r}: not an EBI index payload",
+            offset=0,
+            field="magic",
+        )
+    offset = 4
+    preamble = _slice(payload, offset, _PREAMBLE.size, "preamble")
+    version, header_len, header_crc = _PREAMBLE.unpack(preamble)
+    offset += _PREAMBLE.size
+    if version != VERSION:
+        raise CorruptIndexError(
+            f"unsupported EBI index version {version}",
+            offset=4,
+            field="version",
+        )
+    header_bytes = _slice(payload, offset, header_len, "header")
+    actual_crc = _crc(header_bytes)
+    if actual_crc != header_crc:
+        raise CorruptIndexError(
+            f"header checksum mismatch: stored {header_crc:#010x}, "
+            f"computed {actual_crc:#010x}",
+            offset=offset,
+            field="header",
+        )
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptIndexError(
+            f"header does not decode as JSON: {exc}",
+            offset=offset,
+            field="header",
+        ) from exc
+    offset += header_len
+    if not isinstance(header, dict):
+        raise CorruptIndexError(
+            "header is not a JSON object", offset=4, field="header"
+        )
+
+    rows = _header_field(header, "rows", int)
+    if rows < 0:
+        raise CorruptIndexError(
+            f"negative row count {rows}", field="rows"
+        )
+    _header_field(header, "column", str)
+    for mode_field in ("void_mode", "null_mode"):
+        if _header_field(header, mode_field, str) not in _MODES:
+            raise CorruptIndexError(
+                f"{mode_field} must be one of {_MODES}",
+                field=mode_field,
+            )
+    mapping = _build_mapping(header)
+
+    vectors: List[np.ndarray] = []
+    expected_len = ((rows + 63) // 64) * 8
+    for i in range(mapping.width):
+        section_field = f"vector[{i}]"
+        frame = _slice(payload, offset, _SECTION.size, section_field)
+        raw_len, raw_crc = _SECTION.unpack(frame)
+        offset += _SECTION.size
+        if raw_len != expected_len:
+            raise CorruptIndexError(
+                f"vector {i} holds {raw_len} bytes, expected "
+                f"{expected_len} for {rows} rows",
+                offset=offset,
+                field=f"{section_field}.length",
+            )
+        raw = _slice(payload, offset, raw_len, section_field)
+        actual = _crc(raw)
+        if actual != raw_crc:
+            raise CorruptIndexError(
+                f"vector {i} checksum mismatch: stored "
+                f"{raw_crc:#010x}, computed {actual:#010x}",
+                offset=offset,
+                field=section_field,
+            )
+        offset += raw_len
+        vectors.append(np.frombuffer(raw, dtype="<u8").astype(np.uint64))
+    if offset != len(payload):
+        raise CorruptIndexError(
+            f"{len(payload) - offset} trailing bytes after the last "
+            "vector section",
+            offset=offset,
+            field="trailer",
+        )
+    return ParsedIndex(
+        version=VERSION, header=header, mapping=mapping, vectors=vectors
+    )
+
+
+def _parse_v1(payload: bytes) -> ParsedIndex:
+    """Parse the legacy (un-checksummed) version-1 layout."""
+    offset = 4
+    frame = _slice(payload, offset, 4, "header-length")
+    (header_len,) = struct.unpack("<I", frame)
+    offset += 4
+    header_bytes = _slice(payload, offset, header_len, "header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptIndexError(
+            f"header does not decode as JSON: {exc}",
+            offset=offset,
+            field="header",
+        ) from exc
+    offset += header_len
+    if not isinstance(header, dict):
+        raise CorruptIndexError(
+            "header is not a JSON object", offset=4, field="header"
+        )
+    if _header_field(header, "version", int) != 1:
+        raise CorruptIndexError(
+            f"unsupported EBI index version {header.get('version')!r}",
+            field="version",
+        )
+    rows = _header_field(header, "rows", int)
+    if rows < 0:
+        raise CorruptIndexError(
+            f"negative row count {rows}", field="rows"
+        )
+    _header_field(header, "column", str)
+    for mode_field in ("void_mode", "null_mode"):
+        if _header_field(header, mode_field, str) not in _MODES:
+            raise CorruptIndexError(
+                f"{mode_field} must be one of {_MODES}",
+                field=mode_field,
+            )
+    mapping = _build_mapping(header)
+    vectors: List[np.ndarray] = []
+    expected_len = ((rows + 63) // 64) * 8
+    for i in range(mapping.width):
+        section_field = f"vector[{i}]"
+        frame = _slice(payload, offset, 4, section_field)
+        (raw_len,) = struct.unpack("<I", frame)
+        offset += 4
+        if raw_len != expected_len:
+            raise CorruptIndexError(
+                f"vector {i} holds {raw_len} bytes, expected "
+                f"{expected_len} for {rows} rows",
+                offset=offset,
+                field=f"{section_field}.length",
+            )
+        raw = _slice(payload, offset, raw_len, section_field)
+        offset += raw_len
+        vectors.append(np.frombuffer(raw, dtype="<u8").astype(np.uint64))
+    return ParsedIndex(
+        version=1, header=header, mapping=mapping, vectors=vectors
+    )
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
+    """Reconstruct an index from bytes, bound to ``table``.
+
+    Raises :class:`~repro.errors.CorruptIndexError` when the payload
+    itself is damaged, and :class:`~repro.errors.IndexBuildError` when
+    the (intact) payload does not match the supplied table.
+    """
+    parsed = parse(payload)
+    header = parsed.header
     if header["rows"] != len(table):
         raise IndexBuildError(
             f"index was saved for {header['rows']} rows, table has "
@@ -119,12 +422,6 @@ def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
             f"table has no column {header['column']!r}"
         )
 
-    mapping = MappingTable(
-        width=header["width"], reserve_void_zero=False
-    )
-    for tagged, code in header["mapping"]:
-        mapping.assign(_decode_value(tagged), code)
-
     index = EncodedBitmapIndex.__new__(EncodedBitmapIndex)
     # Initialise without a rebuild scan: restore state directly.
     from repro.index.base import Index
@@ -133,7 +430,7 @@ def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
     index.void_mode = header["void_mode"]
     index.null_mode = header["null_mode"]
     index.exact_reduction = True
-    index._mapping = mapping
+    index._mapping = parsed.mapping
     index._reduction_cache = {}
     index._exists_vector = None
     index._null_vector = None
@@ -148,22 +445,40 @@ def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
         index._null_vector = null_vector
 
     nbits = header["rows"]
-    vectors = []
-    for _ in range(header["width"]):
-        (raw_len,) = struct.unpack_from("<I", payload, offset)
-        offset += 4
-        raw = payload[offset : offset + raw_len]
-        offset += raw_len
-        words = np.frombuffer(raw, dtype="<u8").astype(np.uint64)
-        vectors.append(BitVector._from_words(words.copy(), nbits))
-    index._vectors = vectors
+    index._vectors = [
+        BitVector._from_words(words.copy(), nbits)
+        for words in parsed.vectors
+    ]
     return index
 
 
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
 def save(index: EncodedBitmapIndex, path: str) -> None:
-    """Write the serialised index to ``path``."""
-    with open(path, "wb") as handle:
-        handle.write(dumps(index))
+    """Atomically write the serialised index to ``path``.
+
+    Write-temp + verify + rename: the payload goes to ``path + ".tmp"``
+    first, is re-read and checksum-verified, and only then renamed over
+    ``path`` — a crash mid-save leaves any previous index intact, and
+    a corrupted temp file is never published.
+    """
+    payload = dumps(index)
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        with open(tmp_path, "rb") as handle:
+            parse(handle.read())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load(path: str, table: Table) -> EncodedBitmapIndex:

@@ -28,7 +28,11 @@ from repro.lint.core import (
 from repro.lint.runner import Report, lint_file, lint_paths, lint_source
 
 # Importing the rule modules populates the registry.
-from repro.lint import rules_paper, rules_perf  # noqa: E402,F401  (registry side effect)
+from repro.lint import (  # noqa: E402,F401  (registry side effect)
+    rules_paper,
+    rules_perf,
+    rules_robustness,
+)
 
 __all__ = [
     "Finding",

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
 
 from repro.lint.core import Finding
+from repro.errors import InvalidArgumentError
 
 #: Default baseline location, resolved relative to the working tree.
 DEFAULT_BASELINE = ".ebilint-baseline.json"
@@ -33,7 +34,7 @@ def load_baseline(path: Path) -> Counter:
         return Counter()
     data = json.loads(path.read_text())
     if data.get("version") != _FORMAT_VERSION:
-        raise ValueError(
+        raise InvalidArgumentError(
             f"unsupported baseline version in {path}: {data.get('version')!r}"
         )
     return Counter(

@@ -20,6 +20,7 @@ import ast
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Type
+from repro.errors import InvalidArgumentError
 
 
 class Severity(enum.Enum):
@@ -130,9 +131,9 @@ def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule singleton to the registry."""
     rule = rule_cls()
     if not rule.id:
-        raise ValueError(f"rule {rule_cls.__name__} has no id")
+        raise InvalidArgumentError(f"rule {rule_cls.__name__} has no id")
     if rule.id in _REGISTRY:
-        raise ValueError(f"duplicate rule id {rule.id}")
+        raise InvalidArgumentError(f"duplicate rule id {rule.id}")
     _REGISTRY[rule.id] = rule
     return rule_cls
 

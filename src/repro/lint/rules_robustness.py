@@ -1,0 +1,71 @@
+"""Robustness rules (EBI2xx continued).
+
+The fault-injection layer (:mod:`repro.faults`) and the fsck/recovery
+path (:mod:`repro.index.verify`) rely on callers being able to catch
+:class:`~repro.errors.ReproError` and know they have seen every
+library-originated failure.  A bare ``raise ValueError(...)`` deep in
+an index or encoder escapes that contract: retry loops will not
+classify it, fsck cannot attribute it, and callers either over-catch
+(``except Exception``) or miss it entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+#: Builtin exception types library code must not raise directly.
+#: ``InvalidArgumentError`` subclasses ``ValueError`` so existing
+#: callers (and tests) that catch ``ValueError`` keep working.
+_BANNED_EXCEPTIONS = frozenset({"ValueError", "RuntimeError"})
+
+
+@register_rule
+class BareBuiltinRaiseRule(Rule):
+    """EBI205: library code raises ReproError subclasses, not bare
+    builtins.
+
+    Every failure raised by ``repro`` library code must be a
+    :class:`~repro.errors.ReproError` subclass so the storage retry
+    machinery, fsck, and callers can classify it.  For bad arguments
+    use :class:`~repro.errors.InvalidArgumentError`, which still
+    ``isinstance``-checks as ``ValueError``.
+    """
+
+    id = "EBI205"
+    name = "bare-builtin-raise"
+    description = (
+        "bare ValueError/RuntimeError raised from library code; raise "
+        "a ReproError subclass (e.g. InvalidArgumentError) instead"
+    )
+    rationale = (
+        "Robustness contract: retry/fsck machinery classifies failures "
+        "by ReproError subclass; bare builtins escape that taxonomy."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = self._raised_name(node.exc)
+            if name in _BANNED_EXCEPTIONS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"library code raises bare {name}; raise a "
+                    "ReproError subclass (e.g. InvalidArgumentError) "
+                    "instead",
+                )
+
+    @staticmethod
+    def _raised_name(exc: ast.expr) -> str | None:
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            return exc.id
+        return None

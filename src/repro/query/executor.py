@@ -34,6 +34,10 @@ class QueryResult:
     vector: BitVector
     cost: LookupCost = field(default_factory=LookupCost)
     used_scan: bool = False
+    #: True when the scan happened because every supporting index
+    #: failed fsck (see :mod:`repro.index.verify`) — accounting for
+    #: graceful degradation rather than a missing index.
+    degraded: bool = False
 
     def row_ids(self) -> List[int]:
         return [int(i) for i in self.vector.indices()]
@@ -57,7 +61,9 @@ class Executor:
 
     def execute(self, plan: Plan) -> QueryResult:
         if plan.fallback_scan:
-            return self._scan(plan.table, plan.predicate)
+            result = self._scan(plan.table, plan.predicate)
+            result.degraded = bool(plan.degraded_columns)
+            return result
         lookup = {
             id(step.predicate): step for step in plan.steps
         }

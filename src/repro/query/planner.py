@@ -61,10 +61,21 @@ class Plan:
     predicate: Predicate
     steps: List[AccessStep] = field(default_factory=list)
     fallback_scan: bool = False
+    #: Columns whose only supporting indexes failed fsck; when
+    #: non-empty the fallback scan is a *degradation*, not a missing
+    #: index, and the executor flags the result accordingly.
+    degraded_columns: List[str] = field(default_factory=list)
 
     def describe(self) -> str:
         if self.fallback_scan:
-            return f"SCAN {self.table.name} WHERE {self.predicate}"
+            suffix = ""
+            if self.degraded_columns:
+                suffix = (
+                    " [degraded index on "
+                    + ", ".join(self.degraded_columns)
+                    + "]"
+                )
+            return f"SCAN {self.table.name} WHERE {self.predicate}{suffix}"
         lines = [f"SELECT FROM {self.table.name} WHERE {self.predicate}"]
         lines.extend("  " + step.describe() for step in self.steps)
         return "\n".join(lines)
@@ -105,6 +116,12 @@ class Planner:
         (column,) = columns
         index = self._choose_index(table, column, predicate)
         if index is None:
+            if self._has_degraded_index(table, column, predicate):
+                if column not in plan.degraded_columns:
+                    plan.degraded_columns.append(column)
+                raise PlanningError(
+                    f"only degraded indexes on {table.name}.{column}"
+                )
             raise PlanningError(
                 f"no index on {table.name}.{column}"
             )
@@ -124,12 +141,25 @@ class Planner:
             index
             for index in self.catalog.indexes_on(table.name, column)
             if index.supports(predicate)
+            and not getattr(index, "degraded", False)
         ]
         if not candidates:
             return None
         return min(
             candidates,
             key=lambda index: self.estimate_cost(index, predicate),
+        )
+
+    def _has_degraded_index(
+        self, table: Table, column: str, predicate: Predicate
+    ) -> bool:
+        """True when fsck-degraded indexes (and only those) could
+        have served the predicate — the scan is then a degradation,
+        not a missing index."""
+        return any(
+            index.supports(predicate)
+            for index in self.catalog.indexes_on(table.name, column)
+            if getattr(index, "degraded", False)
         )
 
     def estimate_cost(self, index: "Index", predicate: Predicate) -> float:

@@ -8,7 +8,7 @@ benchmarks can report *page-level* reads in addition to vector counts
 and so the B-tree comparator pays realistic node-access costs.
 """
 
-from repro.storage.page import Page, PAGE_SIZE_DEFAULT
+from repro.storage.page import Page, PAGE_SIZE_DEFAULT, page_checksum
 from repro.storage.pager import Pager
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.stats import IOStatistics
@@ -22,4 +22,5 @@ __all__ = [
     "IOStatistics",
     "PagedVectorStore",
     "VectorHandle",
+    "page_checksum",
 ]

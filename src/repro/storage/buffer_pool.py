@@ -3,13 +3,26 @@
 Serving a page from the pool is a *logical* read; a miss triggers a
 *physical* read at the pager and may evict the least recently used
 frame (writing it back if dirty).
+
+Fault tolerance: physical reads and dirty write-backs optionally run
+under a :class:`~repro.faults.RetryPolicy`, so transient I/O faults
+are absorbed with bounded backoff.  Eviction is exception-safe — a
+dirty victim is only dropped from the pool *after* its write-back
+succeeded, so a failed write never loses data (the victim stays
+resident and dirty, and the error propagates).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import InvalidArgumentError
 from repro.storage.page import Page
 from repro.storage.pager import Pager
+
+if TYPE_CHECKING:
+    from repro.faults.retry import RetryPolicy
 
 
 class BufferPool:
@@ -21,13 +34,25 @@ class BufferPool:
         The underlying simulated disk.
     capacity:
         Number of page frames; must be at least 1.
+    retry:
+        Optional bounded-backoff policy applied to physical reads and
+        dirty write-backs; transient faults are retried, everything
+        else propagates.
     """
 
-    def __init__(self, pager: Pager, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        pager: Pager,
+        capacity: int = 64,
+        retry: Optional["RetryPolicy"] = None,
+    ) -> None:
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise InvalidArgumentError(
+                f"capacity must be >= 1, got {capacity}"
+            )
         self.pager = pager
         self.capacity = capacity
+        self.retry = retry
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -38,7 +63,7 @@ class BufferPool:
         if page_id in self._frames:
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
-        page = self.pager.read(page_id)
+        page = self._read_page(page_id)
         self._admit(page)
         return page
 
@@ -52,26 +77,56 @@ class BufferPool:
         """Write back every dirty frame."""
         for page in self._frames.values():
             if page.dirty:
-                self.pager.write(page)
+                self._write_page(page)
 
     def drop(self, page_id: int) -> None:
         """Remove a page from the pool without writing it back."""
         self._frames.pop(page_id, None)
 
     def clear(self) -> None:
-        """Flush and empty the pool (e.g. between benchmark phases)."""
+        """Flush and empty the pool (e.g. between benchmark phases).
+
+        The frames are only released after every dirty page was
+        written back, so a failing write-back cannot lose data.
+        """
         self.flush()
         self._frames.clear()
 
+    def close(self) -> None:
+        """Teardown: flush all dirty frames, then release them."""
+        self.clear()
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
+    def _read_page(self, page_id: int) -> Page:
+        if self.retry is None:
+            return self.pager.read(page_id)
+        return self.retry.call(lambda: self.pager.read(page_id))
+
+    def _write_page(self, page: Page) -> None:
+        if self.retry is None:
+            self.pager.write(page)
+        else:
+            self.retry.call(lambda: self.pager.write(page))
+
     def _admit(self, page: Page) -> None:
         if page.page_id in self._frames:
             self._frames.move_to_end(page.page_id)
             return
         while len(self._frames) >= self.capacity:
-            victim_id, victim = self._frames.popitem(last=False)
+            # Peek at the LRU victim and write it back *before*
+            # removing it, so a failed write-back leaves the dirty
+            # page resident instead of silently losing it.
+            victim_id = next(iter(self._frames))
+            victim = self._frames[victim_id]
             if victim.dirty:
-                self.pager.write(victim)
+                self._write_page(victim)
+            del self._frames[victim_id]
             self.pager.stats.record_eviction()
         self._frames[page.page_id] = page
 

@@ -4,13 +4,25 @@ Pages are byte buffers with a small header-free API: read/write a
 slice, plus record-oriented helpers used by the B-tree and the bitmap
 segment storage.  The default size matches the paper's cost analysis
 (p = 4 KiB).
+
+Integrity: a page can produce a CRC32 :func:`checksum` of its content;
+the :class:`~repro.storage.pager.Pager` stores that checksum next to
+the committed image on every physical write and verifies it on every
+physical read, so bit rot and torn writes surface as
+:class:`~repro.errors.ChecksumError` instead of silent corruption.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
-from repro.errors import PageOverflowError
+from repro.errors import InvalidArgumentError, PageOverflowError
+
+
+def page_checksum(data: bytes) -> int:
+    """CRC32 of a page image, normalised to an unsigned 32-bit value."""
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 #: The paper's Section 2.1 analysis assumes p = 4K.
 PAGE_SIZE_DEFAULT = 4096
@@ -23,7 +35,9 @@ class Page:
 
     def __init__(self, page_id: int, size: int = PAGE_SIZE_DEFAULT) -> None:
         if size <= 0:
-            raise ValueError(f"page size must be positive, got {size}")
+            raise InvalidArgumentError(
+                f"page size must be positive, got {size}"
+            )
         self.page_id = page_id
         self.size = size
         self._data = bytearray(size)
@@ -46,6 +60,28 @@ class Page:
         """Zero the page content."""
         self._data = bytearray(self.size)
         self.dirty = True
+
+    def snapshot(self) -> bytes:
+        """Immutable copy of the full page content."""
+        return bytes(self._data)
+
+    def load_image(self, image: bytes) -> None:
+        """Replace the content with a committed disk image.
+
+        Used by the pager on physical reads; the page then mirrors
+        disk, so the dirty flag is cleared.
+        """
+        if len(image) != self.size:
+            raise PageOverflowError(
+                f"image of {len(image)} bytes does not fit page size "
+                f"{self.size}"
+            )
+        self._data = bytearray(image)
+        self.dirty = False
+
+    def checksum(self) -> int:
+        """CRC32 of the current content."""
+        return page_checksum(bytes(self._data))
 
     def free_after(self, used: int) -> int:
         """Bytes remaining after the first ``used`` bytes."""

@@ -4,14 +4,23 @@ The pager owns page allocation and raw (physical) reads/writes; the
 :class:`~repro.storage.buffer_pool.BufferPool` sits on top and absorbs
 repeated reads.  All storage is in memory — the simulation's job is to
 *count*, not to persist.
+
+Durability model: each page has a *committed image* plus a CRC32
+checksum, both recorded at physical-write time.  A physical read
+verifies the image against its checksum before handing the page out,
+so at-rest corruption (bit rot) and torn writes — a checksum computed
+for a full image of which only a prefix reached "disk" — raise
+:class:`~repro.errors.ChecksumError` instead of silently serving
+garbage.  :class:`~repro.faults.FaultyPager` subclasses this to inject
+exactly those failures deterministically.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.errors import InvalidPageError
-from repro.storage.page import PAGE_SIZE_DEFAULT, Page
+from repro.errors import ChecksumError, InvalidPageError
+from repro.storage.page import PAGE_SIZE_DEFAULT, Page, page_checksum
 from repro.storage.stats import IOStatistics
 
 
@@ -26,6 +35,8 @@ class Pager:
         self.page_size = page_size
         self.stats = stats if stats is not None else IOStatistics()
         self._pages: Dict[int, Page] = {}
+        self._images: Dict[int, bytes] = {}
+        self._checksums: Dict[int, int] = {}
         self._next_id = 0
 
     # ------------------------------------------------------------------
@@ -33,23 +44,39 @@ class Pager:
         """Create a new zeroed page and return it."""
         page = Page(self._next_id, self.page_size)
         self._pages[self._next_id] = page
+        self._commit(page)
         self._next_id += 1
         self.stats.record_allocation()
         return page
 
     def read(self, page_id: int) -> Page:
-        """Physical read of a page (one disk access)."""
+        """Physical read of a page (one disk access).
+
+        Verifies the committed image against its stored CRC32 before
+        refreshing the page buffer from it; raises
+        :class:`~repro.errors.ChecksumError` on mismatch.
+        """
         try:
             page = self._pages[page_id]
         except KeyError:
             raise InvalidPageError(f"no page with id {page_id}") from None
         self.stats.record_physical_read()
+        image = self._images[page_id]
+        expected = self._checksums[page_id]
+        actual = page_checksum(image)
+        if actual != expected:
+            raise ChecksumError(
+                f"page {page_id} failed checksum verification: "
+                f"stored {expected:#010x}, computed {actual:#010x}"
+            )
+        page.load_image(image)
         return page
 
     def write(self, page: Page) -> None:
-        """Physical write-back of a page."""
+        """Physical write-back of a page: commit image + checksum."""
         if page.page_id not in self._pages:
             raise InvalidPageError(f"no page with id {page.page_id}")
+        self._commit(page)
         self.stats.record_write()
         page.dirty = False
 
@@ -58,6 +85,24 @@ class Pager:
         if page_id not in self._pages:
             raise InvalidPageError(f"no page with id {page_id}")
         del self._pages[page_id]
+        self._images.pop(page_id, None)
+        self._checksums.pop(page_id, None)
+
+    # ------------------------------------------------------------------
+    # commit internals (overridden / perturbed by FaultyPager)
+    # ------------------------------------------------------------------
+    def _commit(self, page: Page) -> None:
+        """Record the page's current content as the committed image."""
+        image = page.snapshot()
+        self._images[page.page_id] = image
+        self._checksums[page.page_id] = page_checksum(image)
+
+    def committed_checksum(self, page_id: int) -> int:
+        """Stored CRC32 of a page's last committed image."""
+        try:
+            return self._checksums[page_id]
+        except KeyError:
+            raise InvalidPageError(f"no page with id {page_id}") from None
 
     # ------------------------------------------------------------------
     @property

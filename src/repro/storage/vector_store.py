@@ -14,7 +14,7 @@ buffer-pool hits across queries).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.storage.buffer_pool import BufferPool
 from repro.storage.page import PAGE_SIZE_DEFAULT
 from repro.storage.pager import Pager
 from repro.storage.stats import IOStatistics
+
+if TYPE_CHECKING:
+    from repro.faults.retry import RetryPolicy
 
 
 @dataclass
@@ -44,6 +47,13 @@ class PagedVectorStore:
         Simulated page size (the paper's p = 4K by default).
     pool_capacity:
         Buffer-pool frames shared by all vectors in the store.
+    pager:
+        Optional pre-built pager (e.g. a
+        :class:`~repro.faults.FaultyPager` for fault-injection runs);
+        by default a pristine :class:`Pager` is created.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy` absorbing
+        transient I/O faults on physical reads and write-backs.
     """
 
     def __init__(
@@ -51,9 +61,17 @@ class PagedVectorStore:
         page_size: int = PAGE_SIZE_DEFAULT,
         pool_capacity: int = 64,
         stats: Optional[IOStatistics] = None,
+        pager: Optional[Pager] = None,
+        retry: Optional["RetryPolicy"] = None,
     ) -> None:
-        self.pager = Pager(page_size=page_size, stats=stats)
-        self.pool = BufferPool(self.pager, capacity=pool_capacity)
+        self.pager = (
+            pager
+            if pager is not None
+            else Pager(page_size=page_size, stats=stats)
+        )
+        self.pool = BufferPool(
+            self.pager, capacity=pool_capacity, retry=retry
+        )
         self._handles: Dict[Hashable, VectorHandle] = {}
 
     # ------------------------------------------------------------------
@@ -141,6 +159,20 @@ class PagedVectorStore:
         for page_id in handle.page_ids:
             self.pool.drop(page_id)
             self.pager.free(page_id)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write every dirty buffered page back to the pager.
+
+        Until flushed, stored vectors live only in pool frames; a
+        flush commits their images (and CRC32 checksums), making
+        subsequent corruption detectable at physical-read time.
+        """
+        self.pool.flush()
+
+    def close(self) -> None:
+        """Teardown: flush and release all buffered frames."""
+        self.pool.close()
 
     # ------------------------------------------------------------------
     def total_pages(self) -> int:

@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Sequence
 import numpy as np
 
 from repro.table.table import Table
+from repro.errors import InvalidArgumentError
 
 
 def uniform_column(
@@ -38,7 +39,7 @@ def zipf_column(
     larger means more skew.
     """
     if cardinality < 1:
-        raise ValueError("cardinality must be >= 1")
+        raise InvalidArgumentError("cardinality must be >= 1")
     ranks = np.arange(1, cardinality + 1, dtype=float)
     weights = ranks ** (-skew)
     weights /= weights.sum()
@@ -73,7 +74,7 @@ def build_table(
     """Assemble a :class:`Table` from pre-generated column values."""
     for col_name, values in columns.items():
         if len(values) != n:
-            raise ValueError(
+            raise InvalidArgumentError(
                 f"column {col_name!r} has {len(values)} values, "
                 f"expected {n}"
             )

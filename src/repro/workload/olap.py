@@ -17,6 +17,7 @@ from typing import Hashable, List, Optional, Sequence
 
 from repro.encoding.hierarchy import Hierarchy
 from repro.query.predicates import InList, Predicate
+from repro.errors import InvalidArgumentError
 
 
 @dataclass(frozen=True)
@@ -52,10 +53,10 @@ def generate_session(
     these operations reduce to.
     """
     if length < 1:
-        raise ValueError("session length must be >= 1")
+        raise InvalidArgumentError("session length must be >= 1")
     levels = hierarchy.level_names
     if not levels:
-        raise ValueError("hierarchy has no levels")
+        raise InvalidArgumentError("hierarchy has no levels")
     rng = random.Random(seed)
 
     level_index = len(levels) - 1

@@ -12,6 +12,7 @@ import random
 from typing import Any, List, Sequence
 
 from repro.query.predicates import Equals, InList, Predicate
+from repro.errors import InvalidArgumentError
 
 
 def point_query(
@@ -59,7 +60,7 @@ def query_mix(
 ) -> List[Predicate]:
     """A point/range blend with the given range-search share."""
     if not 0.0 <= range_share <= 1.0:
-        raise ValueError("range_share must be within [0, 1]")
+        raise InvalidArgumentError("range_share must be within [0, 1]")
     rng = random.Random(seed)
     queries: List[Predicate] = []
     for _ in range(count):

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.query.predicates import Equals, InList, Predicate
 from repro.table.table import Table
 from repro.workload.generators import uniform_column, zipf_column
+from repro.errors import InvalidArgumentError
 
 
 @dataclass(frozen=True)
@@ -125,7 +126,7 @@ def generate_query(
     column = table.column(query_class.column)
     domain = sorted(column.distinct_values())
     if not domain:
-        raise ValueError(
+        raise InvalidArgumentError(
             f"column {query_class.column!r} has no values"
         )
     if not query_class.involves_range:

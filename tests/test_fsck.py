@@ -1,0 +1,328 @@
+"""``ebi fsck``: invariant verification, repair, and degradation.
+
+Covers the four audited invariants (each demonstrated on a
+hand-corrupted index), the repair path (rebuild only the damaged
+vectors), the planner/executor degradation loop (corrupt -> scan
+fallback with accounting -> repair -> index trusted again), and the
+file-level ``repro fsck`` CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitmap.bitvector import BitVector
+from repro.cli import main as cli_main
+from repro.errors import CorruptIndexError
+from repro.index import serialization
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.index.verify import (
+    ALL_INVARIANTS,
+    INVARIANT_CACHE,
+    INVARIANT_MAPPING,
+    INVARIANT_PARTITION,
+    INVARIANT_VOID,
+    repair,
+    verify_index,
+    verify_payload,
+)
+from repro.query.executor import Executor
+from repro.query.predicates import Equals, InList
+from repro.table.catalog import Catalog
+from repro.table.table import Table
+
+
+def build_table(values=("a", "b", "c", "b", "a", "c", "d", "a")):
+    table = Table("T", ["A"])
+    for value in values:
+        table.append({"A": value})
+    return table
+
+
+def flip_bit(index: EncodedBitmapIndex, vector: int, row: int) -> None:
+    index._vectors[vector][row] = not index._vectors[vector][row]
+
+
+# ----------------------------------------------------------------------
+# clean indexes pass
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("void_mode", ["encode", "vector"])
+@pytest.mark.parametrize("null_mode", ["encode", "vector"])
+def test_freshly_built_index_passes(void_mode, null_mode):
+    table = build_table(("a", "b", None, "b", "a", None, "d", "a"))
+    index = EncodedBitmapIndex(
+        table, "A", void_mode=void_mode, null_mode=null_mode
+    )
+    report = verify_index(index)
+    assert report.ok, report.render()
+    assert not index.degraded
+    assert report.checked_rows == len(table)
+
+
+def test_clean_after_maintenance():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    table.attach(index)
+    index.lookup(InList("A", ["a", "b"]))  # populate the cache
+    table.append({"A": "b"})
+    table.delete(2)
+    table.update(0, "A", "c")
+    report = verify_index(index)
+    assert report.ok, report.render()
+
+
+def test_fixture_tables_pass(abc_table, sales_table):
+    for table, column in (
+        (abc_table, "A"),
+        (sales_table, "region"),
+        (sales_table, "product"),
+    ):
+        index = EncodedBitmapIndex(table, column)
+        report = verify_index(index)
+        assert report.ok, report.render()
+
+
+# ----------------------------------------------------------------------
+# the four invariants, each on a hand-corrupted index
+# ----------------------------------------------------------------------
+def test_detects_mapping_inconsistency():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    index._vectors.pop()  # width no longer matches the vector count
+    report = verify_index(index)
+    assert INVARIANT_MAPPING in report.invariants_violated()
+    assert index.degraded
+
+
+def test_detects_wrong_length_vector():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    index._vectors[0] = BitVector(len(table) + 5)
+    report = verify_index(index)
+    assert INVARIANT_MAPPING in report.invariants_violated()
+
+
+def test_detects_void_code_violation():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A", void_mode="encode")
+    table.attach(index)
+    table.delete(3)
+    assert verify_index(index).ok
+    # Hand a deleted row a non-zero code: Theorem 2.1 broken.
+    flip_bit(index, 0, 3)
+    report = verify_index(index)
+    assert INVARIANT_VOID in report.invariants_violated()
+    assert index.degraded
+
+
+def test_detects_existence_vector_drift():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A", void_mode="vector")
+    table.attach(index)
+    table.delete(2)
+    assert verify_index(index).ok
+    exists = index._exists_vector
+    exists[2] = True  # resurrect the deleted row in the vector
+    report = verify_index(index)
+    assert INVARIANT_VOID in report.invariants_violated()
+
+
+def test_detects_row_partition_violation():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    flip_bit(index, 1, 4)  # row 4 now stores the wrong code
+    report = verify_index(index)
+    assert INVARIANT_PARTITION in report.invariants_violated()
+    assert index.degraded
+
+
+def test_detects_stale_reduction_cache():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    index.lookup(InList("A", ["a", "b"]))
+    assert index._reduction_cache
+    # Re-key a cached reduction under a different code set: the
+    # function no longer covers what the key claims.
+    ((codes, width), function) = next(
+        iter(index._reduction_cache.items())
+    )
+    other = tuple(
+        c for c in index.mapping.codes() if c not in codes
+    )[:1]
+    index._reduction_cache[(other, width)] = function
+    report = verify_index(index)
+    assert INVARIANT_CACHE in report.invariants_violated()
+
+
+def test_all_four_invariants_detectable():
+    """Belt and braces: the corruption battery above spans all four."""
+    observed = set()
+    for corrupt in (
+        test_detects_mapping_inconsistency,
+        test_detects_void_code_violation,
+        test_detects_row_partition_violation,
+        test_detects_stale_reduction_cache,
+    ):
+        corrupt()
+    # Each test asserted its own invariant; ALL_INVARIANTS names them.
+    observed = {
+        INVARIANT_MAPPING,
+        INVARIANT_VOID,
+        INVARIANT_PARTITION,
+        INVARIANT_CACHE,
+    }
+    assert observed == set(ALL_INVARIANTS)
+
+
+# ----------------------------------------------------------------------
+# repair
+# ----------------------------------------------------------------------
+def test_repair_rebuilds_only_damaged_vectors():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    pristine = [
+        index.vector(i).copy() if hasattr(index.vector(i), "copy")
+        else index.vector(i)
+        for i in range(index.width)
+    ]
+    untouched = [
+        index._vectors[i] for i in range(index.width)
+    ]
+    flip_bit(index, 1, 4)
+    verify_index(index)
+    assert index.degraded
+    repaired = repair(index)
+    assert repaired == [1]
+    assert not index.degraded
+    assert verify_index(index).ok
+    # Vectors that were never damaged are the same objects still.
+    for i in (0, 2):
+        assert index._vectors[i] is untouched[i]
+
+
+def test_repair_truncates_extra_vectors():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    index._vectors.append(BitVector(len(table)))
+    repair(index)
+    assert len(index._vectors) == index.width
+    assert verify_index(index).ok
+
+
+def test_repair_prunes_stale_cache_entries():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    index.lookup(InList("A", ["a", "b"]))
+    ((codes, width), function) = next(
+        iter(index._reduction_cache.items())
+    )
+    bogus_key = ((1 << width) - 1,), width
+    index._reduction_cache[bogus_key] = function
+    repair(index)
+    assert bogus_key not in index._reduction_cache
+    assert verify_index(index).ok
+
+
+def test_repair_refuses_corrupt_mapping():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    # A value the mapping has never seen: unrepairable from data.
+    table.column("A")._values[0] = "zebra"
+    with pytest.raises(CorruptIndexError, match="mapping"):
+        repair(index)
+
+
+# ----------------------------------------------------------------------
+# graceful degradation: planner + executor
+# ----------------------------------------------------------------------
+def _catalog(table, index):
+    catalog = Catalog()
+    catalog.register_table(table)
+    catalog.register_index(index)
+    return catalog
+
+
+def test_degraded_index_falls_back_to_scan_and_recovers():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    executor = Executor(_catalog(table, index))
+    predicate = Equals("A", "a")
+    expected = {0, 4, 7}
+
+    healthy = executor.select(table, predicate)
+    assert not healthy.used_scan and not healthy.degraded
+    assert set(healthy.row_ids()) == expected
+
+    flip_bit(index, 0, 0)
+    verify_index(index)
+    degraded = executor.select(table, predicate)
+    assert degraded.used_scan and degraded.degraded
+    # The scan still answers correctly despite the broken index.
+    assert set(degraded.row_ids()) == expected
+
+    repair(index)
+    recovered = executor.select(table, predicate)
+    assert not recovered.used_scan and not recovered.degraded
+    assert set(recovered.row_ids()) == expected
+
+
+def test_missing_index_scan_is_not_flagged_degraded():
+    table = build_table()
+    catalog = Catalog()
+    catalog.register_table(table)
+    executor = Executor(catalog)
+    result = executor.select(table, Equals("A", "a"))
+    assert result.used_scan
+    assert not result.degraded
+
+
+def test_plan_describe_names_degraded_columns():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    index.degraded = True
+    executor = Executor(_catalog(table, index))
+    plan = executor.planner.plan(table, Equals("A", "a"))
+    assert plan.fallback_scan
+    assert plan.degraded_columns == ["A"]
+    assert "degraded" in plan.describe()
+
+
+# ----------------------------------------------------------------------
+# file-level fsck + CLI
+# ----------------------------------------------------------------------
+def test_verify_payload_pass_and_fail():
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    payload = serialization.dumps(index)
+    good = verify_payload(payload, path="good")
+    assert good.ok
+    assert good.rows == len(table)
+    assert good.vectors == index.width
+    mutated = bytearray(payload)
+    mutated[-1] ^= 0x01
+    bad = verify_payload(bytes(mutated), path="bad")
+    assert not bad.ok
+    assert isinstance(bad.error, CorruptIndexError)
+    assert "FAIL" in bad.render()
+
+
+def test_cli_fsck(tmp_path, capsys):
+    table = build_table()
+    index = EncodedBitmapIndex(table, "A")
+    good = tmp_path / "good.ebi"
+    serialization.save(index, str(good))
+    payload = bytearray(serialization.dumps(index))
+    payload[len(payload) // 2] ^= 0x20
+    bad = tmp_path / "bad.ebi"
+    bad.write_bytes(bytes(payload))
+
+    assert cli_main(["fsck", str(good), "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "column: 'A'" in out
+
+    assert cli_main(["fsck", str(good), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "1/2 index file(s) passed fsck" in out
+
+    assert cli_main(["fsck", str(tmp_path / "missing.ebi")]) == 1
+    assert "cannot read" in capsys.readouterr().out

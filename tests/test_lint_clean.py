@@ -78,6 +78,11 @@ def test_every_shipped_rule_fails_a_violating_fixture():
             "def f(seen=[]):\n    pass\n",
             "repro.query.fake",
         ),
+        "EBI205": (
+            "def f(x):\n"
+            "    raise ValueError(\"bad argument\")\n",
+            "repro.storage.fake",
+        ),
     }
     missing_fixture = [
         rule.id for rule in all_rules() if rule.id not in fixtures
