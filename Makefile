@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test bench tables validate examples lint typecheck all
+.PHONY: install test doctest bench bench-json tables validate examples lint typecheck all
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,8 +17,16 @@ typecheck:
 	@if python -c "import mypy" 2>/dev/null; then python -m mypy src/repro; \
 	else echo "mypy not installed (pip install -e .[lint]); skipped"; fi
 
+doctest:
+	PYTHONPATH=src python -m pytest --doctest-modules \
+		src/repro/query src/repro/storage src/repro/obs src/repro/bench
+
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-json:
+	PYTHONPATH=src python -m repro.cli bench --quick
+	PYTHONPATH=src python -m repro.cli bench
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable
@@ -29,4 +37,4 @@ validate:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
-all: lint typecheck test bench validate
+all: lint typecheck test doctest bench validate

@@ -1,0 +1,44 @@
+"""``repro.bench`` — the headless benchmark harness.
+
+Wraps the measurement logic of the pytest benches under
+``benchmarks/`` into self-contained cases, pairs every measurement
+with the paper cost model's prediction, and records the lot (plus the
+per-case metric snapshot from :mod:`repro.obs`) into versioned
+``BENCH_*.json`` files.  Entry points: ``repro bench [--quick]`` on
+the CLI or :func:`repro.bench.runner.run_suite` from code.  See
+``docs/benchmarks.md``.
+"""
+
+from repro.bench.compare import Comparison, all_ok, compare, divergence
+from repro.bench.cases import BenchCase, FULL_CASES, QUICK_CASES, cases_for
+from repro.bench.runner import (
+    CaseReport,
+    SuiteReport,
+    run_case,
+    run_suite,
+)
+from repro.bench.schema import (
+    COMPARISON_MODES,
+    SCHEMA_VERSION,
+    assert_valid,
+    validate_payload,
+)
+
+__all__ = [
+    "BenchCase",
+    "CaseReport",
+    "Comparison",
+    "COMPARISON_MODES",
+    "FULL_CASES",
+    "QUICK_CASES",
+    "SCHEMA_VERSION",
+    "SuiteReport",
+    "all_ok",
+    "assert_valid",
+    "cases_for",
+    "compare",
+    "divergence",
+    "run_case",
+    "run_suite",
+    "validate_payload",
+]

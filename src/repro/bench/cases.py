@@ -1,0 +1,369 @@
+"""Self-contained bench cases behind ``repro bench``.
+
+Each case mirrors one of the pytest benches under ``benchmarks/``
+(named in its docstring) but runs without pytest so the harness can
+execute it headlessly, pair every measurement with the paper model's
+prediction, and serialize the lot into ``BENCH_*.json``.
+
+A case is a plain function ``(tolerance) -> List[Comparison]``; the
+runner (:mod:`repro.bench.runner`) adds timing and the per-case metric
+snapshot around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.table.table import Table
+
+from repro.analysis.cost_models import (
+    c_e_best,
+    c_e_worst,
+    c_s,
+    encoded_sparsity,
+    simple_sparsity,
+)
+from repro.bench.compare import Comparison, compare
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """A named, self-describing harness case."""
+
+    name: str
+    description: str
+    run: Callable[[float], List[Comparison]]
+
+
+def _fig9_table(m: int, n: int, seed: int) -> Table:
+    from repro.workload.generators import build_table, uniform_column
+
+    table: Table = build_table(
+        f"fig9_m{m}", n, {"v": uniform_column(n, m, seed=seed)}
+    )
+    return table
+
+
+def case_reduction(tolerance: float) -> List[Comparison]:
+    """Mirrors ``benchmarks/bench_reduction.py``: exact vs greedy vs
+    raw-DNF logical reduction on 12 contiguous selections (k = 8)."""
+    from repro.boolean.reduction import minterm_dnf, reduce_values
+
+    width, m, delta = 8, 200, 24
+    dont_cares = list(range(m, 1 << width))
+    selections = [
+        list(range(start, start + delta))
+        for start in (0, 16, 40, 77, 100, 131, 150, 176, 60, 88, 5, 123)
+    ]
+    totals = {"none": 0, "greedy": 0, "exact": 0}
+    for codes in selections:
+        totals["none"] += minterm_dnf(codes, width).vector_count()
+        totals["greedy"] += reduce_values(
+            codes, width, dont_cares=dont_cares, exact=False
+        ).vector_count()
+        totals["exact"] += reduce_values(
+            codes, width, dont_cares=dont_cares, exact=True
+        ).vector_count()
+    return [
+        compare(
+            "raw minterm DNF reads all k vectors",
+            totals["none"],
+            len(selections) * c_e_worst(m),
+            mode="eq",
+            unit="vectors",
+            tolerance=tolerance,
+        ),
+        compare(
+            "exact cover never beats greedy upward",
+            totals["exact"],
+            totals["greedy"],
+            mode="le",
+            unit="vectors",
+            tolerance=tolerance,
+        ),
+        compare(
+            "reduction stays under the worst-case line",
+            totals["exact"],
+            len(selections) * c_e_worst(m),
+            mode="le",
+            unit="vectors",
+            tolerance=tolerance,
+        ),
+    ]
+
+
+def case_fig9_small(tolerance: float) -> List[Comparison]:
+    """Mirrors ``benchmarks/bench_fig9.py`` (panel a, |A| = 50): real
+    simple + aligned encoded indexes against the c_s / c_e curves."""
+    from repro.encoding.mapping import MappingTable
+    from repro.index.encoded_bitmap import EncodedBitmapIndex
+    from repro.index.simple_bitmap import SimpleBitmapIndex
+    from repro.query.predicates import InList
+
+    m = 50
+    table = _fig9_table(m, n=1500, seed=1)
+    values = sorted(table.column("v").distinct_values())
+    simple = SimpleBitmapIndex(table, "v")
+    mapping = MappingTable.from_pairs([(v, v) for v in values])
+    encoded = EncodedBitmapIndex(
+        table, "v", mapping=mapping, void_mode="vector",
+        null_mode="vector",
+    )
+    deltas = [1, 2, 4, 8, 16, 32]
+    comparisons: List[Comparison] = []
+    total_ce_measured = 0
+    total_ce_best = 0
+    for delta in deltas:
+        selected = values[:delta]
+        simple.lookup(InList("v", selected))
+        comparisons.append(
+            compare(
+                f"delta={delta} simple bitmap cost c_s",
+                simple.last_cost.vectors_accessed,
+                c_s(delta),
+                mode="eq",
+                unit="vectors",
+                tolerance=tolerance,
+            )
+        )
+        measured_ce = encoded.reduced_function(selected).vector_count()
+        total_ce_measured += measured_ce
+        total_ce_best += c_e_best(delta, m)
+        comparisons.append(
+            compare(
+                f"delta={delta} encoded cost under worst case",
+                measured_ce,
+                c_e_worst(m),
+                mode="le",
+                unit="vectors",
+                tolerance=tolerance,
+            )
+        )
+    comparisons.append(
+        compare(
+            "aligned encoding tracks best-case curve (total)",
+            total_ce_measured,
+            total_ce_best,
+            mode="approx",
+            unit="vectors",
+            tolerance=tolerance,
+        )
+    )
+    return comparisons
+
+
+def case_table1_example(tolerance: float) -> List[Comparison]:
+    """The paper's first worked example through the full query stack:
+    traced execution of ``A IN ('a','b')`` must read exactly the
+    ``c_e_best(2, 3)`` vectors the model predicts (the reduced
+    expression is ``B1'``)."""
+    from repro.obs.demo import table1_scenario
+    from repro.query.executor import Executor
+
+    scenario = table1_scenario()
+    executor = Executor(scenario.catalog)
+    result = executor.select(
+        scenario.table, scenario.predicate, trace=True
+    )
+    trace = result.trace
+    assert trace is not None and trace.accesses
+    measured = len(trace.accesses[0].vectors)
+    return [
+        compare(
+            "traced reduced-expression vector reads = model c_e",
+            measured,
+            c_e_best(2, 3),
+            mode="eq",
+            unit="vectors",
+            tolerance=tolerance,
+        ),
+        compare(
+            "query selects the four a/b rows",
+            result.count(),
+            4,
+            mode="eq",
+            unit="rows",
+            tolerance=tolerance,
+        ),
+    ]
+
+
+def case_sparsity(tolerance: float) -> List[Comparison]:
+    """Mirrors ``benchmarks/bench_sparsity.py``: measured vector
+    sparsity against the Section 3.1 models."""
+    from repro.index.encoded_bitmap import EncodedBitmapIndex
+    from repro.index.simple_bitmap import SimpleBitmapIndex
+
+    comparisons: List[Comparison] = []
+    for m in (16, 64):
+        table = _fig9_table(m, n=2000, seed=m)
+        simple = SimpleBitmapIndex(table, "v")
+        encoded = EncodedBitmapIndex(table, "v")
+        comparisons.append(
+            compare(
+                f"m={m} simple sparsity ~ (m-1)/m",
+                simple.average_sparsity(),
+                simple_sparsity(m),
+                mode="approx",
+                unit="fraction",
+                tolerance=tolerance,
+            )
+        )
+        comparisons.append(
+            compare(
+                f"m={m} encoded sparsity ~ 1/2",
+                1.0 - encoded.average_density(),
+                encoded_sparsity(),
+                mode="approx",
+                unit="fraction",
+                tolerance=tolerance,
+            )
+        )
+    return comparisons
+
+
+def case_page_io(tolerance: float) -> List[Comparison]:
+    """Mirrors ``benchmarks/bench_page_io.py``: page-level reads keep
+    the encoded advantage, and the buffer pool amortises repeats."""
+    from repro.index.paged import (
+        PagedEncodedBitmapIndex,
+        PagedSimpleBitmapIndex,
+    )
+    from repro.query.predicates import InList
+
+    m, n, delta = 50, 8000, 16
+    table = _fig9_table(m, n=n, seed=21)
+    values = sorted(table.column("v").distinct_values())
+    # The pool must hold one page per encoded vector (k = 6 at m = 50)
+    # for the repeat lookup to be fully amortised.
+    simple = PagedSimpleBitmapIndex(
+        table, "v", page_size=1024, pool_capacity=16
+    )
+    encoded = PagedEncodedBitmapIndex(
+        table, "v", page_size=1024, pool_capacity=16
+    )
+    predicate = InList("v", values[:delta])
+    simple.store.stats.reset()
+    simple.lookup(predicate)
+    simple_pages = simple.store.stats.logical_reads
+    encoded.store.stats.reset()
+    encoded.lookup(predicate)
+    encoded_pages = encoded.store.stats.logical_reads
+    # Repeat the encoded lookup: pages come back from the pool.
+    encoded.store.stats.reset()
+    encoded.lookup(predicate)
+    repeat_physical = encoded.store.stats.physical_reads
+    return [
+        compare(
+            f"delta={delta} encoded page reads <= simple",
+            encoded_pages,
+            simple_pages,
+            mode="le",
+            unit="pages",
+            tolerance=tolerance,
+        ),
+        compare(
+            "repeat lookup is served from the buffer pool",
+            repeat_physical,
+            0,
+            mode="eq",
+            unit="pages",
+            tolerance=tolerance,
+        ),
+    ]
+
+
+def case_worst_case(tolerance: float) -> List[Comparison]:
+    """Mirrors ``benchmarks/bench_worst_case.py``: the Section 3.2
+    area-ratio / savings numbers printed in the paper."""
+    from repro.analysis.savings import worst_case_summary
+
+    expectations: List[Tuple[int, float, float]] = [
+        (50, 0.84, 0.83),
+        (1000, 0.90, 0.90),
+    ]
+    comparisons: List[Comparison] = []
+    for m, area_ratio, best_saving in expectations:
+        summary = worst_case_summary(m)
+        comparisons.append(
+            compare(
+                f"m={m} worst-case area ratio",
+                round(summary.area_ratio, 2),
+                area_ratio,
+                mode="eq",
+                unit="ratio",
+                tolerance=tolerance,
+            )
+        )
+        comparisons.append(
+            compare(
+                f"m={m} peak point saving",
+                summary.best_saving,
+                best_saving,
+                mode="ge",
+                unit="fraction",
+                tolerance=tolerance,
+            )
+        )
+    return comparisons
+
+
+QUICK_CASES: List[BenchCase] = [
+    BenchCase(
+        name="reduction",
+        description=(
+            "logical reduction ablation: exact vs greedy vs raw DNF "
+            "(bench_reduction.py)"
+        ),
+        run=case_reduction,
+    ),
+    BenchCase(
+        name="fig9_small",
+        description=(
+            "Figure 9(a) |A|=50: measured index costs vs c_s/c_e "
+            "curves (bench_fig9.py)"
+        ),
+        run=case_fig9_small,
+    ),
+    BenchCase(
+        name="table1_example",
+        description=(
+            "paper's worked example end-to-end: traced c_e equals the "
+            "model prediction (bench_examples.py)"
+        ),
+        run=case_table1_example,
+    ),
+]
+
+FULL_CASES: List[BenchCase] = QUICK_CASES + [
+    BenchCase(
+        name="sparsity",
+        description=(
+            "Section 3.1 sparsity: (m-1)/m simple vs ~1/2 encoded "
+            "(bench_sparsity.py)"
+        ),
+        run=case_sparsity,
+    ),
+    BenchCase(
+        name="page_io",
+        description=(
+            "page-level Figure 9 + buffer-pool amortisation "
+            "(bench_page_io.py)"
+        ),
+        run=case_page_io,
+    ),
+    BenchCase(
+        name="worst_case",
+        description=(
+            "Section 3.2 area ratios and peak savings "
+            "(bench_worst_case.py)"
+        ),
+        run=case_worst_case,
+    ),
+]
+
+
+def cases_for(quick: bool) -> List[BenchCase]:
+    """The case list for a suite flavor."""
+    return list(QUICK_CASES if quick else FULL_CASES)

@@ -1,0 +1,180 @@
+"""The versioned ``BENCH_*.json`` schema.
+
+Every file the harness emits carries ``schema_version`` so downstream
+consumers (CI's ``bench-smoke`` job, regression dashboards) can detect
+incompatible layouts instead of silently misreading them.  Validation
+is hand-rolled — the container has no ``jsonschema`` — and reports
+*all* violations, not just the first.
+
+Layout (version 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",
+      "quick": true,
+      "tolerance": 0.25,
+      "ok": true,
+      "cases": [
+        {
+          "name": "fig9_small",
+          "description": "...",
+          "wall_seconds": 0.012,
+          "cpu_seconds": 0.011,
+          "ok": true,
+          "metrics": {"evaluator.vector_reads": 42, ...},
+          "results": [
+            {
+              "label": "delta=8 measured c_s",
+              "unit": "vectors",
+              "measured": 8,
+              "predicted": 8,
+              "mode": "eq",
+              "divergence": 0.0,
+              "ok": true
+            }
+          ]
+        }
+      ]
+    }
+
+``mode`` states how ``measured`` relates to ``predicted``: exact
+(``eq``), bounded (``le`` / ``ge``) or within relative tolerance
+(``approx``).  See :mod:`repro.bench.compare` for the semantics and
+``docs/benchmarks.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import BenchSchemaError
+
+SCHEMA_VERSION = 1
+
+COMPARISON_MODES = ("eq", "le", "ge", "approx")
+
+_NUMBER: Tuple[type, ...] = (int, float)
+
+_Spec = Dict[str, Union[type, Tuple[type, ...]]]
+
+_TOP_LEVEL_KEYS: _Spec = {
+    "schema_version": int,
+    "suite": str,
+    "quick": bool,
+    "tolerance": _NUMBER,
+    "ok": bool,
+    "cases": list,
+}
+
+_CASE_KEYS: _Spec = {
+    "name": str,
+    "description": str,
+    "wall_seconds": _NUMBER,
+    "cpu_seconds": _NUMBER,
+    "ok": bool,
+    "metrics": dict,
+    "results": list,
+}
+
+_RESULT_KEYS: _Spec = {
+    "label": str,
+    "unit": str,
+    "measured": _NUMBER,
+    "predicted": _NUMBER,
+    "mode": str,
+    "divergence": _NUMBER,
+    "ok": bool,
+}
+
+
+def _check_keys(
+    obj: Dict[str, Any],
+    spec: _Spec,
+    where: str,
+    problems: List[str],
+) -> None:
+    for key, expected in spec.items():
+        if key not in obj:
+            problems.append(f"{where}: missing key {key!r}")
+            continue
+        value = obj[key]
+        # bool is an int subclass; don't let it satisfy numeric slots.
+        if expected is not bool and isinstance(value, bool):
+            problems.append(
+                f"{where}.{key}: expected {expected}, got bool"
+            )
+            continue
+        if not isinstance(value, expected):
+            problems.append(
+                f"{where}.{key}: expected {expected}, "
+                f"got {type(value).__name__}"
+            )
+    for key in obj:
+        if key not in spec:
+            problems.append(f"{where}: unknown key {key!r}")
+
+
+def validate_payload(payload: Any) -> List[str]:
+    """Return every schema violation in ``payload`` (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    _check_keys(payload, _TOP_LEVEL_KEYS, "payload", problems)
+    version = payload.get("schema_version")
+    if isinstance(version, int) and version != SCHEMA_VERSION:
+        problems.append(
+            f"payload.schema_version: expected {SCHEMA_VERSION}, "
+            f"got {version}"
+        )
+    cases = payload.get("cases")
+    if not isinstance(cases, list):
+        return problems
+    if not cases:
+        problems.append("payload.cases: must contain at least one case")
+    for i, case in enumerate(cases):
+        where = f"cases[{i}]"
+        if not isinstance(case, dict):
+            problems.append(f"{where}: expected object")
+            continue
+        _check_keys(case, _CASE_KEYS, where, problems)
+        metrics = case.get("metrics")
+        if isinstance(metrics, dict):
+            for name, value in metrics.items():
+                if not isinstance(name, str):
+                    problems.append(f"{where}.metrics: non-string key")
+                elif isinstance(value, bool) or not isinstance(
+                    value, _NUMBER
+                ):
+                    problems.append(
+                        f"{where}.metrics[{name!r}]: expected number"
+                    )
+        results = case.get("results")
+        if not isinstance(results, list):
+            continue
+        if not results:
+            problems.append(f"{where}.results: must not be empty")
+        for j, result in enumerate(results):
+            rwhere = f"{where}.results[{j}]"
+            if not isinstance(result, dict):
+                problems.append(f"{rwhere}: expected object")
+                continue
+            _check_keys(result, _RESULT_KEYS, rwhere, problems)
+            mode = result.get("mode")
+            if isinstance(mode, str) and mode not in COMPARISON_MODES:
+                problems.append(
+                    f"{rwhere}.mode: {mode!r} not in "
+                    f"{COMPARISON_MODES}"
+                )
+    return problems
+
+
+def assert_valid(payload: Any) -> None:
+    """Raise :class:`~repro.errors.BenchSchemaError` when invalid."""
+    problems = validate_payload(payload)
+    if problems:
+        raise BenchSchemaError(
+            f"BENCH payload has {len(problems)} schema violation(s): "
+            + "; ".join(problems[:5])
+            + ("; ..." if len(problems) > 5 else ""),
+            violations=problems,
+        )

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional, Set
 from repro.bitmap.bitvector import BitVector
 from repro.boolean.expr import And, Const, Expression, Not, Or, Var, Xor
 from repro.boolean.reduction import ReducedFunction
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -36,6 +37,20 @@ class AccessCounter:
     def merge(self, other: "AccessCounter") -> None:
         self.touched |= other.touched
         self.reads += other.reads
+
+    def publish(
+        self, registry: MetricsRegistry, prefix: str = "evaluator"
+    ) -> None:
+        """Fold this evaluation's totals into a metrics registry.
+
+        Called once per evaluation (never per access), so the
+        evaluator's per-vector hot loop carries zero instrumentation
+        overhead — the bound documented in ``docs/observability.md``.
+        """
+        registry.counter(f"{prefix}.vector_reads").inc(self.reads)
+        registry.counter(f"{prefix}.distinct_vectors").inc(
+            len(self.touched)
+        )
 
 
 class VectorSource:

@@ -184,6 +184,56 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs.demo import SCENARIOS, model_comparison
+    from repro.query.executor import Executor
+
+    scenario = SCENARIOS[args.scenario]()
+    print(f"scenario: {scenario.name} — {scenario.description}")
+    print()
+    executor = Executor(scenario.catalog)
+    plan = executor.planner.plan(scenario.table, scenario.predicate)
+    print(plan.explain())
+    if args.no_run:
+        return 0
+    print()
+    result = executor.select(
+        scenario.table, scenario.predicate, trace=True
+    )
+    assert result.trace is not None
+    print(result.trace.render())
+    print()
+    rows = model_comparison(plan, result.trace)
+    if rows:
+        print("measured vs paper cost model (vectors read by the "
+              "reduced expression):")
+        _print_rows(
+            ["column", "m", "delta", "k", "c_e_best", "c_e_worst",
+             "measured", "status"],
+            [
+                (r["column"], r["m"], r["delta"], r["k"], r["c_e_best"],
+                 r["c_e_worst"], r["measured"], r["status"])
+                for r in rows
+            ],
+        )
+        if any(r["status"] != "OK" for r in rows):
+            return 1
+    print(f"\nrows selected: {result.count()}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_suite
+
+    report = run_suite(
+        quick=args.quick,
+        tolerance=args.tolerance,
+        out_dir=args.out,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -243,6 +293,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_fsck.add_argument("paths", nargs="+")
     p_fsck.add_argument("--verbose", action="store_true")
     p_fsck.set_defaults(func=cmd_fsck)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN + traced execution of a canned query, compared "
+        "against the paper's cost model",
+    )
+    p_explain.add_argument(
+        "scenario",
+        nargs="?",
+        default="table1",
+        choices=("table1", "demo3"),
+        help="table1: the paper's Figure 1 worked example; "
+        "demo3: a 3-predicate IN-list query",
+    )
+    p_explain.add_argument(
+        "--no-run",
+        action="store_true",
+        help="print EXPLAIN only (reads no bitmap vectors)",
+    )
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the repro benchmark harness and write BENCH_*.json "
+        "at the repo root (see docs/benchmarks.md)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the small smoke suite (writes BENCH_smoke.json)",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative divergence tolerated between measured and "
+        "model-predicted costs (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=None,
+        help="directory for BENCH_*.json (default: repo root)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(
         "lint",

@@ -8,6 +8,8 @@ storage errors and query errors.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -155,3 +157,21 @@ class QueryError(ReproError):
 
 class PlanningError(QueryError):
     """The planner could not produce a plan for a query."""
+
+
+class BenchError(ReproError):
+    """Errors from the benchmark harness (``repro.bench``)."""
+
+
+class BenchSchemaError(BenchError):
+    """A ``BENCH_*.json`` payload violated the published schema.
+
+    Carries the individual violations so callers can report all of
+    them at once.
+    """
+
+    def __init__(
+        self, message: str, violations: Sequence[str] = ()
+    ) -> None:
+        super().__init__(message)
+        self.violations = list(violations)

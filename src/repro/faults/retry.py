@@ -11,13 +11,14 @@ so no wall-clock time is ever spent in the suite.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, TypeVar
+from typing import Callable, List, Optional, TypeVar
 
 from repro.errors import (
     InvalidArgumentError,
     RetryExhaustedError,
     TransientIOError,
 )
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 T = TypeVar("T")
 
@@ -37,6 +38,10 @@ class RetryPolicy:
         Upper bound applied to every delay.
     sleep:
         Hook invoked with each delay; inject a recorder in tests.
+    registry:
+        Optional metrics registry for the ``faults.*`` counters (see
+        ``docs/observability.md``); defaults to the process-wide
+        registry, resolved lazily at each :meth:`call`.
     """
 
     def __init__(
@@ -46,6 +51,7 @@ class RetryPolicy:
         multiplier: float = 2.0,
         max_delay: float = 0.05,
         sleep: Callable[[float], None] = time.sleep,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_attempts < 1:
             raise InvalidArgumentError(
@@ -62,6 +68,10 @@ class RetryPolicy:
         self.multiplier = multiplier
         self.max_delay = max_delay
         self.sleep = sleep
+        self.registry = registry
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
 
     # ------------------------------------------------------------------
     def delay_for(self, retry_index: int) -> float:
@@ -83,14 +93,21 @@ class RetryPolicy:
         last transient fault) once the attempt budget is spent; every
         other exception propagates unchanged on first occurrence.
         """
+        registry = self._registry()
+        registry.counter("faults.retry_calls").inc()
         last_error: TransientIOError | None = None
         for attempt in range(self.max_attempts):
             try:
                 return operation()
             except TransientIOError as exc:
                 last_error = exc
+                registry.counter("faults.transient_faults").inc()
                 if attempt + 1 < self.max_attempts:
-                    self.sleep(self.delay_for(attempt))
+                    delay = self.delay_for(attempt)
+                    registry.counter("faults.retries").inc()
+                    registry.histogram("faults.backoff_seconds").observe(delay)
+                    self.sleep(delay)
+        registry.counter("faults.retry_exhausted").inc()
         raise RetryExhaustedError(
             f"I/O still failing after {self.max_attempts} attempts: "
             f"{last_error}",

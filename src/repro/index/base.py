@@ -15,10 +15,11 @@ directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 from repro.bitmap.bitvector import BitVector
 from repro.errors import UnsupportedPredicateError
+from repro.obs.metrics import get_registry
 from repro.query.predicates import (
     AndPredicate,
     Equals,
@@ -89,6 +90,15 @@ class Index:
         #: index fails fsck; the planner then refuses to serve
         #: predicates from it and falls back to a table scan.
         self.degraded = False
+        #: Trace detail of the most recent lookup, filled in by
+        #: subclasses that know it (the encoded index records which
+        #: of its ``k`` vectors the reduced expression touched, the
+        #: reduction itself, and whether it came from the cache);
+        #: consumed by the executor when building a
+        #: :class:`~repro.obs.trace.QueryTrace`.
+        self.last_touched: Tuple[int, ...] = ()
+        self.last_reduction: Optional[Any] = None
+        self.last_cache_hit: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # public lookup API
@@ -99,10 +109,23 @@ class Index:
         Records the per-query cost in ``self.last_cost`` and folds it
         into ``self.stats``.
         """
+        self.last_touched = ()
+        self.last_reduction = None
+        self.last_cache_hit = None
         cost = LookupCost()
         result = self._dispatch(predicate, cost)
         self.last_cost = cost
         self.stats.record(cost)
+        registry = get_registry()
+        registry.counter("index.lookups").inc()
+        if cost.vectors_accessed:
+            registry.counter("index.vectors_accessed").inc(
+                cost.vectors_accessed
+            )
+        if cost.node_accesses:
+            registry.counter("index.node_accesses").inc(cost.node_accesses)
+        if cost.rows_checked:
+            registry.counter("index.rows_checked").inc(cost.rows_checked)
         return result
 
     def _dispatch(self, predicate: Predicate, cost: LookupCost) -> BitVector:

@@ -27,6 +27,7 @@ from repro.errors import (
     UnsupportedPredicateError,
 )
 from repro.index.base import Index, LookupCost, range_values
+from repro.obs.metrics import get_registry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
 
@@ -197,9 +198,13 @@ class EncodedBitmapIndex(Index):
         codes = tuple(sorted(self._code_for(v) for v in values))
         key = (codes, self.width)
         cached = self._reduction_cache.get(key)
+        self.last_cache_hit = cached is not None
         if cached is None:
+            get_registry().counter("index.reduction_cache_misses").inc()
             cached = self._reduce_codes(codes)
             self._reduction_cache[key] = cached
+        else:
+            get_registry().counter("index.reduction_cache_hits").inc()
         return cached
 
     def _reduce_codes(self, codes: Tuple[int, ...]) -> ReducedFunction:
@@ -232,21 +237,49 @@ class EncodedBitmapIndex(Index):
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
-    def _lookup(self, predicate: Predicate, cost: LookupCost) -> BitVector:
+    def predicate_values(self, predicate: Predicate) -> List[Any]:
+        """Domain values a leaf predicate selects (the paper's delta).
+
+        Range predicates are rewritten into the discrete IN-list the
+        paper prescribes; unknown values (never inserted, so absent
+        from the mapping) are dropped.
+        """
         if isinstance(predicate, Equals):
             values: List[Any] = [predicate.value]
         elif isinstance(predicate, InList):
             values = list(predicate.values)
         elif isinstance(predicate, Range):
             values = range_values(self._domain_values(), predicate)
-        elif isinstance(predicate, IsNull):
-            return self._lookup_null(cost)
         else:
             raise UnsupportedPredicateError(
                 f"unsupported predicate {predicate}"
             )
+        return [value for value in values if value in self._mapping]
 
-        known = [value for value in values if value in self._mapping]
+    def explain_predicate(
+        self, predicate: Predicate
+    ) -> Optional[ReducedFunction]:
+        """The reduced retrieval expression a lookup would evaluate.
+
+        Used by :meth:`repro.query.planner.Plan.explain` — computing
+        (or fetching from the reduction cache) the expression reads no
+        bitmap vectors, so EXPLAIN never pays the query's I/O.
+        Returns ``None`` for predicates served without a reduction
+        (e.g. ``IsNull`` under an explicit NULL vector).
+        """
+        if isinstance(predicate, IsNull):
+            if self._null_vector is not None or NULL not in self._mapping:
+                return None
+            return self.reduced_function([None])
+        known = self.predicate_values(predicate)
+        if not known:
+            return ReducedFunction(terms=(), width=self.width)
+        return self.reduced_function(known)
+
+    def _lookup(self, predicate: Predicate, cost: LookupCost) -> BitVector:
+        if isinstance(predicate, IsNull):
+            return self._lookup_null(cost)
+        known = self.predicate_values(predicate)
         if not known:
             return BitVector(self._row_count())
         function = self.reduced_function(known)
@@ -272,6 +305,14 @@ class EncodedBitmapIndex(Index):
             counter,
         )
         cost.vectors_accessed += counter.distinct_accesses
+        # Trace detail for EXPLAIN: the expression just evaluated and
+        # the distinct vectors it pulled (merged across sub-lookups of
+        # one dispatched predicate tree).
+        self.last_reduction = function
+        self.last_touched = tuple(
+            sorted(set(self.last_touched) | counter.touched)
+        )
+        counter.publish(get_registry())
         if self._exists_vector is not None:
             # Without the Theorem 2.1 encoding the existence vector
             # must be ANDed in — the extra access the paper calls out.

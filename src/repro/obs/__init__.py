@@ -1,0 +1,51 @@
+"""repro.obs — the observability layer.
+
+Two halves:
+
+* :mod:`repro.obs.metrics` — a unified :class:`MetricsRegistry` of
+  counters/gauges/histograms with hierarchical propagation, a no-op
+  :data:`NULL_REGISTRY`, and snapshot-delta scoping (the per-query
+  metrics on :class:`~repro.query.executor.QueryResult`).
+* :mod:`repro.obs.trace` — per-query :class:`QueryTrace` objects
+  recording the reduced expressions, the vectors read and why, cache
+  hits, degraded fallbacks and per-stage wall/CPU time.
+
+The metrics catalog (every counter name, what increments it, and the
+paper quantity it corresponds to) lives in ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    QueryTrace,
+    StageTimer,
+    StageTiming,
+    VectorAccess,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "QueryTrace",
+    "StageTimer",
+    "StageTiming",
+    "VectorAccess",
+]

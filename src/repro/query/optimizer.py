@@ -7,12 +7,21 @@ example turns an XOR into an OR for machines without a bitwise XOR).
 ``dont_care_variants`` enumerates the candidate expressions and
 ``cheapest_variant`` picks the one touching the fewest vectors,
 breaking ties by operation count.
+
+Example (doctest) — selecting codes {1, 2} on k = 2 vectors is an XOR
+(two terms), but declaring code 3 a don't-care collapses it::
+
+    >>> from repro.query.optimizer import cheapest_variant
+    >>> cheapest_variant([1, 2], width=2, dont_cares=[]).to_string()
+    "B1'B0 + B1B0'"
+    >>> cheapest_variant([1, 2], width=2, dont_cares=[3]).to_string()
+    'B0 + B1'
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.boolean.reduction import ReducedFunction, reduce_values
 
@@ -72,11 +81,15 @@ def cheapest_variant(
 
     This is the optimiser's answer to footnote 3: it may include
     don't-care codes in the ON set when that shortens the expression.
+
+    >>> cheapest_variant([0, 1], width=2, dont_cares=[]).vector_count()
+    1
     """
-    best: ReducedFunction = None
-    best_key = None
+    best: Optional[ReducedFunction] = None
+    best_key: Optional[Tuple[int, int]] = None
     for _, function in dont_care_variants(codes, width, dont_cares):
         key = (function.vector_count(), operation_count(function))
         if best_key is None or key < best_key:
             best, best_key = function, key
+    assert best is not None  # the empty-subset variant always yields
     return best

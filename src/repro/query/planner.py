@@ -80,6 +80,73 @@ class Plan:
         lines.extend("  " + step.describe() for step in self.steps)
         return "\n".join(lines)
 
+    def explain(self) -> str:
+        """EXPLAIN output: the plan plus each step's reduced expression.
+
+        Unlike a traced execution, EXPLAIN reads no bitmap vectors —
+        reduced expressions are computed (or served from the reduction
+        cache) from the mapping table alone, so it is safe to run
+        against production-sized indexes.
+
+        >>> from repro.index.encoded_bitmap import EncodedBitmapIndex
+        >>> from repro.query.predicates import InList
+        >>> from repro.table.catalog import Catalog
+        >>> from repro.table.table import Table
+        >>> table = Table("T", ["A"])
+        >>> for value in ["a", "b", "c", "b", "a", "c"]:
+        ...     _ = table.append({"A": value})
+        >>> catalog = Catalog()
+        >>> _ = catalog.register_table(table)
+        >>> _ = catalog.register_index(EncodedBitmapIndex(table, "A"))
+        >>> plan = Planner(catalog).plan(table, InList("A", ["a", "b"]))
+        >>> print(plan.explain())
+        QUERY PLAN
+          table: T
+          predicate: A IN {'a', 'b'}
+          step 1: encoded-bitmap(A) <- A IN {'a', 'b'} [est 1.0]
+            reduced expression: B1'B0 + B1B0'
+            vectors: B0, B1 — 2 of k=2
+        """
+        lines = [
+            "QUERY PLAN",
+            f"  table: {self.table.name}",
+            f"  predicate: {self.predicate}",
+        ]
+        if self.fallback_scan:
+            if self.degraded_columns:
+                lines.append(
+                    "  TABLE SCAN — degraded fallback (every index on "
+                    + ", ".join(self.degraded_columns)
+                    + " failed fsck)"
+                )
+            else:
+                lines.append("  TABLE SCAN — no applicable index")
+            return "\n".join(lines)
+        for i, step in enumerate(self.steps, 1):
+            lines.append(f"  step {i}: {step.describe()}")
+            lines.extend(
+                "    " + line for line in _explain_reduction(step)
+            )
+        return "\n".join(lines)
+
+
+def _explain_reduction(step: AccessStep) -> List[str]:
+    """Reduction detail lines for one access step, when the chosen
+    index can explain itself (currently the encoded bitmap family)."""
+    explain = getattr(step.index, "explain_predicate", None)
+    if explain is None:
+        return []
+    function = explain(step.predicate)
+    if function is None:
+        return []
+    variables = function.variables()
+    width = getattr(step.index, "width", len(variables))
+    named = ", ".join(f"B{i}" for i in variables) or "none"
+    return [
+        f"reduced expression: {function.to_string()}",
+        f"vectors: {named} — {len(variables)} of k={width}",
+    ]
+
 
 class Planner:
     """Chooses indexes for predicates out of a catalog."""

@@ -10,6 +10,21 @@ are absorbed with bounded backoff.  Eviction is exception-safe — a
 dirty victim is only dropped from the pool *after* its write-back
 succeeded, so a failed write never loses data (the victim stays
 resident and dirty, and the error propagates).
+
+Example (doctest) — a one-frame pool alternating between two pages
+misses every fetch; refetching the resident page hits::
+
+    >>> from repro.storage.buffer_pool import BufferPool
+    >>> from repro.storage.pager import Pager
+    >>> pager = Pager(page_size=64)
+    >>> a, b = pager.allocate(), pager.allocate()
+    >>> pool = BufferPool(pager, capacity=1)
+    >>> pager.stats.reset()
+    >>> _ = pool.fetch(a.page_id)   # miss: physical read
+    >>> _ = pool.fetch(a.page_id)   # hit
+    >>> _ = pool.fetch(b.page_id)   # miss: evicts page a
+    >>> pager.stats.pool_hits, pager.stats.pool_misses
+    (1, 2)
 """
 
 from __future__ import annotations
@@ -61,8 +76,10 @@ class BufferPool:
         stats = self.pager.stats
         stats.record_logical_read()
         if page_id in self._frames:
+            stats.record_pool_hit()
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
+        stats.record_pool_miss()
         page = self._read_page(page_id)
         self._admit(page)
         return page
@@ -109,6 +126,7 @@ class BufferPool:
         return self.retry.call(lambda: self.pager.read(page_id))
 
     def _write_page(self, page: Page) -> None:
+        self.pager.stats.record_write_back()
         if self.retry is None:
             self.pager.write(page)
         else:

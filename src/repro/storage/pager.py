@@ -13,6 +13,19 @@ for a full image of which only a prefix reached "disk" — raise
 :class:`~repro.errors.ChecksumError` instead of silently serving
 garbage.  :class:`~repro.faults.FaultyPager` subclasses this to inject
 exactly those failures deterministically.
+
+Example (doctest) — every physical access is counted on the pager's
+:class:`~repro.storage.stats.IOStatistics`::
+
+    >>> from repro.storage.pager import Pager
+    >>> pager = Pager(page_size=64)
+    >>> page = pager.allocate()
+    >>> page.write(b"payload", offset=0)
+    >>> pager.write(page)
+    >>> _ = pager.read(page.page_id)
+    >>> (pager.stats.allocations, pager.stats.writes,
+    ...  pager.stats.physical_reads)
+    (1, 1, 1)
 """
 
 from __future__ import annotations
@@ -65,6 +78,7 @@ class Pager:
         expected = self._checksums[page_id]
         actual = page_checksum(image)
         if actual != expected:
+            self.stats.record_checksum_failure()
             raise ChecksumError(
                 f"page {page_id} failed checksum verification: "
                 f"stored {expected:#010x}, computed {actual:#010x}"

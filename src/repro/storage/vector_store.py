@@ -9,6 +9,24 @@ query's *page-level* read count can be measured instead of assumed.
 subclasses in :mod:`repro.index` route their vector fetches through a
 store, making ``pager.stats`` reflect real access patterns (including
 buffer-pool hits across queries).
+
+Example (doctest) — a 10-bit vector fits one page, which stays
+resident in the buffer pool after the write, so both loads are pool
+hits and neither touches the simulated disk::
+
+    >>> from repro.bitmap.bitvector import BitVector
+    >>> from repro.storage.vector_store import PagedVectorStore
+    >>> store = PagedVectorStore(page_size=64, pool_capacity=2)
+    >>> vector = BitVector(10)
+    >>> vector[3] = True
+    >>> _ = store.store("B0", vector)
+    >>> store.stats.reset()
+    >>> int(store.load("B0").indices()[0])
+    3
+    >>> store.load("B0").count()
+    1
+    >>> store.stats.physical_reads, store.stats.pool_hits
+    (0, 2)
 """
 
 from __future__ import annotations

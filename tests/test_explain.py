@@ -1,0 +1,200 @@
+"""EXPLAIN / tracing tests, anchored on the paper's worked example.
+
+The load-bearing acceptance check lives here: on the Figure 1 mapping
+(domain {a,b,c}, a=00, b=01, c=10) the traced execution of
+``A IN ('a','b')`` must read exactly the ``c_e_best(2, 3) = 1``
+vector that the Section 3 cost model predicts — the reduced
+expression is ``B1'``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cost_models import c_e_best, c_e_worst
+from repro.obs.demo import (
+    SCENARIOS,
+    demo3_scenario,
+    model_comparison,
+    table1_scenario,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.query.executor import Executor
+from repro.query.planner import Planner
+
+
+def _run(scenario):
+    with use_registry(MetricsRegistry()):
+        executor = Executor(scenario.catalog)
+        plan = Planner(scenario.catalog).plan(
+            scenario.table, scenario.predicate
+        )
+        result = executor.select(
+            scenario.table, scenario.predicate, trace=True
+        )
+    return plan, result
+
+
+# ----------------------------------------------------------------------
+# golden EXPLAIN output
+# ----------------------------------------------------------------------
+TABLE1_EXPLAIN = """\
+QUERY PLAN
+  table: SALES
+  predicate: A IN {'a', 'b'}
+  step 1: encoded-bitmap(A) <- A IN {'a', 'b'} [est 1.0]
+    reduced expression: B1'
+    vectors: B1 — 1 of k=2"""
+
+
+class TestExplainGolden:
+    def test_table1_explain_text(self):
+        scenario = table1_scenario()
+        plan = Planner(scenario.catalog).plan(
+            scenario.table, scenario.predicate
+        )
+        assert plan.explain() == TABLE1_EXPLAIN
+
+    def test_explain_reads_no_vectors(self):
+        """EXPLAIN is metadata-only: no index lookup, no vector I/O."""
+        scenario = table1_scenario()
+        with use_registry(MetricsRegistry()) as registry:
+            plan = Planner(scenario.catalog).plan(
+                scenario.table, scenario.predicate
+            )
+            plan.explain()
+            assert registry.value("index.lookups") == 0
+            assert registry.value("evaluator.vector_reads") == 0
+
+    def test_scan_fallback_explain(self):
+        from repro.query.predicates import InList
+        from repro.table.catalog import Catalog
+        from repro.table.table import Table
+
+        table = Table("noidx", ["A"])
+        table.append({"A": 1})
+        catalog = Catalog()
+        catalog.register_table(table)
+        plan = Planner(catalog).plan(table, InList("A", [1]))
+        text = plan.explain()
+        assert plan.fallback_scan
+        assert "TABLE SCAN — no applicable index" in text
+
+
+# ----------------------------------------------------------------------
+# the Figure 1 ("Table 1") acceptance check
+# ----------------------------------------------------------------------
+class TestTable1Acceptance:
+    def test_traced_reads_match_model_c_e(self):
+        scenario = table1_scenario()
+        plan, result = _run(scenario)
+        trace = result.trace
+        assert trace is not None
+        assert len(trace.accesses) == 1
+        access = trace.accesses[0]
+        # the reduced expression touches exactly c_e_best(2, 3) vectors
+        assert access.reduced == "B1'"
+        assert len(access.vectors) == c_e_best(2, 3) == 1
+        assert access.vectors == (1,)
+        # B1 is read because it appears in the (single) reduced term
+        assert access.roles[1] == ("B1'",)
+        assert result.count() == 4
+
+    def test_existence_vector_accounted_separately(self):
+        """void_mode='vector' adds one existence-vector read on top of
+        the reduced expression — visible in vectors_accessed, never in
+        the reduced-expression vector list."""
+        scenario = table1_scenario()
+        _, result = _run(scenario)
+        access = result.trace.accesses[0]
+        assert access.vectors_accessed == len(access.vectors) + 1
+
+    def test_model_comparison_status_ok(self):
+        scenario = table1_scenario()
+        plan, result = _run(scenario)
+        rows = model_comparison(plan, result.trace)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["status"] == "OK"
+        assert row["measured"] == 1
+        assert row["c_e_best"] == 1
+        assert row["m"] == 3
+        assert row["delta"] == 2
+
+
+# ----------------------------------------------------------------------
+# the three-predicate demo
+# ----------------------------------------------------------------------
+class TestDemo3:
+    def test_trace_has_three_access_steps(self):
+        scenario = demo3_scenario()
+        plan, result = _run(scenario)
+        assert len(plan.steps) == 3
+        trace = result.trace
+        assert trace is not None
+        assert len(trace.accesses) == 3
+        for access in trace.accesses:
+            assert access.index_kind == "encoded-bitmap"
+            assert access.reduced  # every step explains its reduction
+            assert 1 <= len(access.vectors) <= access.width
+
+    def test_model_comparison_all_within_envelope(self):
+        scenario = demo3_scenario()
+        plan, result = _run(scenario)
+        rows = model_comparison(plan, result.trace)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["status"] == "OK"
+            assert row["c_e_best"] <= row["measured"]
+            assert row["measured"] <= max(
+                c_e_worst(row["m"]), row["k"]
+            )
+
+    def test_trace_reports_stage_timings(self):
+        scenario = demo3_scenario()
+        _, result = _run(scenario)
+        names = [stage.name for stage in result.trace.stages]
+        assert names == ["plan", "execute"]
+        assert all(
+            stage.wall_seconds >= 0.0 for stage in result.trace.stages
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+class TestExplainCli:
+    def test_cli_explain_table1(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(["explain", "table1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "QUERY PLAN" in out
+        assert "reduced expression: B1'" in out
+        assert "TRACE" in out
+        assert "status" in out  # model-comparison table
+
+    def test_cli_explain_no_run(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(["explain", "table1", "--no-run"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "QUERY PLAN" in out
+        assert "TRACE" not in out
+
+    def test_cli_unknown_scenario_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["explain", "nonsense"])
+
+    def test_scenario_registry(self):
+        assert set(SCENARIOS) == {"table1", "demo3"}
+        for builder in SCENARIOS.values():
+            scenario = builder()
+            assert scenario.catalog.indexes_on(
+                scenario.table.name,
+                next(iter(scenario.predicate.columns())),
+            )

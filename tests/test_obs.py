@@ -1,0 +1,396 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the metrics registry (instruments, hierarchy, scoping, the
+null variant), the migration of the ad-hoc accounting onto it
+(storage stats, evaluator, retry), the per-query metric snapshot on
+``QueryResult``, and the hot-path overhead contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import QueryTrace, StageTimer, VectorAccess
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        assert registry.value("c") == 5
+
+    def test_gauge_sets(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.5)
+        registry.gauge("g").set(1.0)
+        assert registry.value("g") == 1.0
+
+    def test_histogram_aggregates(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for sample in (1.0, 3.0, 2.0):
+            hist.observe(sample)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.mean() == 2.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(InvalidArgumentError):
+            registry.gauge("x")
+
+    def test_collect_flattens_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").observe(0.5)
+        collected = registry.collect()
+        assert collected["c"] == 2
+        assert collected["h.count"] == 1
+        assert collected["h.total"] == 0.5
+
+
+# ----------------------------------------------------------------------
+# hierarchy + scoping
+# ----------------------------------------------------------------------
+class TestHierarchyAndScoping:
+    def test_child_increment_propagates_to_parent(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.counter("reads").inc(3)
+        assert parent.value("reads") == 3
+        assert child.value("reads") == 3
+
+    def test_child_reset_keeps_parent_totals(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.counter("reads").inc(7)
+        child.reset()
+        assert child.value("reads") == 0
+        assert parent.value("reads") == 7
+
+    def test_scope_captures_only_the_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(10)
+        scope = registry.scoped()
+        registry.counter("c").inc(2)
+        registry.counter("new").inc()
+        delta = scope.finish()
+        assert delta == {"c": 2, "new": 1}
+
+    def test_scope_drops_zero_deltas(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet").inc()
+        with registry.scoped() as scope:
+            pass
+        assert scope.finish() == {}
+
+
+# ----------------------------------------------------------------------
+# global registry management
+# ----------------------------------------------------------------------
+class TestGlobalRegistry:
+    def test_use_registry_restores_previous(self):
+        before = get_registry()
+        fresh = MetricsRegistry()
+        with use_registry(fresh) as active:
+            assert active is fresh
+            assert get_registry() is fresh
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        before = get_registry()
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert previous is before
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+    def test_null_registry_is_inert(self):
+        null = NullRegistry()
+        null.counter("c").inc(100)
+        null.gauge("g").set(5)
+        null.histogram("h").observe(1.0)
+        assert null.collect() == {}
+        assert NULL_REGISTRY.collect() == {}
+
+
+# ----------------------------------------------------------------------
+# storage stats migration
+# ----------------------------------------------------------------------
+class TestStorageStatsOnRegistry:
+    def test_pager_stats_reach_global_registry(self):
+        from repro.storage.pager import Pager
+
+        with use_registry(MetricsRegistry()) as registry:
+            pager = Pager(page_size=64)
+            page = pager.allocate()
+            pager.write(page)
+            pager.read(page.page_id)
+            assert registry.value("storage.allocations") == 1
+            assert registry.value("storage.writes") == 1
+            assert registry.value("storage.physical_reads") == 1
+
+    def test_local_reset_does_not_touch_global(self):
+        from repro.storage.pager import Pager
+
+        with use_registry(MetricsRegistry()) as registry:
+            pager = Pager(page_size=64)
+            pager.allocate()
+            pager.stats.reset()
+            assert pager.stats.allocations == 0
+            assert registry.value("storage.allocations") == 1
+
+    def test_two_pagers_are_isolated_locally(self):
+        from repro.storage.pager import Pager
+
+        with use_registry(MetricsRegistry()) as registry:
+            a, b = Pager(page_size=64), Pager(page_size=64)
+            a.allocate()
+            a.allocate()
+            b.allocate()
+            assert a.stats.allocations == 2
+            assert b.stats.allocations == 1
+            assert registry.value("storage.allocations") == 3
+
+    def test_pool_hits_and_misses_counted(self):
+        from repro.storage.buffer_pool import BufferPool
+        from repro.storage.pager import Pager
+
+        with use_registry(MetricsRegistry()) as registry:
+            pager = Pager(page_size=64)
+            page = pager.allocate()
+            pool = BufferPool(pager, capacity=2)
+            pool.fetch(page.page_id)   # miss
+            pool.fetch(page.page_id)   # hit
+            assert registry.value("storage.pool_misses") == 1
+            assert registry.value("storage.pool_hits") == 1
+            assert pager.stats.hit_ratio() == 0.5
+
+
+# ----------------------------------------------------------------------
+# retry metrics
+# ----------------------------------------------------------------------
+class TestRetryMetrics:
+    def test_transient_fault_counts(self):
+        from repro.errors import TransientIOError
+        from repro.faults.retry import RetryPolicy
+
+        registry = MetricsRegistry()
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.0, registry=registry
+        )
+        attempts = {"n": 0}
+
+        def flaky() -> str:
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise TransientIOError("blip")
+            return "done"
+
+        assert policy.call(flaky) == "done"
+        assert registry.value("faults.retry_calls") == 1
+        assert registry.value("faults.transient_faults") == 2
+        assert registry.value("faults.retries") == 2
+        assert registry.value("faults.retry_exhausted") == 0
+
+
+# ----------------------------------------------------------------------
+# query-layer integration
+# ----------------------------------------------------------------------
+def _abc_catalog():
+    from repro.index.encoded_bitmap import EncodedBitmapIndex
+    from repro.table.catalog import Catalog
+    from repro.table.table import Table
+
+    table = Table("T", ["A"])
+    for value in ["a", "b", "c", "b", "a", "c"]:
+        table.append({"A": value})
+    catalog = Catalog()
+    catalog.register_table(table)
+    catalog.register_index(EncodedBitmapIndex(table, "A"))
+    return catalog, table
+
+
+class TestQueryMetrics:
+    def test_query_result_carries_metric_delta(self):
+        from repro.query.executor import Executor
+        from repro.query.predicates import InList
+
+        catalog, table = _abc_catalog()
+        with use_registry(MetricsRegistry()) as registry:
+            result = Executor(catalog).select(
+                table, InList("A", ["a", "b"])
+            )
+            # query.queries is counted outside the per-query scope
+            assert registry.value("query.queries") == 1
+        assert result.metrics["index.lookups"] == 1
+        assert result.metrics["evaluator.distinct_vectors"] == 2
+        assert (
+            result.metrics["index.vectors_accessed"]
+            == result.cost.vectors_accessed
+        )
+
+    def test_metrics_reset_between_queries(self):
+        """The per-query delta does not accumulate across queries —
+        the counter-scoping bug this PR fixes."""
+        from repro.query.executor import Executor
+        from repro.query.predicates import InList
+
+        catalog, table = _abc_catalog()
+        with use_registry(MetricsRegistry()) as registry:
+            executor = Executor(catalog)
+            first = executor.select(table, InList("A", ["a", "b"]))
+            second = executor.select(table, InList("A", ["a", "b"]))
+            # per-query deltas match even though totals accumulate
+            assert first.metrics["index.lookups"] == 1
+            assert second.metrics["index.lookups"] == 1
+            assert (
+                first.metrics["index.vectors_accessed"]
+                == second.metrics["index.vectors_accessed"]
+            )
+            assert registry.value("query.queries") == 2
+
+    def test_buffer_pool_stats_reach_query_result(self):
+        """Paged index I/O shows up in QueryResult.metrics."""
+        from repro.index.paged import PagedEncodedBitmapIndex
+        from repro.query.executor import Executor
+        from repro.query.predicates import InList
+        from repro.table.catalog import Catalog
+        from repro.workload.generators import build_table, uniform_column
+
+        n = 2000
+        table = build_table(
+            "t", n, {"v": uniform_column(n, 16, seed=5)}
+        )
+        with use_registry(MetricsRegistry()):
+            index = PagedEncodedBitmapIndex(
+                table, "v", page_size=256, pool_capacity=8
+            )
+            catalog = Catalog()
+            catalog.register_table(table)
+            catalog.register_index(index)
+            result = Executor(catalog).select(
+                table, InList("v", [0, 1])
+            )
+        logical = result.metrics.get("storage.logical_reads", 0)
+        assert logical > 0
+
+    def test_scan_fallback_metrics(self):
+        from repro.query.executor import Executor
+        from repro.query.predicates import InList
+        from repro.table.catalog import Catalog
+        from repro.table.table import Table
+
+        table = Table("noidx", ["A"])
+        for value in [1, 2, 3]:
+            table.append({"A": value})
+        catalog = Catalog()
+        catalog.register_table(table)
+        with use_registry(MetricsRegistry()):
+            result = Executor(catalog).select(table, InList("A", [2]))
+        assert result.used_scan
+        assert result.metrics["query.scans"] == 1
+        assert result.metrics["query.scan_rows_checked"] == 3
+
+
+# ----------------------------------------------------------------------
+# overhead contract
+# ----------------------------------------------------------------------
+class TestOverheadContract:
+    def test_evaluator_publishes_once_per_evaluation(self):
+        """The hot loop is never instrumented: an evaluation touching
+        many vectors performs exactly one publish (two counter
+        updates), independent of vector count."""
+        from repro.query.predicates import InList
+
+        catalog, table = _abc_catalog()
+        (index,) = catalog.indexes_on("T", "A")
+
+        class CountingRegistry(MetricsRegistry):
+            def __init__(self) -> None:
+                super().__init__()
+                self.instrument_calls = 0
+
+            def counter(self, name):
+                self.instrument_calls += 1
+                return super().counter(name)
+
+        registry = CountingRegistry()
+        with use_registry(registry):
+            index.lookup(InList("A", ["a"]))
+            one_value = registry.instrument_calls
+            registry.instrument_calls = 0
+            index.lookup(InList("A", ["a", "b", "c"]))
+            three_values = registry.instrument_calls
+        # evaluator publish (2) + index accounting: a small constant,
+        # identical no matter how many vectors the lookup touched.
+        assert one_value == three_values
+        assert three_values <= 8
+
+    def test_null_registry_keeps_lookup_semantics(self):
+        from repro.query.predicates import InList
+
+        catalog, table = _abc_catalog()
+        (index,) = catalog.indexes_on("T", "A")
+        with use_registry(MetricsRegistry()):
+            expected = index.lookup(InList("A", ["a", "b"])).indices()
+        with use_registry(NullRegistry()):
+            actual = index.lookup(InList("A", ["a", "b"])).indices()
+        assert list(expected) == list(actual)
+
+
+# ----------------------------------------------------------------------
+# trace primitives
+# ----------------------------------------------------------------------
+class TestTracePrimitives:
+    def test_stage_timer_appends_timing(self):
+        trace = QueryTrace(plan_text="plan")
+        with StageTimer(trace, "work"):
+            pass
+        assert [stage.name for stage in trace.stages] == ["work"]
+        assert trace.stages[0].wall_seconds >= 0.0
+
+    def test_stage_timer_tolerates_none(self):
+        with StageTimer(None, "work"):
+            pass  # must not raise
+
+    def test_vector_reads_sums_accesses(self):
+        trace = QueryTrace(plan_text="p")
+        trace.accesses.append(
+            VectorAccess(
+                index_kind="encoded-bitmap",
+                column="A",
+                predicate="A IN {'a'}",
+                vectors=(0, 1),
+                width=2,
+                reduced="B1'B0'",
+                cache_hit=False,
+                vectors_accessed=2,
+                node_accesses=0,
+                rows_checked=0,
+                estimated_cost=2.0,
+                roles={0: ("B1'B0'",), 1: ("B1'B0'",)},
+            )
+        )
+        assert trace.vector_reads() == 2
+        rendered = trace.render()
+        assert "B1'B0'" in rendered
+        assert "encoded-bitmap" in rendered
