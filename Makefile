@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test doctest bench bench-json tables validate examples lint typecheck all
+.PHONY: install test doctest bench bench-json parallel-bench tables validate examples lint typecheck all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,7 +19,8 @@ typecheck:
 
 doctest:
 	PYTHONPATH=src python -m pytest --doctest-modules \
-		src/repro/query src/repro/storage src/repro/obs src/repro/bench
+		src/repro/query src/repro/storage src/repro/obs \
+		src/repro/bench src/repro/shard src/repro/database.py
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -27,6 +28,9 @@ bench:
 bench-json:
 	PYTHONPATH=src python -m repro.cli bench --quick
 	PYTHONPATH=src python -m repro.cli bench
+
+parallel-bench:
+	PYTHONPATH=src python -m repro.cli bench --quick --workers 1,4
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

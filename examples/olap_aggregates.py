@@ -85,7 +85,7 @@ def main() -> None:
     mined_mapping = encoding_from_history(
         history, "sid", domain, min_support=3, seed=0
     )
-    tuned = EncodedBitmapIndex(fact, "sid", mapping=mined_mapping)
+    tuned = EncodedBitmapIndex(fact, "sid", encoding=mined_mapping)
     hot = InList("sid", list(range(8, 16)))
     tuned.lookup(hot)
     print(

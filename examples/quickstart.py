@@ -1,9 +1,10 @@
-"""Quickstart: build an encoded bitmap index and query it.
+"""Quickstart: the ``repro.Database`` facade end to end.
 
-Walks through the paper's core loop: create a table, index an
+One object fronts the whole reproduction: create a table, index an
 attribute with ``ceil(log2 m)`` bitmap vectors plus a mapping table,
-run selections, and watch the logical reduction keep the number of
-bitmap vectors read small.
+run planned selections, inspect EXPLAIN, and persist the lot.  The
+encoded/simple comparison at the end shows the paper's core saving
+through the same facade.
 
 Run:  python examples/quickstart.py
 """
@@ -11,90 +12,77 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 import random
+import tempfile
 
-from repro import (
-    EncodedBitmapIndex,
-    Equals,
-    InList,
-    SimpleBitmapIndex,
-    Table,
-)
+from repro import Database, Equals, InList
+
+
+def build(kind: str) -> Database:
+    rng = random.Random(7)
+    db = Database()
+    db.create_table(
+        "sales",
+        {
+            "product": [rng.randint(100, 149) for _ in range(1000)],
+            "amount": [rng.randint(1, 500) for _ in range(1000)],
+        },
+    )
+    db.create_index("sales", "product", kind=kind)
+    return db
 
 
 def main() -> None:
-    # 1. A sales table with a 50-product dimension attribute.
-    rng = random.Random(7)
-    table = Table("sales", ["product", "amount"])
-    for _ in range(1000):
-        table.append(
-            {
-                "product": rng.randint(100, 149),
-                "amount": rng.randint(1, 500),
-            }
-        )
-    print(f"table: {table}")
+    db = build("encoded")
 
-    # 2. Index it both ways.
-    simple = SimpleBitmapIndex(table, "product")
-    encoded = EncodedBitmapIndex(table, "product")
-    print(
-        f"simple bitmap index : {simple.vector_count} vectors "
-        f"({simple.nbytes():,} bytes)"
-    )
-    print(
-        f"encoded bitmap index: {encoded.width} vectors "
-        f"({encoded.nbytes():,} bytes)   "
-        f"[= ceil(log2 m), the paper's saving]"
-    )
-
-    # 3. A point query: simple bitmap wins (1 vector).
+    # 1. A point query, planned and executed through the facade.
     point = Equals("product", 120)
-    rows = simple.lookup(point)
+    result = db.query("sales", point)
     print(
-        f"\n{point}: {rows.count()} rows, simple reads "
-        f"{simple.last_cost.vectors_accessed} vector(s)"
-    )
-    encoded.lookup(point)
-    print(
-        f"{point}: encoded reads "
-        f"{encoded.last_cost.vectors_accessed} vector(s)"
+        f"{point}: {result.count()} rows, "
+        f"{result.cost.vectors_accessed} bitmap vector(s) read"
     )
 
-    # 4. A wide range query: encoded wins.
+    # 2. EXPLAIN shows the reduced expression without reading vectors.
+    print("\nEXPLAIN:")
+    print(db.explain("sales", point))
+
+    # 3. A wide IN-list: the logical reduction keeps reads at <= k
+    #    vectors while a simple bitmap index pays one per value.
     wide = InList("product", list(range(100, 132)))  # delta = 32
-    simple.lookup(wide)
-    encoded_result = encoded.lookup(wide)
+    encoded_cost = db.query("sales", wide).cost.vectors_accessed
+    simple_cost = build("simple").query(
+        "sales", wide
+    ).cost.vectors_accessed
+    print("\nproduct IN [100, 132), delta = 32:")
     print(
-        f"\nproduct IN [100, 132): {encoded_result.count()} rows"
+        f"  simple bitmap index reads  {simple_cost} vectors "
+        "(c_s = delta)"
     )
+    print(f"  encoded bitmap index reads {encoded_cost} vectors (reduced)")
+
+    # 4. Batches share leaf-vector reads across queries.
+    batch = db.query_many("sales", [point, wide, point])
     print(
-        f"  simple reads  {simple.last_cost.vectors_accessed} vectors "
-        "(one per value: c_s = delta)"
-    )
-    print(
-        f"  encoded reads {encoded.last_cost.vectors_accessed} vectors "
-        f"(reduced expression: "
-        f"{encoded.reduced_function(wide.values)})"
+        f"\nbatch of 3 queries: "
+        f"{[result.count() for result in batch]} rows each"
     )
 
-    # 5. Maintenance: appends flow through, even new domain values.
-    table.attach(encoded)
-    table.append({"product": 999, "amount": 1})  # domain expansion
-    print(
-        f"\nafter appending unseen product 999: width = "
-        f"{encoded.width}, lookup finds "
-        f"{encoded.lookup(Equals('product', 999)).count()} row"
-    )
+    # 5. Maintenance flows through the table, even domain expansion.
+    table = db.table("sales")
+    table.append({"product": 999, "amount": 1})
+    found = db.query("sales", Equals("product", 999))
+    print(f"\nafter appending unseen product 999: {found.count()} row")
 
-    # 6. Deletion: the row becomes a void tuple encoded as 0
-    #    (Theorem 2.1) and silently drops out of every selection.
-    victim = encoded.lookup(Equals("product", 120)).indices()[0]
-    table.delete(int(victim))
-    rows_after = encoded.lookup(Equals("product", 120))
-    print(
-        f"after deleting row {int(victim)}: {rows_after.count()} rows "
-        "match product=120 (no existence vector consulted)"
-    )
+    # 6. Persistence: manifest + checksummed .ebi payloads.
+    with tempfile.TemporaryDirectory() as directory:
+        db.save(directory)
+        reloaded = Database.load(directory)
+        again = reloaded.query("sales", point)
+        print(
+            f"\nsave/load round-trip: {again.count()} rows for {point}, "
+            f"fsck says "
+            f"{'ok' if all(r.ok for r in reloaded.fsck().values()) else 'BAD'}"
+        )
 
 
 if __name__ == "__main__":

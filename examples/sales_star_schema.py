@@ -66,7 +66,7 @@ def main() -> None:
     catalog = Catalog()
     catalog.register_table(sales)
     index = EncodedBitmapIndex(
-        sales, "branch", mapping=mapping, void_mode="vector"
+        sales, "branch", encoding=mapping, void_mode="vector"
     )
     catalog.register_index(index)
     executor = Executor(catalog)

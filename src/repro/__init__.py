@@ -7,17 +7,25 @@ Section 2.3 applications (hierarchy / total-order / range-based
 encodings, group-set indexes), every comparator index the paper
 discusses, and the analytical cost models of Sections 2.1 and 3.
 
-Quickstart::
+Quickstart — the :class:`Database` facade fronts the whole stack
+(tables, indexes, planned/parallel execution, persistence, fsck)::
 
-    from repro import Table, EncodedBitmapIndex, InList
+    from repro import Database, InList
 
-    table = Table("sales", ["product"])
-    for value in ["a", "b", "c", "a", "b", "a"]:
-        table.append({"product": value})
-    index = EncodedBitmapIndex(table, "product")
-    rows = index.lookup(InList("product", ["a", "b"]))
-    print(rows.indices())          # row ids with product in {a, b}
-    print(index.last_cost.vectors_accessed)   # bitmap vectors read
+    db = Database()
+    db.create_table(
+        "sales",
+        {"product": ["a", "b", "c", "a", "b", "a"]},
+        partitions=2,
+    )
+    db.create_index("sales", "product")
+    result = db.query("sales", InList("product", ["a", "b"]))
+    print(result.row_ids())        # row ids with product in {a, b}
+    print(result.cost.vectors_accessed)   # bitmap vectors read
+
+The individual layers (:class:`Table`, :class:`EncodedBitmapIndex`,
+:class:`Executor`, …) stay importable for direct use; see
+``docs/api.md``.
 """
 
 from repro._version import __version__
@@ -70,6 +78,13 @@ from repro.query import (
 )
 from repro.query.executor import Executor, QueryResult
 from repro.query.planner import Plan, Planner
+from repro.database import Database
+from repro.shard import (
+    ParallelExecutor,
+    PartitionedIndex,
+    PartitionedQueryResult,
+    PartitionedTable,
+)
 from repro.index.compressed import CompressedBitmapIndex
 from repro.index.join_index import BitmapJoinIndex
 from repro.index.paged import PagedEncodedBitmapIndex, PagedSimpleBitmapIndex
@@ -143,6 +158,12 @@ __all__ = [
     "QueryResult",
     "Plan",
     "Planner",
+    # facade + partition-parallel engine
+    "Database",
+    "ParallelExecutor",
+    "PartitionedIndex",
+    "PartitionedQueryResult",
+    "PartitionedTable",
     # extensions (paper Section 5 future work)
     "CompressedBitmapIndex",
     "BitmapJoinIndex",

@@ -13,7 +13,7 @@ snapshot around it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.table.table import Table
 
@@ -34,6 +34,9 @@ class BenchCase:
     name: str
     description: str
     run: Callable[[float], List[Comparison]]
+    #: Worker-thread counts a partition-parallel case ran with;
+    #: serialized as the case's ``workers`` key (schema version 2).
+    workers: Optional[Tuple[int, ...]] = None
 
 
 def _fig9_table(m: int, n: int, seed: int) -> Table:
@@ -107,7 +110,7 @@ def case_fig9_small(tolerance: float) -> List[Comparison]:
     simple = SimpleBitmapIndex(table, "v")
     mapping = MappingTable.from_pairs([(v, v) for v in values])
     encoded = EncodedBitmapIndex(
-        table, "v", mapping=mapping, void_mode="vector",
+        table, "v", encoding=mapping, void_mode="vector",
         null_mode="vector",
     )
     deltas = [1, 2, 4, 8, 16, 32]
@@ -309,6 +312,132 @@ def case_worst_case(tolerance: float) -> List[Comparison]:
     return comparisons
 
 
+def case_parallel_scan(
+    tolerance: float,
+    *,
+    n: int,
+    workers: Sequence[int] = (1, 4),
+) -> List[Comparison]:
+    """Partition-parallel batched scan on an unindexed column.
+
+    The speedup line compares the batched multi-worker partitioned
+    scan (whole-column numpy comparisons per partition) against the
+    classic single-threaded executor's row-by-row fallback scan on
+    the same data — the path every query took before ``repro.shard``
+    existed.  The thread-scaling line compares wall time across
+    worker counts on the *same* partitioned path; on a single-CPU
+    host it only asserts that extra workers do not pathologically
+    slow things down (>= 0.5), while the determinism lines assert
+    worker count never changes rows, counts, or merged metrics.
+    """
+    import time
+
+    from repro.query.executor import Executor
+    from repro.query.predicates import Equals, InList, Range
+    from repro.shard.executor import ParallelExecutor
+    from repro.shard.partition import PartitionedTable
+    from repro.table.catalog import Catalog
+
+    m = 97
+    values = [i % m for i in range(n)]
+    plain = Table.from_columns("scan_plain", {"v": values})
+    ptable = PartitionedTable.from_columns(
+        "scan_part", {"v": values}, partitions=4
+    )
+    predicates = [
+        Range("v", 10, 30),
+        Equals("v", 7),
+        InList("v", [3, 5, 9, 60]),
+        Range("v", 50, 80),
+    ]
+
+    catalog = Catalog()
+    catalog.register_table(plain)
+    classic = Executor(catalog)
+    wall = time.perf_counter()
+    reference = [classic.select(plain, p) for p in predicates]
+    classic_seconds = time.perf_counter() - wall
+
+    counts = sorted(set(workers))
+    executor = ParallelExecutor(ptable, workers=max(counts))
+    timings = {}
+    outcomes = {}
+    for count in counts:
+        # Best of two runs: the first execution after table build
+        # pays allocator/cache warm-up that would skew the ratio.
+        best = float("inf")
+        for _attempt in range(2):
+            wall = time.perf_counter()
+            outcomes[count] = executor.execute_many(
+                predicates, workers=count
+            )
+            best = min(best, time.perf_counter() - wall)
+        timings[count] = best
+    low, high = counts[0], counts[-1]
+
+    row_mismatches = sum(
+        1
+        for a, b in zip(outcomes[low], outcomes[high])
+        if a.row_ids() != b.row_ids()
+    )
+    metric_mismatches = sum(
+        1
+        for a, b in zip(outcomes[low], outcomes[high])
+        if a.metrics != b.metrics
+    )
+    reference_mismatches = sum(
+        1
+        for ref, res in zip(reference, outcomes[high])
+        if ref.row_ids() != res.row_ids()
+    )
+    return [
+        compare(
+            f"speedup: batched {high}-worker partitioned scan vs "
+            "classic row scan",
+            classic_seconds / max(timings[high], 1e-9),
+            2.0,
+            mode="ge",
+            unit="ratio",
+            tolerance=tolerance,
+        ),
+        compare(
+            f"thread scaling: {low}-worker / {high}-worker wall time",
+            timings[low] / max(timings[high], 1e-9),
+            0.5,
+            mode="ge",
+            unit="ratio",
+            tolerance=tolerance,
+        ),
+        compare(
+            "determinism: queries whose rows differ across worker "
+            "counts",
+            row_mismatches,
+            0,
+            mode="eq",
+            unit="queries",
+            tolerance=tolerance,
+        ),
+        compare(
+            "determinism: queries whose merged metrics differ across "
+            "worker counts",
+            metric_mismatches,
+            0,
+            mode="eq",
+            unit="queries",
+            tolerance=tolerance,
+        ),
+        compare(
+            "vectorized partition scan matches the classic reference "
+            "rows",
+            reference_mismatches,
+            0,
+            mode="eq",
+            unit="queries",
+            tolerance=tolerance,
+        ),
+    ]
+
+
 QUICK_CASES: List[BenchCase] = [
     BenchCase(
         name="reduction",
@@ -364,6 +493,39 @@ FULL_CASES: List[BenchCase] = QUICK_CASES + [
 ]
 
 
-def cases_for(quick: bool) -> List[BenchCase]:
-    """The case list for a suite flavor."""
-    return list(QUICK_CASES if quick else FULL_CASES)
+#: Row counts for the partition-parallel scan case per suite flavor.
+PARALLEL_SMOKE_ROWS = 65_536
+PARALLEL_FULL_ROWS = 1_048_576
+
+
+def parallel_case(
+    quick: bool, workers: Optional[Sequence[int]] = None
+) -> BenchCase:
+    """Build the partition-parallel scan case for a suite flavor."""
+    counts: Tuple[int, ...] = tuple(workers) if workers else (1, 4)
+    n = PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS
+    return BenchCase(
+        name="parallel_scan_smoke" if quick else "parallel_scan_1m",
+        description=(
+            f"partition-parallel batched scan over {n} rows at "
+            f"workers={list(counts)} vs the classic executor scan "
+            "(docs/partitioning.md)"
+        ),
+        run=lambda tolerance: case_parallel_scan(
+            tolerance, n=n, workers=counts
+        ),
+        workers=counts,
+    )
+
+
+def cases_for(
+    quick: bool, workers: Optional[Sequence[int]] = None
+) -> List[BenchCase]:
+    """The case list for a suite flavor.
+
+    ``workers`` overrides the thread counts of the partition-parallel
+    case (CLI: ``repro bench --workers 1,4``).
+    """
+    cases = list(QUICK_CASES if quick else FULL_CASES)
+    cases.append(parallel_case(quick, workers))
+    return cases

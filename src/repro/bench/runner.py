@@ -17,7 +17,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.cases import BenchCase, cases_for
 from repro.bench.compare import Comparison
@@ -36,6 +36,8 @@ class CaseReport:
     wall_seconds: float
     cpu_seconds: float
     error: Optional[str] = None
+    #: Worker-thread counts, for partition-parallel cases (schema v2).
+    workers: Optional[Tuple[int, ...]] = None
 
     @property
     def ok(self) -> bool:
@@ -44,7 +46,7 @@ class CaseReport:
         )
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "description": self.description,
             "wall_seconds": self.wall_seconds,
@@ -53,6 +55,9 @@ class CaseReport:
             "metrics": dict(self.metrics),
             "results": [c.as_dict() for c in self.comparisons],
         }
+        if self.workers is not None:
+            payload["workers"] = list(self.workers)
+        return payload
 
 
 @dataclass
@@ -123,6 +128,7 @@ def run_case(case: BenchCase, tolerance: float) -> CaseReport:
         wall_seconds=time.perf_counter() - wall,
         cpu_seconds=time.process_time() - cpu,
         error=error,
+        workers=case.workers,
     )
 
 
@@ -131,17 +137,19 @@ def run_suite(
     tolerance: float = 0.25,
     out_dir: Optional[str] = None,
     suite: Optional[str] = None,
+    workers: Optional[Sequence[int]] = None,
 ) -> SuiteReport:
     """Run a suite and write ``BENCH_<suite>.json``.
 
     ``suite`` defaults to ``smoke`` for quick runs and ``full``
     otherwise; the file lands in ``out_dir`` (default: the current
     working directory, i.e. the repo root when run via ``make`` or
-    CI).
+    CI).  ``workers`` overrides the thread counts of the
+    partition-parallel case.
     """
     name = suite if suite is not None else ("smoke" if quick else "full")
     report = SuiteReport(suite=name, quick=quick, tolerance=tolerance)
-    for case in cases_for(quick):
+    for case in cases_for(quick, workers=workers):
         report.cases.append(run_case(case, tolerance))
     payload = report.as_payload()
     assert_valid(payload)

@@ -6,10 +6,10 @@ incompatible layouts instead of silently misreading them.  Validation
 is hand-rolled — the container has no ``jsonschema`` — and reports
 *all* violations, not just the first.
 
-Layout (version 1)::
+Layout (version 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "suite": "smoke",
       "quick": true,
       "tolerance": 0.25,
@@ -22,6 +22,7 @@ Layout (version 1)::
           "cpu_seconds": 0.011,
           "ok": true,
           "metrics": {"evaluator.vector_reads": 42, ...},
+          "workers": [1, 4],          # optional: parallel cases only
           "results": [
             {
               "label": "delta=8 measured c_s",
@@ -41,6 +42,10 @@ Layout (version 1)::
 (``eq``), bounded (``le`` / ``ge``) or within relative tolerance
 (``approx``).  See :mod:`repro.bench.compare` for the semantics and
 ``docs/benchmarks.md`` for the full contract.
+
+Version history: version 2 added the optional per-case ``workers``
+key — the thread counts a partition-parallel case ran with.  Cases
+without it serialize exactly as in version 1.
 """
 
 from __future__ import annotations
@@ -49,7 +54,7 @@ from typing import Any, Dict, List, Tuple, Union
 
 from repro.errors import BenchSchemaError
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 COMPARISON_MODES = ("eq", "le", "ge", "approx")
 
@@ -76,6 +81,11 @@ _CASE_KEYS: _Spec = {
     "results": list,
 }
 
+#: Keys a case may carry but need not (added in schema version 2).
+_CASE_OPTIONAL_KEYS: _Spec = {
+    "workers": list,
+}
+
 _RESULT_KEYS: _Spec = {
     "label": str,
     "unit": str,
@@ -92,26 +102,37 @@ def _check_keys(
     spec: _Spec,
     where: str,
     problems: List[str],
+    optional: Union[_Spec, None] = None,
 ) -> None:
+    optional = optional or {}
     for key, expected in spec.items():
         if key not in obj:
             problems.append(f"{where}: missing key {key!r}")
             continue
-        value = obj[key]
-        # bool is an int subclass; don't let it satisfy numeric slots.
-        if expected is not bool and isinstance(value, bool):
-            problems.append(
-                f"{where}.{key}: expected {expected}, got bool"
-            )
-            continue
-        if not isinstance(value, expected):
-            problems.append(
-                f"{where}.{key}: expected {expected}, "
-                f"got {type(value).__name__}"
-            )
+        _check_type(obj[key], expected, f"{where}.{key}", problems)
+    for key, expected in optional.items():
+        if key in obj:
+            _check_type(obj[key], expected, f"{where}.{key}", problems)
     for key in obj:
-        if key not in spec:
+        if key not in spec and key not in optional:
             problems.append(f"{where}: unknown key {key!r}")
+
+
+def _check_type(
+    value: Any,
+    expected: Union[type, Tuple[type, ...]],
+    where: str,
+    problems: List[str],
+) -> None:
+    # bool is an int subclass; don't let it satisfy numeric slots.
+    if expected is not bool and isinstance(value, bool):
+        problems.append(f"{where}: expected {expected}, got bool")
+        return
+    if not isinstance(value, expected):
+        problems.append(
+            f"{where}: expected {expected}, "
+            f"got {type(value).__name__}"
+        )
 
 
 def validate_payload(payload: Any) -> List[str]:
@@ -136,7 +157,21 @@ def validate_payload(payload: Any) -> List[str]:
         if not isinstance(case, dict):
             problems.append(f"{where}: expected object")
             continue
-        _check_keys(case, _CASE_KEYS, where, problems)
+        _check_keys(
+            case, _CASE_KEYS, where, problems,
+            optional=_CASE_OPTIONAL_KEYS,
+        )
+        workers = case.get("workers")
+        if isinstance(workers, list):
+            if not workers:
+                problems.append(f"{where}.workers: must not be empty")
+            for j, count in enumerate(workers):
+                if isinstance(count, bool) or not isinstance(
+                    count, int
+                ) or count < 1:
+                    problems.append(
+                        f"{where}.workers[{j}]: expected int >= 1"
+                    )
         metrics = case.get("metrics")
         if isinstance(metrics, dict):
             for name, value in metrics.items():

@@ -90,6 +90,33 @@ class BitVector:
         return vec
 
     @classmethod
+    def concat(cls, vectors: Iterable["BitVector"]) -> "BitVector":
+        """Concatenate vectors end to end into one new vector.
+
+        Fast path: when every vector but the last is word-aligned
+        (a multiple of 64 bits — how :mod:`repro.shard` sizes its
+        row-range partitions), the word arrays are concatenated
+        directly.  Otherwise the boolean masks are joined, which is
+        still a bulk numpy operation.
+
+        >>> left = BitVector.from_bools([True, False])
+        >>> right = BitVector.from_bools([True])
+        >>> BitVector.concat([left, right]).to_bitstring()
+        '101'
+        """
+        parts = list(vectors)
+        if not parts:
+            return cls(0)
+        if len(parts) == 1:
+            return parts[0].copy()
+        nbits = sum(part._nbits for part in parts)
+        if all(part._nbits % WORD_BITS == 0 for part in parts[:-1]):
+            words = np.concatenate([part._words for part in parts])
+            return cls._from_words(words, nbits)
+        mask = np.concatenate([part.to_mask() for part in parts])
+        return cls.from_mask(mask)
+
+    @classmethod
     def from_mask(cls, mask: np.ndarray) -> "BitVector":
         """Build a vector from a numpy boolean array."""
         mask = np.asarray(mask, dtype=bool)

@@ -185,21 +185,24 @@ def cmd_fsck(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.database import Database
     from repro.obs.demo import SCENARIOS, model_comparison
-    from repro.query.executor import Executor
+    from repro.query.planner import Planner
 
     scenario = SCENARIOS[args.scenario]()
+    db = Database.from_catalog(scenario.catalog)
     print(f"scenario: {scenario.name} — {scenario.description}")
     print()
-    executor = Executor(scenario.catalog)
-    plan = executor.planner.plan(scenario.table, scenario.predicate)
-    print(plan.explain())
+    print(db.explain(scenario.table.name, scenario.predicate))
     if args.no_run:
         return 0
     print()
-    result = executor.select(
-        scenario.table, scenario.predicate, trace=True
+    result = db.query(
+        scenario.table.name, scenario.predicate, trace=True
     )
+    # The cost-model comparison wants the Plan object itself — an
+    # internals concern the facade deliberately doesn't expose.
+    plan = Planner(db.catalog).plan(scenario.table, scenario.predicate)
     assert result.trace is not None
     print(result.trace.render())
     print()
@@ -225,10 +228,21 @@ def cmd_explain(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.runner import run_suite
 
+    workers = None
+    if args.workers:
+        try:
+            workers = [int(part) for part in args.workers.split(",")]
+        except ValueError:
+            print(f"invalid --workers value: {args.workers!r}")
+            return 2
+        if any(count < 1 for count in workers):
+            print("--workers counts must be >= 1")
+            return 2
     report = run_suite(
         quick=args.quick,
         tolerance=args.tolerance,
         out_dir=args.out,
+        workers=workers,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -335,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="directory for BENCH_*.json (default: repo root)",
+    )
+    p_bench.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated worker-thread counts for the "
+        "partition-parallel case (default: 1,4)",
     )
     p_bench.set_defaults(func=cmd_bench)
 

@@ -1,0 +1,558 @@
+"""``repro.Database`` — the unified facade over the whole stack.
+
+One object ties together tables (plain or partitioned), index
+construction, planned/parallel query execution, EXPLAIN,
+persistence, and fsck — the pieces that previously had to be wired
+by hand through :class:`~repro.table.catalog.Catalog`,
+:class:`~repro.query.executor.Executor`,
+:class:`~repro.shard.executor.ParallelExecutor` and
+:mod:`repro.index.serialization`.
+
+Quickstart::
+
+    from repro import Database, Equals
+
+    db = Database()
+    db.create_table(
+        "sales",
+        {"product": ["a", "b", "a"], "qty": [1, 2, 3]},
+        partitions=2,
+    )
+    db.create_index("sales", "product")
+    result = db.query("sales", Equals("product", "a"))
+    print(result.row_ids())
+
+Saving writes a directory: a ``manifest.json`` with the table data
+(column values, void rows, partition bounds, index specs) plus one
+checksummed ``.ebi`` payload per encoded-bitmap index — per
+partition child for partitioned tables.  Loading rebuilds the lot;
+a damaged ``.ebi`` payload does not fail the load: the affected
+index (or partition child) is rebuilt from the base data and marked
+``degraded`` so the planner quarantines it until
+:meth:`Database.fsck` re-audits it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+    cast,
+)
+
+from repro.encoding.mapping import MappingTable
+from repro.errors import (
+    CorruptIndexError,
+    IndexBuildError,
+    InvalidArgumentError,
+    SchemaError,
+)
+from repro.index import serialization
+from repro.index.base import Index
+from repro.index.bitsliced import BitSlicedIndex
+from repro.index.btree import BPlusTreeIndex
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.index.paged import PagedEncodedBitmapIndex
+from repro.index.simple_bitmap import SimpleBitmapIndex
+from repro.index.verify import FsckReport, verify_index
+from repro.index.verify import repair as repair_index
+from repro.obs.metrics import MetricsRegistry
+from repro.query.executor import Executor, QueryResult
+from repro.query.predicates import Predicate
+from repro.shard.executor import ParallelExecutor
+from repro.shard.index import PartitionedIndex
+from repro.shard.partition import Partition, PartitionedTable
+from repro.table.catalog import Catalog
+from repro.table.table import Table
+
+#: Index kinds :meth:`Database.create_index` knows how to build (and,
+#: for non-encoded kinds, rebuild from base data on load).
+INDEX_KINDS: Dict[str, Callable[..., Index]] = {
+    "encoded": EncodedBitmapIndex,
+    "simple": SimpleBitmapIndex,
+    "paged": PagedEncodedBitmapIndex,
+    "btree": BPlusTreeIndex,
+    "bitsliced": BitSlicedIndex,
+}
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+AnyTable = Union[Table, PartitionedTable]
+
+
+class Database:
+    """Facade over catalog, indexes, executors and persistence.
+
+    Parameters
+    ----------
+    registry:
+        Optional metrics sink for every query run through the facade;
+        defaults to the calling thread's current registry per query.
+    """
+
+    def __init__(
+        self, *, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.catalog = Catalog()
+        self.registry = registry
+        self._partitioned: Dict[str, PartitionedTable] = {}
+        self._executors: Dict[str, ParallelExecutor] = {}
+        #: One entry per ``create_index`` call: table, column, kind.
+        self._index_specs: List[Dict[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_catalog(
+        cls,
+        catalog: Catalog,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "Database":
+        """Wrap an already-populated catalog (CLI scenarios, tests)."""
+        db = cls(registry=registry)
+        db.catalog = catalog
+        for index in catalog.all_indexes():
+            db._index_specs.append(
+                {
+                    "table": index.table.name,
+                    "column": getattr(index, "column_name", ""),
+                    "kind": getattr(index, "kind", "encoded"),
+                }
+            )
+        return db
+
+    def create_table(
+        self,
+        name: str,
+        columns: Union[Mapping[str, Sequence[Any]], Sequence[str]],
+        *,
+        partitions: Optional[int] = None,
+    ) -> AnyTable:
+        """Create a table from column data or a bare schema.
+
+        ``columns`` is either a mapping of column name to values
+        (the table is populated) or a sequence of column names (an
+        empty table).  ``partitions=N`` makes it a
+        :class:`~repro.shard.partition.PartitionedTable` with
+        word-aligned row-range partitions.
+        """
+        if isinstance(columns, Mapping):
+            data: Mapping[str, Sequence[Any]] = columns
+        else:
+            data = {column: [] for column in columns}
+        if not data:
+            raise SchemaError("a table needs at least one column")
+        table: AnyTable
+        if partitions is not None:
+            table = PartitionedTable.from_columns(
+                name, data, partitions=partitions
+            )
+            self._partitioned[name] = table
+            self.catalog.register_table(cast(Table, table))
+        else:
+            table = Table.from_columns(name, dict(data))
+            self.catalog.register_table(table)
+        return table
+
+    def table(self, name: str) -> AnyTable:
+        """The table registered under ``name`` (raises if absent)."""
+        if name in self._partitioned:
+            return self._partitioned[name]
+        return self.catalog.table(name)
+
+    def tables(self) -> List[str]:
+        return sorted(table.name for table in self.catalog.tables())
+
+    def is_partitioned(self, name: str) -> bool:
+        return name in self._partitioned
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def create_index(
+        self,
+        table_name: str,
+        column_name: str,
+        *,
+        kind: str = "encoded",
+        encoding: Optional[MappingTable] = None,
+        factory: Optional[Callable[[Table, str], Index]] = None,
+        **options: Any,
+    ) -> Index:
+        """Build and register an index on one column.
+
+        ``kind`` selects the index class (see :data:`INDEX_KINDS`);
+        for partitioned tables one child of that kind is built per
+        partition behind a
+        :class:`~repro.shard.index.PartitionedIndex`.  ``factory``
+        overrides the per-partition constructor entirely.
+        """
+        if kind not in INDEX_KINDS:
+            raise InvalidArgumentError(
+                f"unknown index kind {kind!r}; expected one of "
+                f"{sorted(INDEX_KINDS)}"
+            )
+        table = self.table(table_name)
+        index: Index
+        if isinstance(table, PartitionedTable):
+            child_factory = factory or self._child_factory(
+                kind, encoding, options
+            )
+            index = PartitionedIndex(
+                table, column_name, factory=child_factory
+            )
+            self.catalog.register_index(index, attach=False)
+        else:
+            if encoding is not None:
+                options["encoding"] = encoding
+            index = INDEX_KINDS[kind](table, column_name, **options)
+            self.catalog.register_index(index)
+        self._index_specs.append(
+            {"table": table_name, "column": column_name, "kind": kind}
+        )
+        return index
+
+    @staticmethod
+    def _child_factory(
+        kind: str,
+        encoding: Optional[MappingTable],
+        options: Dict[str, Any],
+    ) -> Callable[[Table, str], Index]:
+        build = INDEX_KINDS[kind]
+        kwargs = dict(options)
+        if encoding is not None:
+            kwargs["encoding"] = encoding
+
+        def factory(table: Table, column_name: str) -> Index:
+            return build(table, column_name, **kwargs)
+
+        return factory
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        table_name: str,
+        predicate: Predicate,
+        *,
+        workers: Optional[int] = None,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Plan and run one selection.
+
+        Partitioned tables run on the partition-parallel executor
+        (``workers=`` overrides its thread count) and return a
+        :class:`~repro.shard.executor.PartitionedQueryResult`; plain
+        tables run on the classic planned executor.
+        """
+        if table_name in self._partitioned:
+            return self._executor(table_name).execute(
+                predicate, workers=workers, trace=trace
+            )
+        executor = Executor(self.catalog, registry=self.registry)
+        return executor.select(
+            self.catalog.table(table_name), predicate, trace=trace
+        )
+
+    def query_many(
+        self,
+        table_name: str,
+        predicates: Sequence[Predicate],
+        *,
+        workers: Optional[int] = None,
+        trace: bool = False,
+    ) -> List[QueryResult]:
+        """Run a batch of selections, sharing leaf-vector reads.
+
+        The whole batch is planned up front; every query in it
+        shares one leaf-vector cache, so two queries selecting on
+        the same leaf predicate pay its index read once (for
+        partitioned tables this happens per partition, inside
+        :meth:`~repro.shard.executor.ParallelExecutor.execute_many`).
+        """
+        predicates = list(predicates)
+        if table_name in self._partitioned:
+            return list(
+                self._executor(table_name).execute_many(
+                    predicates, workers=workers, trace=trace
+                )
+            )
+        executor = Executor(self.catalog, registry=self.registry)
+        table = self.catalog.table(table_name)
+        plans = executor.planner.plan_many(table, predicates)
+        leaf_cache: Dict[Predicate, Any] = {}
+        return [
+            executor.execute(plan, trace=trace, leaf_cache=leaf_cache)
+            for plan in plans
+        ]
+
+    def explain(self, table_name: str, predicate: Predicate) -> str:
+        """EXPLAIN without reading any vectors.
+
+        Partitioned tables render one plan per partition with row
+        spans; plain tables render the classic single plan.
+        """
+        if table_name in self._partitioned:
+            return self._executor(table_name).explain(predicate)
+        executor = Executor(self.catalog, registry=self.registry)
+        plan = executor.planner.plan(
+            self.catalog.table(table_name), predicate
+        )
+        return plan.explain()
+
+    def _executor(self, table_name: str) -> ParallelExecutor:
+        executor = self._executors.get(table_name)
+        if executor is None:
+            executor = ParallelExecutor(
+                self._partitioned[table_name], registry=self.registry
+            )
+            self._executors[table_name] = executor
+        return executor
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def fsck(self, *, repair: bool = False) -> Dict[str, FsckReport]:
+        """Audit every encoded-bitmap index (partition children too).
+
+        Each audited index's ``degraded`` flag is updated from the
+        verdict — a failing index is quarantined from planning, a
+        clean re-audit lifts an earlier quarantine.  With
+        ``repair=True``, damaged vectors are rebuilt from the base
+        column and the index re-audited.
+        """
+        reports: Dict[str, FsckReport] = {}
+        for label, index in self._encoded_indexes():
+            report = verify_index(index, mark=True)
+            if repair and not report.ok:
+                repair_index(index)
+                report = verify_index(index, mark=True)
+            reports[label] = report
+        return reports
+
+    def _encoded_indexes(self) -> List[Any]:
+        found: List[Any] = []
+        for index in self.catalog.all_indexes():
+            if isinstance(index, PartitionedIndex):
+                for i, child in enumerate(index.children):
+                    if isinstance(child, EncodedBitmapIndex):
+                        found.append(
+                            (
+                                f"{index.table.name}."
+                                f"{index.column_name}.p{i}",
+                                child,
+                            )
+                        )
+            elif isinstance(index, EncodedBitmapIndex):
+                found.append(
+                    (f"{index.table.name}.{index.column_name}", index)
+                )
+        return found
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Write the database to a directory.
+
+        ``manifest.json`` carries the table data and index specs;
+        every encoded-bitmap index adds one checksummed ``.ebi``
+        payload (per partition child for partitioned tables) that
+        :meth:`load` verifies and :meth:`fsck` can audit offline.
+        """
+        os.makedirs(directory, exist_ok=True)
+        manifest: Dict[str, Any] = {
+            "version": MANIFEST_VERSION,
+            "tables": [],
+            "indexes": list(self._index_specs),
+        }
+        for table in self.catalog.tables():
+            name = table.name
+            entry: Dict[str, Any] = {
+                "name": name,
+                "partitioned": name in self._partitioned,
+                "columns": {
+                    column: list(table.column(column).values())
+                    for column in table.column_names
+                },
+                "void_rows": sorted(table.void_rows()),
+            }
+            if name in self._partitioned:
+                ptable = self._partitioned[name]
+                bounds = [p.offset for p in ptable.partitions]
+                bounds.append(len(ptable))
+                entry["bounds"] = bounds
+            manifest["tables"].append(entry)
+        for index in self.catalog.all_indexes():
+            if isinstance(index, PartitionedIndex):
+                for i, child in enumerate(index.children):
+                    if isinstance(child, EncodedBitmapIndex):
+                        serialization.save(
+                            child,
+                            os.path.join(
+                                directory,
+                                self._payload_name(
+                                    index.table.name,
+                                    index.column_name,
+                                    i,
+                                ),
+                            ),
+                        )
+            elif isinstance(index, EncodedBitmapIndex):
+                serialization.save(
+                    index,
+                    os.path.join(
+                        directory,
+                        self._payload_name(
+                            index.table.name, index.column_name
+                        ),
+                    ),
+                )
+        path = os.path.join(directory, MANIFEST_NAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _payload_name(
+        table: str, column: str, partition: Optional[int] = None
+    ) -> str:
+        if partition is None:
+            return f"{table}.{column}.ebi"
+        return f"{table}.{column}.p{partition}.ebi"
+
+    @classmethod
+    def load(
+        cls,
+        directory: str,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "Database":
+        """Rebuild a database saved with :meth:`save`.
+
+        Partition bounds are restored exactly as saved (appends may
+        have grown the last partition past what
+        :func:`~repro.shard.partition.partition_bounds` would derive
+        today).  A corrupt or missing ``.ebi`` payload never fails
+        the load: that index is rebuilt from the base data and
+        marked ``degraded`` until the next :meth:`fsck` audit.
+        """
+        with open(
+            os.path.join(directory, MANIFEST_NAME), encoding="utf-8"
+        ) as handle:
+            manifest = json.load(handle)
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise CorruptIndexError(
+                f"unsupported manifest version "
+                f"{manifest.get('version')!r}"
+            )
+        db = cls(registry=registry)
+        for entry in manifest["tables"]:
+            db._load_table(entry)
+        for spec in manifest.get("indexes", []):
+            db._load_index(directory, spec)
+        return db
+
+    def _load_table(self, entry: Dict[str, Any]) -> None:
+        name = entry["name"]
+        columns: Dict[str, List[Any]] = entry["columns"]
+        if entry.get("partitioned"):
+            bounds: List[int] = entry["bounds"]
+            parts: List[Partition] = []
+            for i in range(len(bounds) - 1):
+                lo, hi = bounds[i], bounds[i + 1]
+                chunk = Table.from_columns(
+                    f"{name}.p{i}",
+                    {
+                        column: values[lo:hi]
+                        for column, values in columns.items()
+                    },
+                )
+                parts.append(Partition(i, lo, chunk))
+            ptable = PartitionedTable(name, parts)
+            for row_id in entry.get("void_rows", []):
+                ptable.delete(row_id)
+            self._partitioned[name] = ptable
+            self.catalog.register_table(cast(Table, ptable))
+        else:
+            table = Table.from_columns(name, columns)
+            for row_id in entry.get("void_rows", []):
+                table.delete(row_id)
+            self.catalog.register_table(table)
+
+    def _load_index(self, directory: str, spec: Dict[str, str]) -> None:
+        table_name = spec["table"]
+        column_name = spec["column"]
+        kind = spec["kind"]
+        if kind != "encoded":
+            # Non-encoded kinds have no payload format; rebuild from
+            # the base data.
+            self.create_index(table_name, column_name, kind=kind)
+            return
+        table = self.table(table_name)
+        if isinstance(table, PartitionedTable):
+            damaged: List[int] = []
+            counter = iter(range(len(table.partitions)))
+
+            def factory(chunk: Table, column: str) -> Index:
+                i = next(counter)
+                path = os.path.join(
+                    directory,
+                    self._payload_name(table_name, column, i),
+                )
+                child = self._load_payload(path, chunk, column)
+                if child is None:
+                    damaged.append(i)
+                    return EncodedBitmapIndex(chunk, column)
+                return child
+
+            index: Index = PartitionedIndex(
+                table, column_name, factory=factory
+            )
+            for i in damaged:
+                cast(PartitionedIndex, index).child(i).degraded = True
+            self.catalog.register_index(index, attach=False)
+        else:
+            path = os.path.join(
+                directory, self._payload_name(table_name, column_name)
+            )
+            loaded = self._load_payload(path, table, column_name)
+            if loaded is None:
+                loaded = EncodedBitmapIndex(table, column_name)
+                loaded.degraded = True
+            self.catalog.register_index(loaded)
+        self._index_specs.append(dict(spec))
+
+    @staticmethod
+    def _load_payload(
+        path: str, table: Table, column_name: str
+    ) -> Optional[EncodedBitmapIndex]:
+        try:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+            index = serialization.loads(payload, table)
+        except (OSError, IndexBuildError):
+            return None
+        if index.column_name != column_name:
+            return None
+        return index
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Database(tables={self.tables()}, "
+            f"indexes={len(self._index_specs)})"
+        )

@@ -8,20 +8,20 @@ range-based bitmaps (Wu & Yu), the hybrid B-tree/bitmap, and the
 group-set index built from encoded bitmaps.
 """
 
-from repro.index.base import Index, IndexStatistics
-from repro.index.simple_bitmap import SimpleBitmapIndex
-from repro.index.encoded_bitmap import EncodedBitmapIndex
-from repro.index.btree import BPlusTreeIndex
-from repro.index.projection import ProjectionIndex
+from repro.index.base import Index, IndexStatistics, LookupCost
 from repro.index.bitsliced import BitSlicedIndex
-from repro.index.value_list import ValueListIndex
-from repro.index.dynamic_bitmap import DynamicBitmapIndex
-from repro.index.range_bitmap import RangeBitmapIndex
-from repro.index.hybrid import HybridBitmapBTreeIndex
-from repro.index.groupset import GroupSetIndex
+from repro.index.btree import BPlusTreeIndex
 from repro.index.compressed import CompressedBitmapIndex
+from repro.index.dynamic_bitmap import DynamicBitmapIndex
+from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.index.groupset import GroupSetIndex
+from repro.index.hybrid import HybridBitmapBTreeIndex
 from repro.index.join_index import BitmapJoinIndex
 from repro.index.paged import PagedEncodedBitmapIndex, PagedSimpleBitmapIndex
+from repro.index.projection import ProjectionIndex
+from repro.index.range_bitmap import RangeBitmapIndex
+from repro.index.simple_bitmap import SimpleBitmapIndex
+from repro.index.value_list import ValueListIndex
 from repro.index.verify import (
     FsckReport,
     Violation,
@@ -31,25 +31,26 @@ from repro.index.verify import (
 )
 
 __all__ = [
+    "BPlusTreeIndex",
+    "BitSlicedIndex",
+    "BitmapJoinIndex",
+    "CompressedBitmapIndex",
+    "DynamicBitmapIndex",
+    "EncodedBitmapIndex",
     "FsckReport",
+    "GroupSetIndex",
+    "HybridBitmapBTreeIndex",
+    "Index",
+    "IndexStatistics",
+    "LookupCost",
+    "PagedEncodedBitmapIndex",
+    "PagedSimpleBitmapIndex",
+    "ProjectionIndex",
+    "RangeBitmapIndex",
+    "SimpleBitmapIndex",
+    "ValueListIndex",
     "Violation",
     "repair",
     "verify_index",
     "verify_payload",
-    "Index",
-    "IndexStatistics",
-    "SimpleBitmapIndex",
-    "EncodedBitmapIndex",
-    "BPlusTreeIndex",
-    "ProjectionIndex",
-    "BitSlicedIndex",
-    "ValueListIndex",
-    "DynamicBitmapIndex",
-    "RangeBitmapIndex",
-    "HybridBitmapBTreeIndex",
-    "GroupSetIndex",
-    "CompressedBitmapIndex",
-    "BitmapJoinIndex",
-    "PagedEncodedBitmapIndex",
-    "PagedSimpleBitmapIndex",
 ]

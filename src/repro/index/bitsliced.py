@@ -11,12 +11,13 @@ significant slice down — no IN-list rewrite, at the cost of touching
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.bitmap.bitvector import BitVector
 from repro.encoding.total_order import bit_slice_encoding
-from repro.index.base import LookupCost
+from repro.index.base import LookupCost, deprecated_positionals
 from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import Predicate, Range
 from repro.table.table import Table
 
@@ -30,8 +31,16 @@ class BitSlicedIndex(EncodedBitmapIndex):
         self,
         table: Table,
         column_name: str,
+        *args: Any,
+        registry: Optional[MetricsRegistry] = None,
         use_slice_algorithm: bool = True,
     ) -> None:
+        legacy = deprecated_positionals(
+            type(self).__name__, args, ("use_slice_algorithm",)
+        )
+        use_slice_algorithm = legacy.get(
+            "use_slice_algorithm", use_slice_algorithm
+        )
         column = table.column(column_name)
         mapping = bit_slice_encoding(
             column.distinct_values(), reserve_void_zero=True
@@ -40,7 +49,8 @@ class BitSlicedIndex(EncodedBitmapIndex):
         super().__init__(
             table,
             column_name,
-            mapping=mapping,
+            encoding=mapping,
+            registry=registry,
             void_mode="encode",
             null_mode="vector" if column.has_nulls() else "encode",
         )

@@ -11,8 +11,11 @@ mapping.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.encoding.mapping import MappingTable
 from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.obs.metrics import MetricsRegistry
 from repro.table.table import Table
 
 
@@ -21,7 +24,13 @@ class DynamicBitmapIndex(EncodedBitmapIndex):
 
     kind = "dynamic-bitmap"
 
-    def __init__(self, table: Table, column_name: str) -> None:
+    def __init__(
+        self,
+        table: Table,
+        column_name: str,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         column = table.column(column_name)
         seen = []
         marker = set()
@@ -41,7 +50,8 @@ class DynamicBitmapIndex(EncodedBitmapIndex):
         super().__init__(
             table,
             column_name,
-            mapping=mapping,
+            encoding=mapping,
+            registry=registry,
             void_mode="encode",
             null_mode="encode" if column.has_nulls() else "encode",
         )

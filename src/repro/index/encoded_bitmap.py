@@ -26,8 +26,14 @@ from repro.errors import (
     InvalidArgumentError,
     UnsupportedPredicateError,
 )
-from repro.index.base import Index, LookupCost, range_values
-from repro.obs.metrics import get_registry
+from repro.index.base import (
+    Index,
+    LookupCost,
+    deprecated_keyword,
+    deprecated_positionals,
+    range_values,
+)
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
 
@@ -38,12 +44,17 @@ class EncodedBitmapIndex(Index):
     Parameters
     ----------
     table, column_name:
-        The indexed column.
-    mapping:
+        The indexed column (the only positional parameters; everything
+        below is keyword-only).
+    encoding:
         Optional pre-built :class:`MappingTable` (e.g. from
         :func:`~repro.encoding.heuristics.encode_for_predicates` or a
         hierarchy/total-order/range encoding).  When omitted, a
         sequential encoding of the column's current domain is used.
+        (``mapping=`` is the deprecated spelling.)
+    registry:
+        Optional metrics registry for this index's lookups; defaults
+        to the calling thread's current registry per lookup.
     void_mode:
         ``"encode"`` (default) reserves code 0 for void tuples per
         Theorem 2.1; ``"vector"`` keeps an explicit existence vector
@@ -62,12 +73,28 @@ class EncodedBitmapIndex(Index):
         self,
         table: Table,
         column_name: str,
-        mapping: Optional[MappingTable] = None,
+        *args: Any,
+        encoding: Optional[MappingTable] = None,
+        registry: Optional[MetricsRegistry] = None,
         void_mode: str = "encode",
         null_mode: str = "encode",
         exact_reduction: bool = True,
+        mapping: Optional[MappingTable] = None,
     ) -> None:
-        super().__init__(table, column_name)
+        legacy = deprecated_positionals(
+            type(self).__name__,
+            args,
+            ("encoding", "void_mode", "null_mode", "exact_reduction"),
+        )
+        encoding = legacy.get("encoding", encoding)
+        void_mode = legacy.get("void_mode", void_mode)
+        null_mode = legacy.get("null_mode", null_mode)
+        exact_reduction = legacy.get("exact_reduction", exact_reduction)
+        if mapping is not None:
+            encoding = deprecated_keyword(
+                type(self).__name__, "mapping", "encoding", mapping
+            )
+        super().__init__(table, column_name, registry=registry)
         if void_mode not in ("encode", "vector"):
             raise InvalidArgumentError(f"bad void_mode {void_mode!r}")
         if null_mode not in ("encode", "vector"):
@@ -76,7 +103,7 @@ class EncodedBitmapIndex(Index):
         self.null_mode = null_mode
         self.exact_reduction = exact_reduction
         self._mapping = (
-            mapping if mapping is not None else self._default_mapping()
+            encoding if encoding is not None else self._default_mapping()
         )
         self._validate_mapping()
         self._vectors: List[BitVector] = [

@@ -21,8 +21,14 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.bitmap.bitvector import BitVector
 from repro.encoding.mapping import MappingTable
 from repro.errors import IndexBuildError
-from repro.index.base import IndexStatistics, LookupCost
+from repro.index.base import (
+    IndexStatistics,
+    LookupCost,
+    deprecated_keyword,
+    deprecated_positionals,
+)
 from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import Equals, InList
 from repro.table.table import Table
 
@@ -36,9 +42,9 @@ class GroupSetIndex:
         The fact table.
     column_names:
         Grouping attributes, in GROUP BY order.
-    mappings:
+    encodings:
         Optional per-column :class:`MappingTable` overrides (e.g.
-        hierarchy encodings).
+        hierarchy encodings).  ``mappings=`` is the deprecated alias.
     """
 
     kind = "group-set"
@@ -47,16 +53,30 @@ class GroupSetIndex:
         self,
         table: Table,
         column_names: Sequence[str],
+        *args: Any,
+        encodings: Optional[Dict[str, MappingTable]] = None,
+        registry: Optional[MetricsRegistry] = None,
         mappings: Optional[Dict[str, MappingTable]] = None,
     ) -> None:
         if not column_names:
             raise IndexBuildError("group-set index needs >= 1 column")
+        legacy = deprecated_positionals(
+            type(self).__name__, args, ("encodings",)
+        )
+        encodings = legacy.get("encodings", encodings)
+        if mappings is not None:
+            encodings = deprecated_keyword(
+                type(self).__name__, "mappings", "encodings", mappings
+            )
         self.table = table
         self.column_names = list(column_names)
-        mappings = mappings or {}
+        encodings = encodings or {}
         self.members: Dict[str, EncodedBitmapIndex] = {
             name: EncodedBitmapIndex(
-                table, name, mapping=mappings.get(name)
+                table,
+                name,
+                encoding=encodings.get(name),
+                registry=registry,
             )
             for name in self.column_names
         }

@@ -15,11 +15,17 @@ approach 1 as ``m`` grows.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.bitmap.bitvector import BitVector
 from repro.errors import InvalidArgumentError, UnsupportedPredicateError
-from repro.index.base import Index, LookupCost, range_values
+from repro.index.base import (
+    Index,
+    LookupCost,
+    deprecated_positionals,
+    range_values,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
 
@@ -47,9 +53,17 @@ class HybridBitmapBTreeIndex(Index):
         self,
         table: Table,
         column_name: str,
+        *args: Any,
+        registry: Optional[MetricsRegistry] = None,
         sparsity_threshold: float = 1.0 / 32.0,
     ) -> None:
-        super().__init__(table, column_name)
+        legacy = deprecated_positionals(
+            type(self).__name__, args, ("sparsity_threshold",)
+        )
+        sparsity_threshold = legacy.get(
+            "sparsity_threshold", sparsity_threshold
+        )
+        super().__init__(table, column_name, registry=registry)
         if not 0.0 < sparsity_threshold <= 1.0:
             raise InvalidArgumentError(
                 f"sparsity_threshold must be in (0, 1], got "

@@ -21,8 +21,14 @@ from typing import Any, Dict, Hashable, List, Optional
 from repro.bitmap.bitvector import BitVector
 from repro.encoding.mapping import MappingTable
 from repro.errors import SchemaError
-from repro.index.base import IndexStatistics, LookupCost
+from repro.index.base import (
+    IndexStatistics,
+    LookupCost,
+    deprecated_keyword,
+    deprecated_positionals,
+)
 from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import InList, Predicate
 from repro.table.table import Table
 
@@ -36,9 +42,10 @@ class BitmapJoinIndex:
         The fact table and its foreign-key column.
     dimension, dimension_key:
         The dimension table and its key column.
-    mapping:
+    encoding:
         Optional encoding for the fact-side encoded bitmap index
         (e.g. a hierarchy encoding over the dimension keys).
+        ``mapping=`` is the deprecated alias.
     """
 
     kind = "bitmap-join"
@@ -49,6 +56,9 @@ class BitmapJoinIndex:
         fact_column: str,
         dimension: Table,
         dimension_key: str,
+        *args: Any,
+        encoding: Optional[MappingTable] = None,
+        registry: Optional[MetricsRegistry] = None,
         mapping: Optional[MappingTable] = None,
     ) -> None:
         if dimension_key not in dimension:
@@ -56,12 +66,20 @@ class BitmapJoinIndex:
                 f"dimension {dimension.name!r} has no column "
                 f"{dimension_key!r}"
             )
+        legacy = deprecated_positionals(
+            type(self).__name__, args, ("encoding",)
+        )
+        encoding = legacy.get("encoding", encoding)
+        if mapping is not None:
+            encoding = deprecated_keyword(
+                type(self).__name__, "mapping", "encoding", mapping
+            )
         self.fact = fact
         self.fact_column = fact_column
         self.dimension = dimension
         self.dimension_key = dimension_key
         self.fact_index = EncodedBitmapIndex(
-            fact, fact_column, mapping=mapping
+            fact, fact_column, encoding=encoding, registry=registry
         )
         self.stats = IndexStatistics()
         self.last_cost = LookupCost()

@@ -9,11 +9,12 @@ number of stored rows checked (pages, at the storage level).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.bitmap.bitvector import BitVector
 from repro.errors import UnsupportedPredicateError
-from repro.index.base import Index, LookupCost
+from repro.index.base import Index, LookupCost, deprecated_positionals
+from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.storage.page import PAGE_SIZE_DEFAULT
 from repro.table.table import Table
@@ -31,9 +32,15 @@ class ProjectionIndex(Index):
         self,
         table: Table,
         column_name: str,
+        *args: Any,
+        registry: Optional[MetricsRegistry] = None,
         page_size: int = PAGE_SIZE_DEFAULT,
     ) -> None:
-        super().__init__(table, column_name)
+        legacy = deprecated_positionals(
+            type(self).__name__, args, ("page_size",)
+        )
+        page_size = legacy.get("page_size", page_size)
+        super().__init__(table, column_name, registry=registry)
         self.page_size = page_size
         self._values: List[Any] = []
         self._build()

@@ -11,7 +11,7 @@ with its own predicate-driven range encoding.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bitmap.bitvector import BitVector
 from repro.errors import (
@@ -19,7 +19,8 @@ from repro.errors import (
     InvalidArgumentError,
     UnsupportedPredicateError,
 )
-from repro.index.base import Index, LookupCost
+from repro.index.base import Index, LookupCost, deprecated_positionals
+from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
 
@@ -30,9 +31,18 @@ class RangeBitmapIndex(Index):
     kind = "range-bitmap"
 
     def __init__(
-        self, table: Table, column_name: str, buckets: int = 16
+        self,
+        table: Table,
+        column_name: str,
+        *args: Any,
+        registry: Optional[MetricsRegistry] = None,
+        buckets: int = 16,
     ) -> None:
-        super().__init__(table, column_name)
+        legacy = deprecated_positionals(
+            type(self).__name__, args, ("buckets",)
+        )
+        buckets = legacy.get("buckets", buckets)
+        super().__init__(table, column_name, registry=registry)
         if buckets < 1:
             raise InvalidArgumentError(f"buckets must be >= 1, got {buckets}")
         self.bucket_target = buckets

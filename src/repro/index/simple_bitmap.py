@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional
 from repro.bitmap.bitvector import BitVector
 from repro.errors import UnsupportedPredicateError
 from repro.index.base import Index, LookupCost, range_values
+from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
 
@@ -27,8 +28,14 @@ class SimpleBitmapIndex(Index):
 
     kind = "simple-bitmap"
 
-    def __init__(self, table: Table, column_name: str) -> None:
-        super().__init__(table, column_name)
+    def __init__(
+        self,
+        table: Table,
+        column_name: str,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(table, column_name, registry=registry)
         self._vectors: Dict[Any, BitVector] = {}
         self._null_vector = BitVector(len(table))
         self._exists_vector = BitVector(len(table))

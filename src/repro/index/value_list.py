@@ -10,11 +10,12 @@ list per selected value.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.bitmap.bitvector import BitVector
 from repro.errors import UnsupportedPredicateError
 from repro.index.base import Index, LookupCost, range_values
+from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
 
@@ -27,8 +28,14 @@ class ValueListIndex(Index):
 
     kind = "value-list"
 
-    def __init__(self, table: Table, column_name: str) -> None:
-        super().__init__(table, column_name)
+    def __init__(
+        self,
+        table: Table,
+        column_name: str,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(table, column_name, registry=registry)
         self._lists: Dict[Any, List[int]] = {}
         self._null_list: List[int] = []
         self._build()

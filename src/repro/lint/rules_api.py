@@ -1,0 +1,102 @@
+"""API-surface rules (EBI2xx continued).
+
+The index constructor normalization (keyword-only ``encoding=``,
+``store=``, ``registry=`` in a consistent order across ``index/*``)
+keeps deprecated shims for old call forms: extra positional
+arguments beyond the table/column anchors, and the renamed
+``mapping=``/``mappings=`` keywords.  The shims warn at run time for
+*external* callers; in-repo code must not rely on them, or the
+deprecation period never ends.  EBI206 flags such calls statically,
+in library code and tests alike.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, LintContext, Rule, register_rule
+
+#: Index constructors and the number of positional arguments their
+#: normalized signatures still accept (the table/column anchors).
+_POSITIONAL_BUDGET = {
+    "EncodedBitmapIndex": 2,
+    "SimpleBitmapIndex": 2,
+    "ValueListIndex": 2,
+    "CompressedBitmapIndex": 2,
+    "DynamicBitmapIndex": 2,
+    "BitSlicedIndex": 2,
+    "BPlusTreeIndex": 2,
+    "ProjectionIndex": 2,
+    "RangeBitmapIndex": 2,
+    "HybridBitmapBTreeIndex": 2,
+    "PagedEncodedBitmapIndex": 2,
+    "PagedSimpleBitmapIndex": 2,
+    "GroupSetIndex": 2,  # (table, column_names)
+    "BitmapJoinIndex": 4,  # (fact, fact_column, dimension, dimension_key)
+}
+
+_DEPRECATED_KEYWORDS = frozenset({"mapping", "mappings"})
+
+
+@register_rule
+class DeprecatedIndexConstructorRule(Rule):
+    """EBI206: in-repo code must use normalized index constructors.
+
+    Extra positional arguments and the ``mapping=``/``mappings=``
+    keywords only exist as :class:`DeprecationWarning` shims for
+    external callers; repository code (including tests, except the
+    ones exercising the shims themselves) calls the keyword-only
+    ``encoding=``/``store=``/``registry=`` forms.
+    """
+
+    id = "EBI206"
+    name = "deprecated-index-ctor"
+    description = (
+        "deprecated index constructor form; pass options as the "
+        "normalized keyword-only arguments (encoding=, store=, "
+        "registry=, ...)"
+    )
+    rationale = (
+        "API contract: the positional and mapping= shims are "
+        "deprecation aids for external callers; in-repo use keeps "
+        "them load-bearing forever."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._called_name(node.func)
+            budget = _POSITIONAL_BUDGET.get(name or "")
+            if budget is None:
+                continue
+            if len(node.args) > budget:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name} called with {len(node.args)} positional "
+                    f"arguments (max {budget}); pass the rest as "
+                    "keywords",
+                )
+            for keyword in node.keywords:
+                if keyword.arg in _DEPRECATED_KEYWORDS:
+                    replacement = (
+                        "encodings"
+                        if keyword.arg == "mappings"
+                        else "encoding"
+                    )
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name} called with deprecated "
+                        f"{keyword.arg}=; use {replacement}=",
+                    )
+
+    @staticmethod
+    def _called_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None

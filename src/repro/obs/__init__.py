@@ -23,6 +23,7 @@ from repro.obs.metrics import (
     MetricsScope,
     NullRegistry,
     get_registry,
+    merge_metric_deltas,
     set_registry,
     use_registry,
 )
@@ -41,11 +42,12 @@ __all__ = [
     "MetricsScope",
     "NullRegistry",
     "NULL_REGISTRY",
-    "get_registry",
-    "set_registry",
-    "use_registry",
     "QueryTrace",
     "StageTimer",
     "StageTiming",
     "VectorAccess",
+    "get_registry",
+    "merge_metric_deltas",
+    "set_registry",
+    "use_registry",
 ]

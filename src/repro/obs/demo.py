@@ -59,7 +59,7 @@ def table1_scenario() -> ExplainScenario:
         EncodedBitmapIndex(
             table,
             "A",
-            mapping=mapping,
+            encoding=mapping,
             void_mode="vector",
             null_mode="vector",
         )

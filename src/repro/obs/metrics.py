@@ -39,8 +39,9 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping, Optional, Union
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Union
 
 from repro.errors import InvalidArgumentError
 
@@ -373,9 +374,23 @@ NULL_REGISTRY = NullRegistry()
 #: no registry is passed explicitly.
 _GLOBAL_REGISTRY: MetricsRegistry = MetricsRegistry()
 
+#: Per-thread registry override (see :func:`use_registry`).  The
+#: partition-parallel executor installs a private registry in each
+#: worker thread so concurrent partitions never interleave increments
+#: on the same (non-atomic) :class:`Counter`; the merged per-partition
+#: deltas are then summed deterministically in partition order.
+_THREAD_LOCAL = threading.local()
+
 
 def get_registry() -> MetricsRegistry:
-    """The current process-wide registry (see :func:`set_registry`)."""
+    """The current registry: the calling thread's override when one is
+    installed (see :func:`use_registry`), else the process-wide default
+    (see :func:`set_registry`)."""
+    override: Optional[MetricsRegistry] = getattr(
+        _THREAD_LOCAL, "registry", None
+    )
+    if override is not None:
+        return override
     return _GLOBAL_REGISTRY
 
 
@@ -396,15 +411,51 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
 
 @contextmanager
 def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
-    """Temporarily install ``registry`` as the process-wide default.
+    """Temporarily install ``registry`` for the *calling thread*.
+
+    The override is thread-scoped rather than process-wide so that
+    concurrent partition workers (see :mod:`repro.shard.executor`) can
+    each account into a private registry without racing on shared
+    counters; single-threaded callers observe the same behaviour as
+    the old process-wide swap.
 
     >>> fresh = MetricsRegistry()
     >>> with use_registry(fresh) as registry:
     ...     registry is get_registry()
     True
     """
-    previous = set_registry(registry)
+    previous = getattr(_THREAD_LOCAL, "registry", None)
+    _THREAD_LOCAL.registry = registry
     try:
         yield registry
     finally:
-        set_registry(previous)
+        _THREAD_LOCAL.registry = previous
+
+
+def merge_metric_deltas(
+    deltas: Iterable[Mapping[str, MetricValue]],
+) -> Dict[str, MetricValue]:
+    """Combine per-partition metric deltas into one deterministic view.
+
+    Counter-style entries sum; histogram extremes (``*.min`` /
+    ``*.max``) take the min/max across partitions.  Because the inputs
+    are plain dicts merged in the order given (the partition order),
+    the result is identical regardless of how many worker threads
+    produced them — the determinism contract of the partition-parallel
+    executor.
+
+    >>> merge_metric_deltas([{"a": 1}, {"a": 2, "b.min": 0.5}])
+    {'a': 3, 'b.min': 0.5}
+    """
+    merged: Dict[str, MetricValue] = {}
+    for delta in deltas:
+        for name, value in delta.items():
+            if name not in merged:
+                merged[name] = value
+            elif name.endswith(".min"):
+                merged[name] = min(merged[name], value)
+            elif name.endswith(".max"):
+                merged[name] = max(merged[name], value)
+            else:
+                merged[name] = merged[name] + value
+    return merged

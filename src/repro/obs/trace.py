@@ -91,9 +91,20 @@ class VectorAccess:
     rows_checked: int = 0
     estimated_cost: Optional[float] = None
     roles: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: Partition id when the access ran inside one partition of a
+    #: partition-parallel query (see :mod:`repro.shard.executor`);
+    #: ``None`` for unpartitioned execution.
+    partition: Optional[int] = None
 
     def describe(self) -> List[str]:
-        lines = [f"{self.index_kind}({self.column}) <- {self.predicate}"]
+        where = (
+            f" [partition {self.partition}]"
+            if self.partition is not None
+            else ""
+        )
+        lines = [
+            f"{self.index_kind}({self.column}) <- {self.predicate}{where}"
+        ]
         if self.reduced is not None:
             suffix = ""
             if self.cache_hit is not None:

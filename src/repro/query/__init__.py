@@ -7,31 +7,33 @@ import :mod:`repro.query.predicates` without creating an import cycle
 """
 
 from repro.query.predicates import (
-    Predicate,
+    AndPredicate,
     Equals,
     InList,
-    Range,
-    NotPredicate,
-    AndPredicate,
-    OrPredicate,
     IsNull,
+    NotPredicate,
+    OrPredicate,
+    Predicate,
+    Range,
 )
 
 __all__ = [
-    "Predicate",
-    "Equals",
-    "InList",
-    "Range",
-    "NotPredicate",
     "AndPredicate",
-    "OrPredicate",
-    "IsNull",
-    "Planner",
-    "Plan",
+    "Equals",
     "Executor",
+    "InList",
+    "IsNull",
+    "NotPredicate",
+    "OrPredicate",
+    "Plan",
+    "Planner",
+    "Predicate",
     "QueryResult",
-    "dont_care_variants",
+    "Range",
     "cheapest_variant",
+    "collect_leaves",
+    "dont_care_variants",
+    "shared_leaf_counts",
 ]
 
 _LAZY = {
@@ -41,6 +43,11 @@ _LAZY = {
     "QueryResult": ("repro.query.executor", "QueryResult"),
     "dont_care_variants": ("repro.query.optimizer", "dont_care_variants"),
     "cheapest_variant": ("repro.query.optimizer", "cheapest_variant"),
+    "collect_leaves": ("repro.query.optimizer", "collect_leaves"),
+    "shared_leaf_counts": (
+        "repro.query.optimizer",
+        "shared_leaf_counts",
+    ),
 }
 
 

@@ -135,13 +135,26 @@ class Executor:
             result.trace.stages.insert(0, plan_timing)
         return result
 
-    def execute(self, plan: Plan, trace: bool = False) -> QueryResult:
+    def execute(
+        self,
+        plan: Plan,
+        trace: bool = False,
+        *,
+        leaf_cache: Optional[Dict[Predicate, BitVector]] = None,
+    ) -> QueryResult:
         """Execute a prepared plan.
 
         Every execution is wrapped in a metrics scope: the counters
         that moved (evaluator reads, pool hits, retries, …) land in
         ``QueryResult.metrics`` as a per-query snapshot, while the
         process-lifetime totals keep accumulating in the registry.
+
+        ``leaf_cache`` shares leaf-predicate result vectors across
+        executions: a batch (see
+        :meth:`repro.shard.executor.ParallelExecutor.execute_many`)
+        passes one dict for all its queries, so two queries selecting
+        on the same leaf pay the index read once.  Cache hits add no
+        access cost — that is exactly the saving being modelled.
         """
         registry = self._registry()
         registry.counter("query.queries").inc()
@@ -165,7 +178,12 @@ class Executor:
                 }
                 cost = LookupCost()
                 vector = self._evaluate(
-                    plan.table, plan.predicate, lookup, cost, trace_obj
+                    plan.table,
+                    plan.predicate,
+                    lookup,
+                    cost,
+                    trace_obj,
+                    leaf_cache,
                 )
                 result = QueryResult(vector=vector, cost=cost)
         result.metrics = scope.finish()
@@ -182,33 +200,45 @@ class Executor:
         lookup: Dict[int, Any],
         cost: LookupCost,
         trace: Optional[QueryTrace] = None,
+        leaf_cache: Optional[Dict[Predicate, BitVector]] = None,
     ) -> BitVector:
         if isinstance(predicate, AndPredicate):
             result = self._evaluate(
-                table, predicate.operands[0], lookup, cost, trace
+                table, predicate.operands[0], lookup, cost, trace,
+                leaf_cache,
             )
             for operand in predicate.operands[1:]:
                 result &= self._evaluate(
-                    table, operand, lookup, cost, trace
+                    table, operand, lookup, cost, trace, leaf_cache
                 )
             return result
         if isinstance(predicate, OrPredicate):
             result = self._evaluate(
-                table, predicate.operands[0], lookup, cost, trace
+                table, predicate.operands[0], lookup, cost, trace,
+                leaf_cache,
             )
             for operand in predicate.operands[1:]:
                 result |= self._evaluate(
-                    table, operand, lookup, cost, trace
+                    table, operand, lookup, cost, trace, leaf_cache
                 )
             return result
         if isinstance(predicate, NotPredicate):
             inner = self._evaluate(
-                table, predicate.operand, lookup, cost, trace
+                table, predicate.operand, lookup, cost, trace, leaf_cache
             )
             result = ~inner
             for row_id in table.void_rows():
                 result[row_id] = False
             return result
+        if leaf_cache is not None:
+            cached = leaf_cache.get(predicate)
+            if cached is not None:
+                # No cost added: the whole point of the batch cache is
+                # that this read was already paid for.  A copy is
+                # returned because AND/OR combination above mutates
+                # its left operand in place.
+                self._registry().counter("query.leaf_cache_hits").inc()
+                return cached.copy()
         step = lookup.get(id(predicate))
         if step is None:
             raise QueryError(f"no access step for predicate {predicate}")
@@ -219,6 +249,8 @@ class Executor:
         cost.rows_checked += step_cost.rows_checked
         if trace is not None:
             trace.accesses.append(_access_event(step, step_cost))
+        if leaf_cache is not None:
+            leaf_cache[predicate] = vector.copy()
         return vector
 
     # ------------------------------------------------------------------

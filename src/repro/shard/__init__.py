@@ -1,0 +1,41 @@
+"""Horizontal partitioning and partition-parallel execution.
+
+The scaling layer on top of the paper's encoded bitmap index: tables
+split into word-aligned row ranges (:class:`PartitionedTable`), one
+child index per range behind the common ``Index`` surface
+(:class:`PartitionedIndex`), and a thread-pool executor
+(:class:`ParallelExecutor`) that evaluates queries per partition and
+merges vectors, costs and metrics deterministically.  See
+``docs/partitioning.md``.
+"""
+
+from repro.shard.executor import (
+    DEFAULT_WORKERS,
+    ParallelExecutor,
+    PartitionedQueryResult,
+    PartitionSlice,
+)
+from repro.shard.index import PartitionedIndex
+from repro.shard.partition import (
+    DEFAULT_PARTITIONS,
+    Partition,
+    PartitionedTable,
+    SpannedColumn,
+    partition_bounds,
+)
+from repro.shard.scan import ColumnArrayCache, try_vector_scan
+
+__all__ = [
+    "DEFAULT_PARTITIONS",
+    "DEFAULT_WORKERS",
+    "ColumnArrayCache",
+    "ParallelExecutor",
+    "Partition",
+    "PartitionSlice",
+    "PartitionedIndex",
+    "PartitionedQueryResult",
+    "PartitionedTable",
+    "SpannedColumn",
+    "partition_bounds",
+    "try_vector_scan",
+]

@@ -1,0 +1,402 @@
+"""Partition-parallel query execution with deterministic merging.
+
+Each partition is one unit of work: a worker thread plans and
+evaluates the predicate against the partition's own catalog (so the
+reduced retrieval expression uses the partition-local mapping), under
+a *private* metrics registry installed via
+:func:`repro.obs.metrics.use_registry` — concurrent partitions never
+touch a shared counter.  The numpy word-packed AND/OR/popcount and
+whole-column comparisons release the GIL, which is where thread
+parallelism pays on multi-core hosts.
+
+Merging is deterministic by construction, not by scheduling luck:
+partition results are combined in partition-id order regardless of
+completion order — result vectors by word-aligned concatenation,
+costs by summation, per-partition metric deltas by
+:func:`repro.obs.metrics.merge_metric_deltas`.  Running with one
+worker or eight therefore produces bit-identical rows, counts, and
+aggregated metrics (the property ``tests/test_shard.py`` pins down).
+
+``execute_many`` is the batch API: all of a batch's predicates are
+evaluated partition by partition, sharing one leaf-vector cache and
+one column-array cache per partition, so queries selecting on the
+same leaf predicate pay its vector read once.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bitmap.bitvector import BitVector
+from repro.errors import InvalidArgumentError
+from repro.index.base import LookupCost
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricValue,
+    get_registry,
+    merge_metric_deltas,
+    use_registry,
+)
+from repro.obs.trace import QueryTrace, StageTiming
+from repro.query.executor import Executor, QueryResult
+from repro.query.optimizer import shared_leaf_counts
+from repro.query.predicates import Predicate
+from repro.shard.partition import Partition, PartitionedTable
+from repro.shard.scan import ColumnArrayCache, try_vector_scan
+
+#: Default worker-thread count (matches the default partition count).
+DEFAULT_WORKERS = 4
+
+
+@dataclass(slots=True)
+class PartitionSlice:
+    """What one partition contributed to one merged query."""
+
+    partition_id: int
+    rows: int
+    cost: LookupCost
+    metrics: Dict[str, MetricValue]
+    wall_seconds: float
+    used_scan: bool
+    degraded: bool
+    #: True when the fallback scan ran as whole-column numpy
+    #: comparisons instead of the per-row Python loop.
+    vector_scan: bool
+
+
+@dataclass
+class PartitionedQueryResult(QueryResult):
+    """A merged query result plus its per-partition breakdown."""
+
+    partitions: List[PartitionSlice] = field(default_factory=list)
+    workers: int = 1
+
+
+@dataclass(slots=True)
+class _PartitionRecord:
+    """Raw per-(partition, query) outcome before merging."""
+
+    result: QueryResult
+    wall_seconds: float
+    vector_scan: bool
+
+
+class ParallelExecutor:
+    """Evaluates predicates over a :class:`PartitionedTable` in parallel.
+
+    Parameters
+    ----------
+    table:
+        The partitioned table; each partition's catalog must hold the
+        indexes to use (see
+        :class:`repro.shard.index.PartitionedIndex`, whose children
+        self-register there).
+    workers:
+        Keyword-only default worker-thread count; per-call ``workers=``
+        overrides it.  One worker executes partitions inline on the
+        calling thread — the baseline the determinism tests compare
+        against.
+    registry:
+        Keyword-only metrics registry receiving the merged counters;
+        defaults to the calling thread's current registry at each call.
+    """
+
+    def __init__(
+        self,
+        table: PartitionedTable,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise InvalidArgumentError(
+                f"worker count must be >= 1, got {workers}"
+            )
+        self.table = table
+        self.workers = workers
+        self.registry = registry
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        predicate: Predicate,
+        *,
+        workers: Optional[int] = None,
+        trace: bool = False,
+    ) -> PartitionedQueryResult:
+        """Evaluate one predicate across every partition and merge."""
+        return self.execute_many(
+            [predicate], workers=workers, trace=trace
+        )[0]
+
+    def execute_many(
+        self,
+        predicates: Sequence[Predicate],
+        *,
+        workers: Optional[int] = None,
+        trace: bool = False,
+    ) -> List[PartitionedQueryResult]:
+        """Evaluate a batch of predicates, sharing reads per partition.
+
+        Every worker task covers *all* predicates for one partition,
+        sharing a leaf-vector cache and a column-array cache across
+        the batch; results merge per query in partition-id order.
+        """
+        predicates = list(predicates)
+        if not predicates:
+            return []
+        nworkers = self.workers if workers is None else workers
+        if nworkers < 1:
+            raise InvalidArgumentError(
+                f"worker count must be >= 1, got {nworkers}"
+            )
+        registry = self._registry()
+        wall = time.perf_counter()
+        cpu = time.process_time()
+
+        partitions = self.table.partitions
+        if nworkers == 1:
+            outcomes = [
+                self._run_partition(partition, predicates, trace)
+                for partition in partitions
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=nworkers) as pool:
+                futures = [
+                    pool.submit(
+                        self._run_partition, partition, predicates, trace
+                    )
+                    for partition in partitions
+                ]
+                outcomes = [future.result() for future in futures]
+
+        results = self._merge(
+            predicates, partitions, outcomes, nworkers, trace
+        )
+        if trace:
+            timing = StageTiming(
+                name="execute",
+                wall_seconds=time.perf_counter() - wall,
+                cpu_seconds=time.process_time() - cpu,
+            )
+            for result in results:
+                if result.trace is not None:
+                    result.trace.stages.append(timing)
+
+        self._publish(registry, predicates, outcomes)
+        return results
+
+    def explain(self, predicate: Predicate) -> str:
+        """Partition-aware EXPLAIN: one plan per partition, no reads."""
+        lines = [
+            "PARTITIONED QUERY PLAN",
+            f"  table: {self.table.name} "
+            f"({len(self.table.partitions)} partitions, "
+            f"workers={self.workers})",
+            f"  predicate: {predicate}",
+        ]
+        for partition in self.table.partitions:
+            executor = Executor(partition.catalog)
+            plan = executor.planner.plan(partition.table, predicate)
+            span = (
+                f"rows {partition.offset}.."
+                f"{partition.offset + len(partition.table)}"
+            )
+            lines.append(f"  partition {partition.id} [{span}):")
+            lines.extend(
+                "    " + line for line in plan.explain().splitlines()
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # per-partition work (runs on a worker thread)
+    # ------------------------------------------------------------------
+    def _run_partition(
+        self,
+        partition: Partition,
+        predicates: Sequence[Predicate],
+        trace: bool,
+    ) -> Tuple[List[_PartitionRecord], Dict[str, MetricValue]]:
+        registry = MetricsRegistry()
+        records: List[_PartitionRecord] = []
+        with use_registry(registry):
+            executor = Executor(partition.catalog)
+            arrays = ColumnArrayCache(partition.table)
+            leaf_cache: Dict[Predicate, BitVector] = {}
+            for predicate in predicates:
+                start = time.perf_counter()
+                plan = executor.planner.plan(partition.table, predicate)
+                result: Optional[QueryResult] = None
+                vector_scan = False
+                if plan.fallback_scan and not plan.degraded_columns:
+                    result = self._vector_scan(
+                        partition, predicate, arrays, registry
+                    )
+                    vector_scan = result is not None
+                if result is None:
+                    result = executor.execute(
+                        plan, trace=trace, leaf_cache=leaf_cache
+                    )
+                records.append(
+                    _PartitionRecord(
+                        result=result,
+                        wall_seconds=time.perf_counter() - start,
+                        vector_scan=vector_scan,
+                    )
+                )
+        return records, registry.snapshot()
+
+    @staticmethod
+    def _vector_scan(
+        partition: Partition,
+        predicate: Predicate,
+        arrays: ColumnArrayCache,
+        registry: MetricsRegistry,
+    ) -> Optional[QueryResult]:
+        """Fallback scan as whole-column numpy work, when provably
+        equivalent to the row-by-row reference scan."""
+        # Counter order mirrors Executor.execute: queries before the
+        # scope so per-query metric dicts match the classic path.
+        vector = try_vector_scan(partition.table, predicate, arrays)
+        if vector is None:
+            return None
+        registry.counter("query.queries").inc()
+        scope = registry.scoped()
+        rows_checked = partition.table.live_count()
+        registry.counter("query.scans").inc()
+        registry.counter("query.scan_rows_checked").inc(rows_checked)
+        registry.counter("shard.vector_scan_rows").inc(rows_checked)
+        result = QueryResult(
+            vector=vector,
+            cost=LookupCost(rows_checked=rows_checked),
+            used_scan=True,
+        )
+        result.metrics = scope.finish()
+        return result
+
+    # ------------------------------------------------------------------
+    # deterministic merging (partition-id order, always)
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        predicates: Sequence[Predicate],
+        partitions: Sequence[Partition],
+        outcomes: Sequence[
+            Tuple[List[_PartitionRecord], Dict[str, MetricValue]]
+        ],
+        nworkers: int,
+        trace: bool,
+    ) -> List[PartitionedQueryResult]:
+        results: List[PartitionedQueryResult] = []
+        for q, predicate in enumerate(predicates):
+            slices: List[PartitionSlice] = []
+            vectors: List[BitVector] = []
+            cost = LookupCost()
+            for partition, (records, _totals) in zip(
+                partitions, outcomes
+            ):
+                record = records[q]
+                part_result = record.result
+                vectors.append(part_result.vector)
+                cost.vectors_accessed += (
+                    part_result.cost.vectors_accessed
+                )
+                cost.node_accesses += part_result.cost.node_accesses
+                cost.rows_checked += part_result.cost.rows_checked
+                slices.append(
+                    PartitionSlice(
+                        partition_id=partition.id,
+                        rows=part_result.vector.count(),
+                        cost=part_result.cost,
+                        metrics=part_result.metrics,
+                        wall_seconds=record.wall_seconds,
+                        used_scan=part_result.used_scan,
+                        degraded=part_result.degraded,
+                        vector_scan=record.vector_scan,
+                    )
+                )
+            merged = PartitionedQueryResult(
+                vector=BitVector.concat(vectors),
+                cost=cost,
+                used_scan=any(s.used_scan for s in slices),
+                degraded=any(s.degraded for s in slices),
+                metrics=merge_metric_deltas(s.metrics for s in slices),
+                partitions=slices,
+                workers=nworkers,
+            )
+            if trace:
+                merged.trace = self._merge_trace(
+                    predicate, partitions, outcomes, q, merged
+                )
+            results.append(merged)
+        return results
+
+    def _merge_trace(
+        self,
+        predicate: Predicate,
+        partitions: Sequence[Partition],
+        outcomes: Sequence[
+            Tuple[List[_PartitionRecord], Dict[str, MetricValue]]
+        ],
+        q: int,
+        merged: PartitionedQueryResult,
+    ) -> QueryTrace:
+        plan_text = (
+            f"PARTITIONED ({len(partitions)} partitions, "
+            f"workers={merged.workers}) WHERE {predicate}"
+        )
+        trace = QueryTrace(plan_text=plan_text)
+        trace.used_scan = merged.used_scan
+        trace.degraded = merged.degraded
+        trace.metrics = merged.metrics
+        for partition, (records, _totals) in zip(partitions, outcomes):
+            part_trace = records[q].result.trace
+            if part_trace is None:
+                continue
+            for access in part_trace.accesses:
+                access.partition = partition.id
+                trace.accesses.append(access)
+        return trace
+
+    # ------------------------------------------------------------------
+    def _publish(
+        self,
+        registry: MetricsRegistry,
+        predicates: Sequence[Predicate],
+        outcomes: Sequence[
+            Tuple[List[_PartitionRecord], Dict[str, MetricValue]]
+        ],
+    ) -> None:
+        """Fold the partition-private registries into the caller's.
+
+        Integer (counter) totals are replayed as increments in
+        partition order; float-valued entries (gauges, histogram
+        extremes) are skipped — last-write/extreme semantics don't
+        aggregate meaningfully across partitions.
+        """
+        totals = merge_metric_deltas(
+            snapshot for _records, snapshot in outcomes
+        )
+        for name, value in totals.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            if name.endswith((".min", ".max")):
+                continue
+            registry.counter(name).inc(value)
+        registry.counter("shard.batches").inc()
+        registry.counter("shard.queries").inc(len(predicates))
+        shared = sum(
+            1
+            for count in shared_leaf_counts(predicates).values()
+            if count > 1
+        )
+        if shared:
+            registry.counter("shard.shared_leaves").inc(shared)

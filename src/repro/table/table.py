@@ -39,6 +39,24 @@ class Table:
         self._void: Set[int] = set()
         self._observers: List[Any] = []
 
+    @classmethod
+    def from_columns(
+        cls, name: str, columns: Dict[str, Sequence[Any]]
+    ) -> "Table":
+        """Build a table from whole columns in one bulk step.
+
+        Orders of magnitude faster than :meth:`append` in a loop for
+        large tables because each column is extended once; observers
+        cannot exist yet, so no per-row notifications fire.
+        """
+        table = cls(name, list(columns))
+        lengths = {col: len(values) for col, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise TableError(f"unequal column lengths: {lengths}")
+        for col_name, values in columns.items():
+            table._columns[col_name].extend(values)
+        return table
+
     # ------------------------------------------------------------------
     # schema
     # ------------------------------------------------------------------

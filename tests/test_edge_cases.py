@@ -138,7 +138,7 @@ class TestIntervalFastPath:
             [(v, v) for v in values], width=9
         )
         index = EncodedBitmapIndex(
-            table, "v", mapping=mapping, void_mode="vector"
+            table, "v", encoding=mapping, void_mode="vector"
         )
         selected = values[:256]  # contiguous, above threshold
         result = index.lookup(InList("v", selected))

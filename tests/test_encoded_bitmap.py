@@ -37,21 +37,21 @@ class TestBuild:
             [("a", 0b00), ("b", 0b01), ("c", 0b10)], width=2
         )
         index = EncodedBitmapIndex(
-            abc_table, "A", mapping=mapping, void_mode="vector"
+            abc_table, "A", encoding=mapping, void_mode="vector"
         )
         assert index.width == 2
 
     def test_mapping_must_cover_domain(self, abc_table):
         mapping = MappingTable.from_pairs([("a", 1)], width=2)
         with pytest.raises(IndexBuildError):
-            EncodedBitmapIndex(abc_table, "A", mapping=mapping)
+            EncodedBitmapIndex(abc_table, "A", encoding=mapping)
 
     def test_void_zero_conflict_detected(self, abc_table):
         mapping = MappingTable.from_pairs(
             [("a", 0), ("b", 1), ("c", 2)], width=2
         )
         with pytest.raises(IndexBuildError):
-            EncodedBitmapIndex(abc_table, "A", mapping=mapping,
+            EncodedBitmapIndex(abc_table, "A", encoding=mapping,
                                void_mode="encode")
 
     def test_invalid_modes(self, abc_table):
@@ -95,7 +95,7 @@ class TestLookup:
             [("a", 0b00), ("b", 0b01), ("c", 0b10)], width=2
         )
         index = EncodedBitmapIndex(
-            abc_table, "A", mapping=mapping, void_mode="vector",
+            abc_table, "A", encoding=mapping, void_mode="vector",
             null_mode="vector",
         )
         result = index.lookup(InList("A", ["a", "b"]))
@@ -221,7 +221,7 @@ class TestMaintenance:
             [("a", 0), ("b", 1), ("c", 2)], width=2
         )
         index = EncodedBitmapIndex(
-            abc_table, "A", mapping=mapping, void_mode="vector"
+            abc_table, "A", encoding=mapping, void_mode="vector"
         )
         abc_table.attach(index)
         abc_table.append({"A": "d"})
@@ -237,7 +237,7 @@ class TestMaintenance:
         )
         table = abc_table
         index = EncodedBitmapIndex(
-            table, "A", mapping=mapping, void_mode="vector"
+            table, "A", encoding=mapping, void_mode="vector"
         )
         table.attach(index)
         table.append({"A": "e"})
@@ -281,7 +281,7 @@ class TestMaintenance:
             [("a", 0), ("b", 1), ("c", 2)], width=2
         )
         index = EncodedBitmapIndex(
-            abc_table, "A", mapping=mapping, void_mode="vector"
+            abc_table, "A", encoding=mapping, void_mode="vector"
         )
         abc_table.attach(index)
         before = index.reduced_function(["a", "b", "c"])

@@ -120,7 +120,7 @@ class TestRollupGroupBy:
             hierarchy, reserve_void_zero=True, seed=0
         )
         mappings = {"branch": mapping}
-        index = GroupSetIndex(table, ["branch"], mappings=mappings)
+        index = GroupSetIndex(table, ["branch"], encodings=mappings)
         return hierarchy, table, index
 
     def test_company_counts_match_scan(self):

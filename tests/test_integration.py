@@ -61,7 +61,7 @@ def warehouse():
 
     mapping = hierarchy_encoding(hierarchy, seed=0)
     catalog.register_index(
-        EncodedBitmapIndex(sales, "branch", mapping=mapping,
+        EncodedBitmapIndex(sales, "branch", encoding=mapping,
                            void_mode="vector")
     )
     catalog.register_index(EncodedBitmapIndex(sales, "product"))

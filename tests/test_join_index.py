@@ -101,7 +101,7 @@ class TestLookup:
             hierarchy, reserve_void_zero=True, seed=0
         )
         join = BitmapJoinIndex(
-            fact, "pid", dimension, "pid", mapping=mapping
+            fact, "pid", dimension, "pid", encoding=mapping
         )
         pred = Equals("price_band", "high")
         got = sorted(join.lookup(pred).indices().tolist())

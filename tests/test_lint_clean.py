@@ -83,6 +83,10 @@ def test_every_shipped_rule_fails_a_violating_fixture():
             "    raise ValueError(\"bad argument\")\n",
             "repro.storage.fake",
         ),
+        "EBI206": (
+            "i = EncodedBitmapIndex(t, \"v\", mapping=m)\n",
+            "repro.index.fake",
+        ),
     }
     missing_fixture = [
         rule.id for rule in all_rules() if rule.id not in fixtures

@@ -112,12 +112,12 @@ class TestSessionAgainstIndexes:
 
         tuned = EncodedBitmapIndex(
             table, "branch",
-            mapping=hierarchy_encoding(hierarchy, seed=0),
+            encoding=hierarchy_encoding(hierarchy, seed=0),
             void_mode="vector",
         )
         untuned = EncodedBitmapIndex(
             table, "branch",
-            mapping=random_encoding(
+            encoding=random_encoding(
                 range(1, 13), seed=99, reserve_void_zero=False
             ),
             void_mode="vector",

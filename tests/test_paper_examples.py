@@ -30,7 +30,7 @@ def figure1_index(figure1_table):
         [("a", 0b00), ("b", 0b01), ("c", 0b10)], width=2
     )
     return EncodedBitmapIndex(
-        figure1_table, "A", mapping=mapping,
+        figure1_table, "A", encoding=mapping,
         void_mode="vector", null_mode="vector",
     )
 
@@ -90,7 +90,7 @@ class TestFigure2:
             [("a", 0b00), ("b", 0b01), ("c", 0b10)], width=2
         )
         index = EncodedBitmapIndex(
-            figure1_table, "A", mapping=mapping, void_mode="vector"
+            figure1_table, "A", encoding=mapping, void_mode="vector"
         )
         figure1_table.attach(index)
         figure1_table.append({"A": "d"})
@@ -105,7 +105,7 @@ class TestFigure2:
             width=2,
         )
         index = EncodedBitmapIndex(
-            figure1_table, "A", mapping=mapping, void_mode="vector"
+            figure1_table, "A", encoding=mapping, void_mode="vector"
         )
         figure1_table.attach(index)
         figure1_table.append({"A": "e"})

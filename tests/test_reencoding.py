@@ -105,7 +105,7 @@ class TestApplyReencoding:
     def test_rebuild_improves_cost(self):
         table = self._table()
         bad_mapping = random_encoding(DOMAIN, seed=1234)
-        index = EncodedBitmapIndex(table, "A", mapping=bad_mapping)
+        index = EncodedBitmapIndex(table, "A", encoding=bad_mapping)
         predicate = InList("A", PREDICATES[0])
         index.lookup(predicate)
         cost_before = index.last_cost.vectors_accessed
