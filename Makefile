@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test doctest bench bench-json parallel-bench tables validate examples lint typecheck all
+.PHONY: install test doctest bench bench-json parallel-bench kernel-bench tables validate examples lint typecheck all
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,7 +20,8 @@ typecheck:
 doctest:
 	PYTHONPATH=src python -m pytest --doctest-modules \
 		src/repro/query src/repro/storage src/repro/obs \
-		src/repro/bench src/repro/shard src/repro/database.py
+		src/repro/bench src/repro/shard src/repro/kernels \
+		src/repro/cache.py src/repro/database.py
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -31,6 +32,10 @@ bench-json:
 
 parallel-bench:
 	PYTHONPATH=src python -m repro.cli bench --quick --workers 1,4
+
+kernel-bench:
+	PYTHONPATH=src python -m repro.cli bench --case kernel_eval \
+		--suite kernel --workers 1,4
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

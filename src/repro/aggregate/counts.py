@@ -49,7 +49,7 @@ def count_distinct(
     for value in index.mapping.domain():
         vector = index.lookup(_equals(index, value))
         if selection is not None:
-            vector = vector & selection
+            vector &= selection
         if vector.any():
             distinct += 1
     return distinct
@@ -64,7 +64,7 @@ def group_counts(
     for value in index.mapping.domain():
         vector = index.lookup(_equals(index, value))
         if selection is not None:
-            vector = vector & selection
+            vector &= selection
         matched = vector.count()
         if matched:
             results[value] = matched

@@ -24,7 +24,7 @@ def _ordered_counts(
     for value in sorted(index.mapping.domain()):
         vector = index.lookup(Equals(index.column_name, value))
         if selection is not None:
-            vector = vector & selection
+            vector &= selection
         matched = vector.count()
         if matched:
             yield value, matched

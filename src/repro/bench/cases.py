@@ -438,6 +438,249 @@ def case_parallel_scan(
     ]
 
 
+#: Shape of the kernel-ablation bench: a shared global mapping over
+#: ``KERNEL_DOMAIN`` values, split across ``KERNEL_PARTITIONS``
+#: row-range partitions, queried by ``KERNEL_QUERIES`` distinct
+#: IN-lists of ``KERNEL_DELTA`` values each (non-contiguous, so every
+#: reduction goes through Quine-McCluskey rather than the interval
+#: fast path).
+KERNEL_PARTITIONS = 32
+KERNEL_DOMAIN = 400
+KERNEL_DELTA = 40
+KERNEL_QUERIES = 6
+
+
+def case_kernel_eval(
+    tolerance: float,
+    *,
+    n: int,
+    workers: Sequence[int] = (1, 4),
+) -> List[Comparison]:
+    """Compiled retrieval kernels + cache stack vs the legacy tree walk.
+
+    Two identical partitioned index stacks over one shared global
+    mapping: the default (``use_kernels=True``: compiled word-level
+    kernels, process-wide reduction/compile caches) against the legacy
+    reference configuration (``use_kernels=False``: tree-walking
+    ``evaluate_dnf``, per-index-only reduction memoisation).  The
+    speedup line times one *cold* batch of distinct IN-list queries
+    per stack at ``workers=1`` — every per-index and process-wide
+    cache cleared first — so the baseline pays Quine-McCluskey in
+    every partition while the kernel stack reduces and compiles once
+    per predicate and shares the result across partitions.
+
+    The eq-0 lines pin the correctness contract: kernel and tree
+    stacks must return identical rows with identical access accounting
+    (the paper's ``c_e``), and the kernel stack must be deterministic
+    across worker counts.  The popcount lines bench the word-popcount
+    dispatch (``np.bitwise_count`` or the 16-bit LUT) against the
+    legacy ``unpackbits`` path on the same words.
+    """
+    import random
+    import time
+
+    import numpy as np
+
+    from repro.bitmap.ops import (
+        popcount_words,
+        popcount_words_unpackbits,
+    )
+    from repro.boolean.reduction import (
+        clear_reduction_cache,
+        reduction_cache_stats,
+    )
+    from repro.encoding.mapping import MappingTable
+    from repro.index.base import Index
+    from repro.index.encoded_bitmap import EncodedBitmapIndex
+    from repro.kernels import clear_compile_cache, compile_cache_stats
+    from repro.query.predicates import InList, Predicate
+    from repro.shard.executor import ParallelExecutor
+    from repro.shard.index import PartitionedIndex
+    from repro.shard.partition import PartitionedTable
+
+    values = [(i * 48271) % KERNEL_DOMAIN for i in range(n)]
+    # One mapping for every partition of both stacks: identical codes
+    # mean identical cache keys, which is what unlocks cross-partition
+    # sharing (see repro.shard.executor's module docstring).
+    mapping = MappingTable.from_values(
+        list(range(KERNEL_DOMAIN)), reserve_void_zero=True
+    )
+    rng = random.Random(97)
+    predicates: List[Predicate] = [
+        InList("v", sorted(rng.sample(range(KERNEL_DOMAIN), KERNEL_DELTA)))
+        for _ in range(KERNEL_QUERIES)
+    ]
+
+    def build_stack(
+        name: str, use_kernels: bool
+    ) -> Tuple[ParallelExecutor, List[Index]]:
+        ptable = PartitionedTable.from_columns(
+            name, {"v": values}, partitions=KERNEL_PARTITIONS
+        )
+        index = PartitionedIndex(
+            ptable,
+            "v",
+            factory=lambda table, column: EncodedBitmapIndex(
+                table, column, encoding=mapping, use_kernels=use_kernels
+            ),
+        )
+        return ParallelExecutor(ptable, workers=max(counts)), index.children
+
+    def clear_all(children: List[Index]) -> None:
+        for child in children:
+            child.clear_caches()  # type: ignore[attr-defined]
+        clear_reduction_cache()
+        clear_compile_cache()
+
+    def cold_batch_seconds(
+        executor: ParallelExecutor, children: List[Index]
+    ) -> float:
+        # Best of three fully-cold passes: each starts with every
+        # per-index and process-wide cache empty, so a pass measures
+        # the whole reduce -> (compile ->) evaluate pipeline, not a
+        # warmed-up remnant of the previous one.
+        best = float("inf")
+        for _attempt in range(3):
+            clear_all(children)
+            start = time.perf_counter()
+            executor.execute_many(predicates, workers=1)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    counts = sorted(set(workers))
+    low, high = counts[0], counts[-1]
+    kernel_exec, kernel_children = build_stack("kernel_on", True)
+    tree_exec, tree_children = build_stack("kernel_off", False)
+
+    tree_seconds = cold_batch_seconds(tree_exec, tree_children)
+    kernel_seconds = cold_batch_seconds(kernel_exec, kernel_children)
+
+    # One more cold batch, instrumented: the process-wide cache hit
+    # deltas show partitions actually sharing reductions and kernels.
+    clear_all(kernel_children)
+    red_hits_before = reduction_cache_stats()[0]
+    comp_hits_before = compile_cache_stats()[0]
+    kernel_high = kernel_exec.execute_many(predicates, workers=high)
+    red_hits = reduction_cache_stats()[0] - red_hits_before
+    comp_hits = compile_cache_stats()[0] - comp_hits_before
+    # Warm runs for the determinism lines (cache state no longer
+    # changes, so only worker count varies between the two).
+    kernel_low = kernel_exec.execute_many(predicates, workers=low)
+    kernel_high = kernel_exec.execute_many(predicates, workers=high)
+    tree_high = tree_exec.execute_many(predicates, workers=high)
+
+    tree_row_mismatches = sum(
+        1
+        for a, b in zip(kernel_high, tree_high)
+        if a.row_ids() != b.row_ids()
+    )
+    tree_ce_mismatches = sum(
+        1
+        for a, b in zip(kernel_high, tree_high)
+        if a.cost.vectors_accessed != b.cost.vectors_accessed
+    )
+    worker_mismatches = sum(
+        1
+        for a, b in zip(kernel_low, kernel_high)
+        if a.row_ids() != b.row_ids()
+        or a.cost.vectors_accessed != b.cost.vectors_accessed
+    )
+
+    # Word-popcount dispatch vs the legacy unpackbits path, same words.
+    nwords = 1 << 14 if n < PARALLEL_FULL_ROWS else 1 << 17
+    words = np.arange(nwords, dtype=np.uint64)
+    words = words * np.uint64(6364136223846793005) + np.uint64(
+        1442695040888963407
+    )
+    words ^= words >> np.uint64(33)
+
+    def best_of(run: Callable[[], int], repeats: int = 3) -> float:
+        best = float("inf")
+        for _attempt in range(repeats):
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    fast_seconds = best_of(lambda: popcount_words(words))
+    legacy_seconds = best_of(lambda: popcount_words_unpackbits(words))
+    popcount_diff = abs(
+        popcount_words(words) - popcount_words_unpackbits(words)
+    )
+
+    speedup_target = 5.0 if n >= PARALLEL_FULL_ROWS else 1.5
+    return [
+        compare(
+            "speedup: compiled kernel + cache stack vs tree walk, "
+            "cold batch, workers=1",
+            tree_seconds / max(kernel_seconds, 1e-9),
+            speedup_target,
+            mode="ge",
+            unit="ratio",
+            tolerance=tolerance,
+        ),
+        compare(
+            "determinism: queries whose rows differ, kernel vs tree",
+            tree_row_mismatches,
+            0,
+            mode="eq",
+            unit="queries",
+            tolerance=tolerance,
+        ),
+        compare(
+            "determinism: queries whose c_e differs, kernel vs tree",
+            tree_ce_mismatches,
+            0,
+            mode="eq",
+            unit="queries",
+            tolerance=tolerance,
+        ),
+        compare(
+            f"determinism: kernel rows/c_e differ between workers="
+            f"{low} and workers={high}",
+            worker_mismatches,
+            0,
+            mode="eq",
+            unit="queries",
+            tolerance=tolerance,
+        ),
+        compare(
+            "cross-partition sharing: reduction-cache hits in one "
+            "cold batch",
+            red_hits,
+            KERNEL_QUERIES,
+            mode="ge",
+            unit="hits",
+            tolerance=tolerance,
+        ),
+        compare(
+            "cross-partition sharing: compile-cache hits in one "
+            "cold batch",
+            comp_hits,
+            KERNEL_QUERIES,
+            mode="ge",
+            unit="hits",
+            tolerance=tolerance,
+        ),
+        compare(
+            f"popcount dispatch vs legacy unpackbits on {nwords} words",
+            legacy_seconds / max(fast_seconds, 1e-9),
+            1.2,
+            mode="ge",
+            unit="ratio",
+            tolerance=tolerance,
+        ),
+        compare(
+            "popcount dispatch agrees with the unpackbits reference",
+            popcount_diff,
+            0,
+            mode="eq",
+            unit="bits",
+            tolerance=tolerance,
+        ),
+    ]
+
+
 QUICK_CASES: List[BenchCase] = [
     BenchCase(
         name="reduction",
@@ -518,14 +761,35 @@ def parallel_case(
     )
 
 
+def kernel_case(
+    quick: bool, workers: Optional[Sequence[int]] = None
+) -> BenchCase:
+    """Build the compiled-kernel ablation case for a suite flavor."""
+    counts: Tuple[int, ...] = tuple(workers) if workers else (1, 4)
+    n = PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS
+    return BenchCase(
+        name="kernel_eval_smoke" if quick else "kernel_eval_1m",
+        description=(
+            f"compiled retrieval kernels + reduction/compile caches vs "
+            f"the legacy tree walk over {n} rows in "
+            f"{KERNEL_PARTITIONS} partitions (docs/performance.md)"
+        ),
+        run=lambda tolerance: case_kernel_eval(
+            tolerance, n=n, workers=counts
+        ),
+        workers=counts,
+    )
+
+
 def cases_for(
     quick: bool, workers: Optional[Sequence[int]] = None
 ) -> List[BenchCase]:
     """The case list for a suite flavor.
 
     ``workers`` overrides the thread counts of the partition-parallel
-    case (CLI: ``repro bench --workers 1,4``).
+    and kernel-ablation cases (CLI: ``repro bench --workers 1,4``).
     """
     cases = list(QUICK_CASES if quick else FULL_CASES)
     cases.append(parallel_case(quick, workers))
+    cases.append(kernel_case(quick, workers))
     return cases

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.bench.cases import BenchCase, cases_for
 from repro.bench.compare import Comparison
 from repro.bench.schema import SCHEMA_VERSION, assert_valid
+from repro.errors import InvalidArgumentError
 from repro.obs.metrics import MetricsRegistry, use_registry
 
 
@@ -138,6 +139,7 @@ def run_suite(
     out_dir: Optional[str] = None,
     suite: Optional[str] = None,
     workers: Optional[Sequence[int]] = None,
+    only: Optional[Sequence[str]] = None,
 ) -> SuiteReport:
     """Run a suite and write ``BENCH_<suite>.json``.
 
@@ -145,11 +147,28 @@ def run_suite(
     otherwise; the file lands in ``out_dir`` (default: the current
     working directory, i.e. the repo root when run via ``make`` or
     CI).  ``workers`` overrides the thread counts of the
-    partition-parallel case.
+    partition-parallel case.  ``only`` keeps just the cases whose name
+    contains one of the given substrings (CLI: ``--case kernel_eval``);
+    pair it with ``suite`` so the filtered run writes its own file
+    instead of overwriting the full suite's.
     """
     name = suite if suite is not None else ("smoke" if quick else "full")
     report = SuiteReport(suite=name, quick=quick, tolerance=tolerance)
-    for case in cases_for(quick, workers=workers):
+    cases = cases_for(quick, workers=workers)
+    if only:
+        selected = [
+            case
+            for case in cases
+            if any(token in case.name for token in only)
+        ]
+        if not selected:
+            available = ", ".join(case.name for case in cases)
+            raise InvalidArgumentError(
+                f"--case {list(only)} matches no bench case; "
+                f"available: {available}"
+            )
+        cases = selected
+    for case in cases:
         report.cases.append(run_case(case, tolerance))
     payload = report.as_payload()
     assert_valid(payload)

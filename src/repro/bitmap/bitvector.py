@@ -220,8 +220,9 @@ class BitVector:
         return BitVector._from_words(self._words ^ other._words, self._nbits)
 
     def __invert__(self) -> "BitVector":
+        # ~self._words already yields a fresh array; wrap it directly
+        # (one allocation) and re-mask the tail bits it flipped.
         inverted = BitVector._from_words(~self._words, self._nbits)
-        inverted._words = inverted._words.copy()
         inverted._mask_tail()
         return inverted
 
@@ -246,6 +247,16 @@ class BitVector:
         return BitVector._from_words(
             self._words & ~other._words, self._nbits
         )
+
+    def iandnot(self, other: "BitVector") -> "BitVector":
+        """In-place ``self &= ~other`` without a ``BitVector`` temporary.
+
+        The negated-literal workhorse of ``evaluate_dnf``: accumulating
+        a term touches only word arrays, never intermediate vectors.
+        """
+        self._check_same_length(other)
+        np.bitwise_and(self._words, ~other._words, out=self._words)
+        return self
 
     # ------------------------------------------------------------------
     # queries

@@ -8,13 +8,32 @@ reuse them.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 from repro.errors import InvalidArgumentError
 
 WORD_BITS = 64
 _FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: True when numpy provides a native population count (numpy >= 2.0).
+HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+_LUT16: Optional[np.ndarray] = None
+
+
+def _popcount_lut16() -> np.ndarray:
+    """Lazily built 64 KiB table: set-bit count of every 16-bit value."""
+    global _LUT16
+    if _LUT16 is None:
+        lut8 = (
+            np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1)
+            .sum(axis=1)
+            .astype(np.uint8)
+        )
+        values = np.arange(1 << 16, dtype=np.uint32)
+        _LUT16 = (lut8[values >> 8] + lut8[values & 0xFF]).astype(np.uint8)
+    return _LUT16
 
 
 def packed_length(nbits: int) -> int:
@@ -35,11 +54,33 @@ def tail_mask(nbits: int) -> np.uint64:
 
 
 def popcount_words(words: np.ndarray) -> int:
-    """Total number of set bits across a ``uint64`` array."""
+    """Total number of set bits across a ``uint64`` array.
+
+    Uses the native ``np.bitwise_count`` on numpy >= 2.0 (one vectorised
+    pass, no intermediate expansion) and otherwise the 16-bit lookup
+    table — both far cheaper than the historical ``np.unpackbits``
+    detour, which materialised 64 bytes per word.  The legacy path is
+    kept as :func:`popcount_words_unpackbits` so the benchmark suite
+    can record the win.
+    """
     if words.size == 0:
         return 0
-    # numpy >= 1.17: bit twiddling via unpackbits on a byte view is the
-    # fastest portable popcount for bulk data.
+    if HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(words).sum())
+    return popcount_words_lut16(words)
+
+
+def popcount_words_lut16(words: np.ndarray) -> int:
+    """Portable popcount via a 16-bit lookup table (numpy < 2.0 path)."""
+    if words.size == 0:
+        return 0
+    return int(_popcount_lut16()[words.view(np.uint16)].sum(dtype=np.int64))
+
+
+def popcount_words_unpackbits(words: np.ndarray) -> int:
+    """The pre-optimisation popcount, retained as a bench baseline."""
+    if words.size == 0:
+        return 0
     return int(np.unpackbits(words.view(np.uint8)).sum())
 
 

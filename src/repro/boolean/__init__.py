@@ -25,8 +25,11 @@ from repro.boolean.quine_mccluskey import prime_implicants
 from repro.boolean.petrick import minimal_cover
 from repro.boolean.reduction import (
     ReducedFunction,
-    reduce_values,
+    clear_reduction_cache,
     distinct_variables,
+    reduce_values,
+    reduce_values_cached,
+    reduction_cache_stats,
 )
 from repro.boolean.support import minimal_support
 from repro.boolean.expr import (
@@ -53,6 +56,9 @@ __all__ = [
     "minimal_cover",
     "ReducedFunction",
     "reduce_values",
+    "reduce_values_cached",
+    "reduction_cache_stats",
+    "clear_reduction_cache",
     "distinct_variables",
     "minimal_support",
     "Expression",

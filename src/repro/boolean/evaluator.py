@@ -54,7 +54,15 @@ class AccessCounter:
 
 
 class VectorSource:
-    """Callable adaptor giving the evaluator access-counted vectors."""
+    """Callable adaptor giving the evaluator access-counted vectors.
+
+    Returned vectors are *borrowed*: the source caches the fetched
+    vector and hands the same object back on repeat reads, so callers
+    must never mutate one in place (copy first, or use read-only ops
+    like ``&=`` *with* the borrowed vector on the right-hand side).
+    This is the single-copy discipline ``evaluate_dnf`` and ``_eval``
+    rely on — no defensive copy here, no second copy at the call site.
+    """
 
     __slots__ = ("_fetch", "_counter", "_cache")
 
@@ -103,26 +111,43 @@ def evaluate_expression(
 def _eval(
     expression: Expression, source: VectorSource, nbits: int
 ) -> BitVector:
+    """Evaluate to an *owned* vector the caller may mutate."""
+    if isinstance(expression, Var):
+        return source(expression.index).copy()
+    return _eval_ref(expression, source, nbits)
+
+
+def _eval_ref(
+    expression: Expression, source: VectorSource, nbits: int
+) -> BitVector:
+    """Evaluate to a possibly *borrowed* vector (read-only result).
+
+    ``Var`` leaves return the source's cached vector without copying;
+    every composite node allocates a fresh result anyway.  Callers
+    that mutate (the in-place accumulators below) evaluate their first
+    operand through :func:`_eval` and keep borrowed operands strictly
+    on the read side of ``&=``/``|=``/``^=``.
+    """
     if isinstance(expression, Const):
         return BitVector.ones(nbits) if expression.value else BitVector(nbits)
     if isinstance(expression, Var):
-        return source(expression.index).copy()
+        return source(expression.index)
     if isinstance(expression, Not):
-        return ~_eval(expression.operand, source, nbits)
+        return ~_eval_ref(expression.operand, source, nbits)
     if isinstance(expression, And):
         result = _eval(expression.operands[0], source, nbits)
         for operand in expression.operands[1:]:
-            result &= _eval(operand, source, nbits)
+            result &= _eval_ref(operand, source, nbits)
         return result
     if isinstance(expression, Or):
         result = _eval(expression.operands[0], source, nbits)
         for operand in expression.operands[1:]:
-            result |= _eval(operand, source, nbits)
+            result |= _eval_ref(operand, source, nbits)
         return result
     if isinstance(expression, Xor):
         result = _eval(expression.operands[0], source, nbits)
         for operand in expression.operands[1:]:
-            result ^= _eval(operand, source, nbits)
+            result ^= _eval_ref(operand, source, nbits)
         return result
     raise TypeError(f"unknown expression node: {expression!r}")
 
@@ -150,11 +175,15 @@ def evaluate_dnf(
         term_vector: Optional[BitVector] = None
         for i in term.variables():
             vector = source(i)
-            literal = vector if (term.bits >> i) & 1 else ~vector
+            positive = bool((term.bits >> i) & 1)
             if term_vector is None:
-                term_vector = literal.copy() if literal is vector else literal
+                # First literal seeds the accumulator: the only copy
+                # (positive) or inversion (negated) in the term.
+                term_vector = vector.copy() if positive else ~vector
+            elif positive:
+                term_vector &= vector
             else:
-                term_vector &= literal
+                term_vector.iandnot(vector)
         if term_vector is not None:
             result |= term_vector
     return result

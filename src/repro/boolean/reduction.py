@@ -15,6 +15,16 @@ from typing import Iterable, Sequence, Set, Tuple
 from repro.boolean.minterm import Implicant
 from repro.boolean.petrick import minimal_cover
 from repro.boolean.quine_mccluskey import prime_implicants
+from repro.cache import LRUCache
+
+#: Entries kept in the process-wide reduction cache.  Each entry is a
+#: small tuple of implicants; 512 covers every distinct predicate shape
+#: of the bench workloads several times over.
+REDUCTION_CACHE_SIZE = 512
+
+#: Cache key: (sorted codes, width, sorted don't-cares, exact flag) —
+#: everything :func:`reduce_values` depends on.
+ReductionKey = Tuple[Tuple[int, ...], int, Tuple[int, ...], bool]
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,6 +107,65 @@ def reduce_values(
     primes = prime_implicants(on, width, dont_cares)
     cover = minimal_cover(primes, on, exact=exact)
     return ReducedFunction(terms=tuple(cover), width=width)
+
+
+#: Process-wide reduction cache.  Quine–McCluskey/Petrick is a pure
+#: function of the key, so entries never go stale — mapping changes on
+#: an index change the codes/don't-cares and therefore the key.  Shared
+#: across indexes and partitions: 16 partitions built over one shared
+#: mapping reduce a repeated predicate once, not 16 times.
+reduction_cache: LRUCache[ReductionKey, ReducedFunction] = LRUCache(
+    REDUCTION_CACHE_SIZE, metrics_prefix="boolean.reduction_cache"
+)
+
+
+def reduction_key(
+    codes: Iterable[int],
+    width: int,
+    dont_cares: Iterable[int] = (),
+    exact: bool = True,
+) -> ReductionKey:
+    """Canonical cache key for a reduction request."""
+    return (
+        tuple(sorted(set(codes))),
+        width,
+        tuple(sorted(set(dont_cares))),
+        exact,
+    )
+
+
+def reduce_values_cached(
+    codes: Iterable[int],
+    width: int,
+    dont_cares: Iterable[int] = (),
+    exact: bool = True,
+) -> ReducedFunction:
+    """:func:`reduce_values` through the process-wide LRU cache.
+
+    Hit/miss/eviction counts are published to the calling thread's
+    metrics registry under ``boolean.reduction_cache.*``.
+    """
+    key = reduction_key(codes, width, dont_cares, exact)
+    cached = reduction_cache.get(key)
+    if cached is not None:
+        return cached
+    function = reduce_values(key[0], width, dont_cares=key[2], exact=exact)
+    reduction_cache.put(key, function)
+    return function
+
+
+def reduction_cache_stats() -> Tuple[int, int, int]:
+    """(hits, misses, current size) of the process reduction cache."""
+    return (
+        reduction_cache.hits,
+        reduction_cache.misses,
+        len(reduction_cache),
+    )
+
+
+def clear_reduction_cache() -> None:
+    """Drop all cached reductions (tests and benchmarks)."""
+    reduction_cache.clear()
 
 
 def distinct_variables(terms: Sequence[Implicant]) -> int:

@@ -1,0 +1,161 @@
+"""A small thread-safe LRU cache shared by the query-stack caches.
+
+One implementation backs the three cache layers added for compiled
+retrieval (see ``docs/performance.md``): the logical-reduction cache
+in :mod:`repro.boolean.reduction`, the compiled-kernel caches of
+:class:`~repro.index.encoded_bitmap.EncodedBitmapIndex`, and the
+module-level compile cache in :mod:`repro.kernels.compiler`.
+
+Hits, misses and evictions are published both as plain attributes
+(``hits`` / ``misses`` / ``evictions`` — cheap to assert on in tests)
+and, when a ``metrics_prefix`` is given, as counters on the calling
+thread's current :class:`~repro.obs.metrics.MetricsRegistry` — which
+is what lets the partition-parallel executor attribute cache traffic
+to individual queries (each worker runs under a private registry).
+
+Example::
+
+    >>> cache: LRUCache[str, int] = LRUCache(maxsize=2)
+    >>> cache.put("a", 1)
+    >>> cache.put("b", 2)
+    >>> cache.get("a")
+    1
+    >>> cache.put("c", 3)        # evicts "b", the least recently used
+    >>> cache.get("b") is None
+    True
+    >>> sorted(cache.keys())
+    ['a', 'c']
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Generic, List, Optional, TypeVar
+
+from repro.errors import InvalidArgumentError
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries kept; inserting beyond it evicts the
+        least recently *used* (read or written) entry.
+    metrics_prefix:
+        When set, ``get`` publishes ``<prefix>.hits`` /
+        ``<prefix>.misses`` and eviction publishes
+        ``<prefix>.evictions`` to the calling thread's current metrics
+        registry.  Resolved per call — never cached — so per-query
+        scoped registries see the traffic they caused.
+    """
+
+    __slots__ = (
+        "_data",
+        "_lock",
+        "_maxsize",
+        "_metrics_prefix",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
+    def __init__(
+        self, maxsize: int, *, metrics_prefix: Optional[str] = None
+    ) -> None:
+        if maxsize < 1:
+            raise InvalidArgumentError(
+                f"cache maxsize must be >= 1, got {maxsize}"
+            )
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._maxsize = maxsize
+        self._metrics_prefix = metrics_prefix
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> List[K]:
+        """Current keys, least recently used first."""
+        with self._lock:
+            return list(self._data.keys())
+
+    # ------------------------------------------------------------------
+    def get(self, key: K) -> Optional[V]:
+        """Return the cached value (marking it recently used), or None."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                self._count("misses")
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            self._count("hits")
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh an entry, evicting the LRU one if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            if len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                self._count("evictions")
+
+    def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
+        """Fetch ``key``, building and caching it on a miss.
+
+        The factory runs *outside* the lock: two threads missing the
+        same key may both build it (benign — the value is a pure
+        function of the key for every cache in this codebase), but a
+        slow factory never blocks unrelated readers.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss totals are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    # ------------------------------------------------------------------
+    def _count(self, event: str) -> None:
+        if self._metrics_prefix is None:
+            return
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter(f"{self._metrics_prefix}.{event}").inc()
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(size={len(self)}/{self._maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

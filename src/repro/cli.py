@@ -238,12 +238,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if any(count < 1 for count in workers):
             print("--workers counts must be >= 1")
             return 2
-    report = run_suite(
-        quick=args.quick,
-        tolerance=args.tolerance,
-        out_dir=args.out,
-        workers=workers,
-    )
+    from repro.errors import InvalidArgumentError
+
+    only = None
+    if args.case:
+        only = [
+            token.strip()
+            for token in args.case.split(",")
+            if token.strip()
+        ]
+    try:
+        report = run_suite(
+            quick=args.quick,
+            tolerance=args.tolerance,
+            out_dir=args.out,
+            suite=args.suite,
+            workers=workers,
+            only=only,
+        )
+    except InvalidArgumentError as exc:
+        print(str(exc))
+        return 2
     print(report.render())
     return 0 if report.ok else 1
 
@@ -355,6 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated worker-thread counts for the "
         "partition-parallel case (default: 1,4)",
+    )
+    p_bench.add_argument(
+        "--case",
+        default=None,
+        help="run only the cases whose name contains one of these "
+        "comma-separated substrings (e.g. --case kernel_eval)",
+    )
+    p_bench.add_argument(
+        "--suite",
+        default=None,
+        help="override the suite name used in BENCH_<suite>.json "
+        "(default: smoke for --quick, full otherwise)",
     )
     p_bench.set_defaults(func=cmd_bench)
 

@@ -145,6 +145,8 @@ def apply_reencoding(
     index._mapping = rebuilt
     index._vectors = [BitVector(nbits) for _ in range(width)]
     index._reduction_cache.clear()
+    index._kernel_cache.clear()
+    index._data_version += 1
     for row_id in range(nbits):
         if row_id in void:
             index._write_code(row_id, index._void_code())

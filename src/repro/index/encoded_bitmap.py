@@ -17,9 +17,16 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.bitmap.bitvector import BitVector
 from repro.boolean.evaluator import AccessCounter, evaluate_dnf
-from repro.boolean.reduction import ReducedFunction, minterm_dnf, reduce_values
+from repro.boolean.reduction import (
+    ReducedFunction,
+    minterm_dnf,
+    reduce_values,
+    reduce_values_cached,
+)
 from repro.encoding.mapping import NULL, VOID, MappingTable
 from repro.errors import (
     IndexBuildError,
@@ -33,6 +40,7 @@ from repro.index.base import (
     deprecated_positionals,
     range_values,
 )
+from repro.kernels import CompiledKernel, PlaneSet, compile_function
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
@@ -65,6 +73,15 @@ class EncodedBitmapIndex(Index):
     exact_reduction:
         Use exact minimal covers during logical reduction (disable for
         very wide indexes where greedy covers are preferred).
+    use_kernels:
+        Evaluate reduced functions through compiled word-level kernels
+        (:mod:`repro.kernels`) instead of the tree-walking
+        ``evaluate_dnf``.  On by default; ``False`` restores the full
+        legacy reference configuration — tree-walk evaluation *and*
+        per-index-only reduction memoisation (the process-wide
+        reduction cache is bypassed), which differential tests and
+        ablation benches compare against.  Access accounting (``c_e``)
+        is bit-identical either way.
     """
 
     kind = "encoded-bitmap"
@@ -79,6 +96,7 @@ class EncodedBitmapIndex(Index):
         void_mode: str = "encode",
         null_mode: str = "encode",
         exact_reduction: bool = True,
+        use_kernels: bool = True,
         mapping: Optional[MappingTable] = None,
     ) -> None:
         legacy = deprecated_positionals(
@@ -115,10 +133,32 @@ class EncodedBitmapIndex(Index):
         self._null_vector: Optional[BitVector] = (
             BitVector(len(table)) if null_mode == "vector" else None
         )
+        self._init_caches(use_kernels=use_kernels)
+        self._build()
+
+    def _init_caches(self, use_kernels: bool = True) -> None:
+        """Set up the lookup-side cache state.
+
+        Factored out of ``__init__`` because deserialisation
+        (:func:`repro.index.serialization.loads`) restores an index via
+        ``__new__`` and must initialise the same state.
+        """
+        self.use_kernels = use_kernels
         self._reduction_cache: Dict[
             Tuple[Tuple[int, ...], int], ReducedFunction
         ] = {}
-        self._build()
+        # Compiled-kernel cache: keyed by the reduced function, cleared
+        # whenever the mapping changes (codes, and therefore every
+        # future key, change with it).  Delegates to the process-wide
+        # compile cache on miss, so partitions sharing a mapping also
+        # share kernels.
+        self._kernel_cache: Dict[ReducedFunction, CompiledKernel] = {}
+        # Plane snapshot consumed by kernels, rebuilt when the data
+        # version moves (any write to the indexed column).
+        self._planes: Optional[PlaneSet] = None
+        self._planes_version = -1
+        self._data_version = 0
+        self.plane_rebuilds = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -157,15 +197,42 @@ class EncodedBitmapIndex(Index):
             self._mapping.assign(NULL, self._mapping.next_free_code())
 
     def _build(self) -> None:
+        """Bulk-build the bit planes from the current table contents.
+
+        One Python pass computes the per-row code array; the planes are
+        then sliced out of it with vectorised shifts (one
+        :meth:`BitVector.from_mask` per plane) instead of ``k``
+        single-bit writes per row — the difference between seconds and
+        minutes on the million-row bench tables.
+        """
+        n = self._row_count()
+        if n == 0:
+            return
         column = self.table.column(self.column_name)
         void = self.table.void_rows()
-        for row_id in range(len(self.table)):
+        void_code = self._void_code()
+        codes = np.empty(n, dtype=np.uint64)
+        null_rows: List[int] = []
+        for row_id in range(n):
             if row_id in void:
-                self._write_code(row_id, self._void_code())
+                codes[row_id] = void_code
             else:
-                self._write_row(row_id, column[row_id])
-            if self._exists_vector is not None and row_id not in void:
-                self._exists_vector[row_id] = True
+                value = column[row_id]
+                codes[row_id] = self._code_for(value)
+                if value is None and self._null_vector is not None:
+                    null_rows.append(row_id)
+        for i in range(len(self._vectors)):
+            mask = (codes >> np.uint64(i)) & np.uint64(1)
+            # One bulk allocation per *plane* (k total), not per row —
+            # this is the hoisted form EBI102 pushes loops towards.
+            self._vectors[i] = BitVector.from_mask(mask != 0)  # ebilint: disable=EBI102
+        if self._exists_vector is not None:
+            exists = np.ones(n, dtype=bool)
+            exists[list(void)] = False
+            self._exists_vector = BitVector.from_mask(exists)
+        if self._null_vector is not None:
+            self._null_vector = BitVector.from_indices(null_rows, n)
+        self._data_version += 1
 
     def _void_code(self) -> int:
         if self.void_mode == "encode":
@@ -187,6 +254,7 @@ class EncodedBitmapIndex(Index):
     def _write_code(self, row_id: int, code: int) -> None:
         for i, vector in enumerate(self._vectors):
             vector[row_id] = bool((code >> i) & 1)
+        self._data_version += 1
 
     # ------------------------------------------------------------------
     # introspection
@@ -240,11 +308,25 @@ class EncodedBitmapIndex(Index):
             and codes[-1] - codes[0] == len(codes) - 1
         ):
             # Contiguous code interval: the binary decomposition gives
-            # a near-minimal cover in O(k) where QM would be slow.
+            # a near-minimal cover in O(k) where QM would be slow (and
+            # cheap enough that the global cache is not worth a key).
             from repro.boolean.intervals import reduce_interval
 
             return reduce_interval(codes[0], codes[-1], self.width)
-        return reduce_values(
+        if not self.use_kernels:
+            # Legacy reference configuration: bypass the process-wide
+            # cache so ablation benches measure the pre-kernel cost
+            # model, where every index pays Quine-McCluskey itself.
+            return reduce_values(
+                codes,
+                self.width,
+                dont_cares=self._mapping.unused_codes(),
+                exact=self.exact_reduction,
+            )
+        # Through the process-wide LRU: Quine-McCluskey runs once per
+        # distinct (codes, width, don't-cares) shape, even when many
+        # partition-local indexes share one mapping.
+        return reduce_values_cached(
             codes,
             self.width,
             dont_cares=self._mapping.unused_codes(),
@@ -321,16 +403,75 @@ class EncodedBitmapIndex(Index):
         function = self.reduced_function([None])
         return self._evaluate(function, cost)
 
+    def clear_caches(self) -> None:
+        """Drop this index's memoised lookup state.
+
+        Clears the reduction cache, the compiled-kernel cache and the
+        plane snapshot; the bitmap vectors themselves are untouched and
+        the next lookup rebuilds lazily.  Useful under memory pressure
+        and for cold-cache benchmarking (process-wide caches are
+        cleared separately via
+        :func:`repro.boolean.reduction.clear_reduction_cache` /
+        :func:`repro.kernels.clear_compile_cache`).
+        """
+        self._reduction_cache.clear()
+        self._kernel_cache.clear()
+        self._planes = None
+        self._planes_version = -1
+
+    #: Entries kept in the per-index compiled-kernel cache before it is
+    #: reset wholesale (simple bound; the process-wide LRU behind it
+    #: keeps recompiles cheap).
+    KERNEL_CACHE_SIZE = 256
+
+    def _kernel_for(self, function: ReducedFunction) -> CompiledKernel:
+        """Compiled kernel for ``function`` via the two cache layers.
+
+        No registry traffic of its own (the overhead contract in
+        ``tests/test_obs.py`` bounds per-lookup instrumentation): the
+        process-wide compile cache consulted on a local miss publishes
+        ``kernels.compile_cache.hits``/``.misses``.
+        """
+        kernel = self._kernel_cache.get(function)
+        if kernel is None:
+            kernel = compile_function(function)
+            if len(self._kernel_cache) >= self.KERNEL_CACHE_SIZE:
+                self._kernel_cache.clear()
+            self._kernel_cache[function] = kernel
+        return kernel
+
+    def _plane_snapshot(self) -> PlaneSet:
+        """The current planes as a kernel-consumable matrix.
+
+        Rebuilt only when ``_data_version`` has moved since the last
+        snapshot — i.e. after any write to the indexed column.
+        Rebuilds are counted on ``plane_rebuilds`` (a plain attribute,
+        not a registry counter, keeping per-lookup instrumentation
+        constant).
+        """
+        if self._planes is None or self._planes_version != self._data_version:
+            self._planes = PlaneSet.from_vectors(
+                self._vectors, self._row_count()
+            )
+            self._planes_version = self._data_version
+            self.plane_rebuilds += 1
+        return self._planes
+
     def _evaluate(
         self, function: ReducedFunction, cost: LookupCost
     ) -> BitVector:
         counter = AccessCounter()
-        result = evaluate_dnf(
-            function,
-            lambda i: self._vectors[i],
-            self._row_count(),
-            counter,
-        )
+        if self.use_kernels:
+            result = self._kernel_for(function).evaluate(
+                self._plane_snapshot(), counter
+            )
+        else:
+            result = evaluate_dnf(
+                function,
+                lambda i: self._vectors[i],
+                self._row_count(),
+                counter,
+            )
         cost.vectors_accessed += counter.distinct_accesses
         # Trace detail for EXPLAIN: the expression just evaluated and
         # the distinct vectors it pulled (merged across sub-lookups of
@@ -386,14 +527,18 @@ class EncodedBitmapIndex(Index):
         _, expanded = self._mapping.add_value(value_key)
         if expanded:
             self._vectors.append(BitVector(self._row_count()))
-            self._reduction_cache.clear()
             # Adding a vector rewrites nothing, but the Boolean
             # functions of every existing value change (step 4 of the
             # paper's expansion procedure) — accounted as one op per
             # mapped value.
             self.stats.maintenance_ops += len(self._mapping)
-        else:
-            self._reduction_cache.clear()
+        # Any mapping change invalidates the cached reductions and the
+        # kernels compiled from them; the plane snapshot follows the
+        # data version, bumped here because an expansion changes the
+        # plane count without touching existing rows.
+        self._reduction_cache.clear()
+        self._kernel_cache.clear()
+        self._data_version += 1
         self.stats.maintenance_ops += 1
 
     def _apply_update(self, row_id: int, old: Any, new: Any) -> None:

@@ -431,7 +431,7 @@ def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
     index.null_mode = header["null_mode"]
     index.exact_reduction = True
     index._mapping = parsed.mapping
-    index._reduction_cache = {}
+    index._init_caches()
     index._exists_vector = None
     index._null_vector = None
     if index.void_mode == "vector":

@@ -1,0 +1,31 @@
+"""Compiled retrieval kernels for encoded bitmap indexes.
+
+This package turns a reduced retrieval function
+(:class:`~repro.boolean.reduction.ReducedFunction`) into a fused
+word-level numpy kernel evaluated directly on packed ``uint64`` plane
+matrices — the fast path behind
+:meth:`EncodedBitmapIndex.lookup <repro.index.base.Index.lookup>`.
+The slow tree walk in :mod:`repro.boolean.evaluator` is kept as the
+differential-testing reference; see ``docs/performance.md`` for the
+full compile/cache pipeline.
+"""
+
+from repro.kernels.compiler import (
+    COMPILE_CACHE_SIZE,
+    GATHER_MAX_WORDS,
+    CompiledKernel,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_function,
+)
+from repro.kernels.planes import PlaneSet
+
+__all__ = [
+    "COMPILE_CACHE_SIZE",
+    "GATHER_MAX_WORDS",
+    "CompiledKernel",
+    "PlaneSet",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_function",
+]

@@ -1,0 +1,316 @@
+"""Compilation of reduced retrieval functions into fused numpy kernels.
+
+``evaluate_dnf`` walks a DNF term by term, allocating a ``BitVector``
+per literal (``~vector``) and per term.  A :class:`CompiledKernel`
+evaluates the same function directly on the packed ``uint64`` plane
+matrix of a :class:`~repro.kernels.planes.PlaneSet`:
+
+* **constant folding** — a false function or a constant-true term
+  short-circuits to a zero/ones result with *zero* vector accesses,
+  exactly matching ``evaluate_dnf``'s early exits;
+* **common-literal factoring** — literals appearing in every term are
+  hoisted out of the OR loop and AND-ed into the result once;
+* **zero per-literal allocations** — terms accumulate into one
+  thread-local scratch buffer via ``np.bitwise_and(..., out=...)``;
+  negated literals are row reads from the plane matrix, never fresh
+  inversions;
+* **adaptive strategy** — short vectors (≤ :data:`GATHER_MAX_WORDS`
+  words) use a single gather + ``np.bitwise_and.reduceat`` +
+  ``np.bitwise_or.reduce`` (three numpy calls for the whole DNF); long
+  vectors use the per-term loop, whose scratch stays cache-resident.
+
+Access accounting is bit-identical to the tree walk: the kernel
+replays the exact per-term literal order ``evaluate_dnf`` would fetch
+into the caller's :class:`~repro.boolean.evaluator.AccessCounter`, so
+both ``distinct_accesses`` (the paper's ``c_e``) and raw ``reads``
+agree — a property enforced by the randomized differential suite in
+``tests/test_kernels.py``.
+
+>>> from repro.bitmap.bitvector import BitVector
+>>> from repro.boolean.reduction import reduce_values
+>>> from repro.kernels.planes import PlaneSet
+>>> planes = [BitVector.from_bools(b) for b in
+...           ([True, False, True, False], [False, False, True, True])]
+>>> function = reduce_values([1, 3], width=2)   # code has bit 0 set
+>>> kernel = compile_function(function)
+>>> snapshot = PlaneSet.from_vectors(planes, nbits=4)
+>>> kernel.evaluate(snapshot).to_bitstring()
+'1010'
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.ops import tail_mask
+from repro.boolean.evaluator import AccessCounter
+from repro.boolean.reduction import ReducedFunction
+from repro.cache import LRUCache
+from repro.errors import InvalidArgumentError
+from repro.kernels.planes import PlaneSet
+
+#: Word-count crossover between the gather/reduceat strategy and the
+#: per-term loop.  Below this the whole-DNF gather fits comfortably in
+#: cache and the fixed numpy call overhead dominates, so fewer calls
+#: win; above it the gather's ``L x nwords`` copy outweighs the saved
+#: dispatch.  Chosen empirically on the bench workload (k=10 planes).
+GATHER_MAX_WORDS = 128
+
+#: Compiled kernels kept per process.  Keyed by the (hashable, frozen)
+#: ``ReducedFunction`` itself, so any two queries that reduce to the
+#: same DNF — across indexes and across partitions — share one kernel.
+COMPILE_CACHE_SIZE = 256
+
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_scratch_local = threading.local()
+
+
+def _scratch(nwords: int) -> np.ndarray:
+    """A reusable per-thread ``uint64`` buffer of ``nwords`` words.
+
+    Thread-local so concurrent partitions in
+    :class:`~repro.shard.executor.ParallelExecutor` never share a
+    buffer; bounded so mixed vector lengths cannot grow it forever.
+    """
+    pool: Optional[Dict[int, np.ndarray]]
+    pool = getattr(_scratch_local, "buffers", None)
+    if pool is None:
+        pool = {}
+        _scratch_local.buffers = pool
+    buffer = pool.get(nwords)
+    if buffer is None:
+        if len(pool) >= 8:
+            pool.clear()
+        buffer = np.empty(nwords, dtype=np.uint64)
+        pool[nwords] = buffer
+    return buffer
+
+
+class CompiledKernel:
+    """A reduced retrieval function compiled to a word-level plan.
+
+    The plan is computed once (row indices into the plane matrix,
+    factored common literals, gather index arrays) and is immutable
+    afterwards, so a single kernel may be shared freely across threads
+    and across partitions.
+    """
+
+    __slots__ = (
+        "function",
+        "_constant",
+        "_access_order",
+        "_common_rows",
+        "_term_rows",
+        "_flat",
+        "_bounds",
+    )
+
+    def __init__(self, function: ReducedFunction) -> None:
+        self.function = function
+        width = function.width
+
+        # Constant folding — mirrors evaluate_dnf's early exits, which
+        # return without touching any vector.
+        self._constant: Optional[bool]
+        if function.is_false:
+            self._constant = False
+        elif any(term.is_constant_true() for term in function.terms):
+            self._constant = True
+        else:
+            self._constant = None
+
+        if self._constant is not None:
+            self._access_order: Tuple[int, ...] = ()
+            self._common_rows: Tuple[int, ...] = ()
+            self._term_rows: Tuple[Tuple[int, ...], ...] = ()
+            self._flat = np.empty(0, dtype=np.intp)
+            self._bounds = np.empty(0, dtype=np.intp)
+            return
+
+        # The exact fetch order evaluate_dnf performs: every term's
+        # cared variables, ascending, term by term.  Replayed verbatim
+        # into the caller's AccessCounter for c_e parity.
+        self._access_order = tuple(
+            i for term in function.terms for i in term.variables()
+        )
+
+        # One (row, ...) literal tuple per term.  Row i is plane B_i,
+        # row width + i is its negation (PlaneSet layout).
+        literal_rows: List[Tuple[int, ...]] = []
+        for term in function.terms:
+            rows = tuple(
+                i if (term.bits >> i) & 1 else width + i
+                for i in term.variables()
+            )
+            literal_rows.append(rows)
+
+        # Common-literal factoring: a literal present in every term is
+        # AND-ed into the result once, after the OR over the residues.
+        common = set(literal_rows[0])
+        for rows in literal_rows[1:]:
+            common &= set(rows)
+        if len(literal_rows) == 1:
+            common = set(literal_rows[0])
+        self._common_rows = tuple(sorted(common))
+        residues = [
+            tuple(r for r in rows if r not in common)
+            for rows in literal_rows
+        ]
+        # An empty residue means that term *is* the common conjunction,
+        # so the OR over residues is constant true: result == common.
+        if any(not rows for rows in residues):
+            self._term_rows = ()
+        else:
+            self._term_rows = tuple(residues)
+
+        # Gather-strategy plan: all residue literal rows flattened plus
+        # the start offset of each term, feeding bitwise_and.reduceat.
+        flat = [r for rows in self._term_rows for r in rows]
+        bounds: List[int] = []
+        offset = 0
+        for rows in self._term_rows:
+            bounds.append(offset)
+            offset += len(rows)
+        self._flat = np.asarray(flat, dtype=np.intp)
+        self._bounds = np.asarray(bounds, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    def record_accesses(self, counter: AccessCounter) -> None:
+        """Replay the tree evaluator's vector fetch sequence.
+
+        After this, ``counter.distinct_accesses`` and ``counter.reads``
+        equal what :func:`~repro.boolean.evaluator.evaluate_dnf` would
+        have recorded for the same function.
+        """
+        for index in self._access_order:
+            counter.record(index)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the kernel folds to a constant result."""
+        return self._constant is not None
+
+    def evaluate(
+        self,
+        planes: PlaneSet,
+        counter: Optional[AccessCounter] = None,
+    ) -> BitVector:
+        """Evaluate against a plane snapshot, returning a fresh vector."""
+        if planes.width != self.function.width:
+            raise InvalidArgumentError(
+                f"plane set width {planes.width} != function width "
+                f"{self.function.width}"
+            )
+        if counter is not None:
+            self.record_accesses(counter)
+
+        nbits = planes.nbits
+        if self._constant is False:
+            return BitVector(nbits)
+        if self._constant is True:
+            return BitVector.ones(nbits)
+
+        matrix = planes.matrix
+        nwords = planes.nwords
+        if nwords == 0:
+            return BitVector(nbits)
+
+        if self._term_rows and len(self._term_rows) >= 2 and (
+            nwords <= GATHER_MAX_WORDS
+        ):
+            words = self._evaluate_gather(matrix)
+        else:
+            words = self._evaluate_loop(matrix, nwords)
+
+        words[-1] &= tail_mask(nbits)
+        return BitVector._from_words(words, nbits)
+
+    # ------------------------------------------------------------------
+    def _evaluate_loop(
+        self, matrix: np.ndarray, nwords: int
+    ) -> np.ndarray:
+        """Per-term loop: one scratch buffer, in-place AND/OR only."""
+        result = np.empty(nwords, dtype=np.uint64)
+        scratch = _scratch(nwords)
+
+        if not self._term_rows:
+            # All literals were common: the OR over residues is true.
+            result[:] = _FULL_WORD
+        else:
+            first = True
+            for rows in self._term_rows:
+                if len(rows) == 1:
+                    term_words = matrix[rows[0]]
+                else:
+                    np.bitwise_and(
+                        matrix[rows[0]], matrix[rows[1]], out=scratch
+                    )
+                    for row in rows[2:]:
+                        np.bitwise_and(scratch, matrix[row], out=scratch)
+                    term_words = scratch
+                if first:
+                    result[:] = term_words
+                    first = False
+                else:
+                    np.bitwise_or(result, term_words, out=result)
+
+        for row in self._common_rows:
+            np.bitwise_and(result, matrix[row], out=result)
+        return result
+
+    def _evaluate_gather(self, matrix: np.ndarray) -> np.ndarray:
+        """Gather strategy: three numpy calls for the whole DNF."""
+        gathered = matrix[self._flat]
+        terms = np.bitwise_and.reduceat(gathered, self._bounds, axis=0)
+        result: np.ndarray = np.bitwise_or.reduce(terms, axis=0)
+        for row in self._common_rows:
+            np.bitwise_and(result, matrix[row], out=result)
+        return result
+
+    def __repr__(self) -> str:
+        if self._constant is not None:
+            return f"CompiledKernel(constant={self._constant})"
+        return (
+            f"CompiledKernel(terms={len(self.function.terms)}, "
+            f"width={self.function.width}, "
+            f"common={len(self._common_rows)})"
+        )
+
+
+_compile_cache: LRUCache[ReducedFunction, CompiledKernel] = LRUCache(
+    COMPILE_CACHE_SIZE, metrics_prefix="kernels.compile_cache"
+)
+
+
+def compile_function(function: ReducedFunction) -> CompiledKernel:
+    """Compile ``function``, reusing a cached kernel when available.
+
+    Keyed by the frozen ``ReducedFunction`` value, so identical DNFs —
+    e.g. the same predicate reduced by 16 partitions sharing one
+    mapping — compile exactly once per process.
+    """
+    cached = _compile_cache.get(function)
+    if cached is not None:
+        return cached
+    kernel = CompiledKernel(function)
+    _compile_cache.put(function, kernel)
+    return kernel
+
+
+def compile_cache_stats() -> Tuple[int, int, int]:
+    """(hits, misses, current size) of the process compile cache."""
+    return (
+        _compile_cache.hits,
+        _compile_cache.misses,
+        len(_compile_cache),
+    )
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached kernels (tests and benchmarks)."""
+    _compile_cache.clear()

@@ -1,0 +1,79 @@
+"""Packed plane matrices consumed by compiled retrieval kernels.
+
+A :class:`PlaneSet` lays the ``k`` bit-plane vectors of an encoded
+bitmap index (and their negations) out as one contiguous
+``(2k, nwords)`` ``uint64`` matrix: row ``i`` holds plane ``B_i``'s
+words, row ``k + i`` holds ``~B_i``.  Pre-materialising the negations
+lets a kernel evaluate any literal — plain or negated — as a plain row
+read, with no per-literal allocation or invert pass at query time.
+
+Negated rows deliberately keep garbage in the bits beyond the logical
+length (the tail of the last word): masking happens once on the final
+result, not per row.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.ops import packed_length
+from repro.errors import InvalidArgumentError, LengthMismatchError
+
+
+class PlaneSet:
+    """The bit planes of one index snapshot, as a dense word matrix.
+
+    Instances are immutable snapshots: an index rebuilds its plane set
+    whenever the underlying data changes (see the ``_data_version``
+    tracking in :class:`~repro.index.encoded_bitmap.EncodedBitmapIndex`)
+    rather than mutating one in place.
+    """
+
+    __slots__ = ("matrix", "width", "nbits", "nwords")
+
+    def __init__(self, matrix: np.ndarray, width: int, nbits: int) -> None:
+        self.matrix = matrix
+        self.width = width
+        self.nbits = nbits
+        self.nwords = matrix.shape[1] if matrix.ndim == 2 else 0
+
+    @classmethod
+    def from_vectors(
+        cls, vectors: Sequence[BitVector], nbits: int
+    ) -> "PlaneSet":
+        """Snapshot ``k`` plane vectors into a ``(2k, nwords)`` matrix.
+
+        ``vectors[i]`` becomes row ``i``; its negation becomes row
+        ``k + i``.  Every vector must have length ``nbits``.
+        """
+        width = len(vectors)
+        nwords = packed_length(nbits)
+        matrix = np.empty((2 * width, nwords), dtype=np.uint64)
+        for i, vector in enumerate(vectors):
+            if len(vector) != nbits:
+                raise LengthMismatchError(nbits, len(vector))
+            matrix[i] = vector.words
+        if width:
+            np.bitwise_not(matrix[:width], out=matrix[width:])
+        return cls(matrix, width, nbits)
+
+    def row(self, index: int, positive: bool) -> int:
+        """Matrix row holding plane ``index`` (or its negation)."""
+        if not 0 <= index < self.width:
+            raise InvalidArgumentError(
+                f"plane {index} out of range for width {self.width}"
+            )
+        return index if positive else index + self.width
+
+    def nbytes(self) -> int:
+        """Bytes held by the matrix (planes plus negations)."""
+        return int(self.matrix.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlaneSet(width={self.width}, nbits={self.nbits}, "
+            f"nwords={self.nwords})"
+        )

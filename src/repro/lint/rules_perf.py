@@ -10,7 +10,7 @@ cost accounting (distinct bitmap vectors accessed).
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set
+from typing import Iterator, Optional, Set
 
 from repro.lint.core import (
     Finding,
@@ -195,6 +195,156 @@ class SlowPopcountRule(Rule):
                 and node.args[0].value == "1"
             ):
                 yield self.finding(ctx, node)
+
+
+#: Identifiers that (by project convention) bind ``BitVector`` values.
+_VECTORISH_NAMES = frozenset(
+    {
+        "vector",
+        "vec",
+        "bv",
+        "bitvector",
+        "bit_vector",
+        "bitmap",
+        "term_vector",
+        "literal",
+    }
+)
+
+#: In-place spellings for the binary ops that would otherwise build a
+#: throwaway ``BitVector`` (``__iand__``/``__ior__``/``__ixor__`` all
+#: run ``np.bitwise_*(..., out=...)``; ``&~`` has ``iandnot``).
+_INPLACE_SPELLING = {
+    ast.BitAnd: "&=",
+    ast.BitOr: "|=",
+    ast.BitXor: "^=",
+}
+
+
+def _vectorish(node: ast.AST) -> bool:
+    """Does this expression *look like* a BitVector by naming convention?"""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return name in _VECTORISH_NAMES or name.endswith(("_vector", "_vec"))
+
+
+def _binding_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return ast.dump(node)
+    return ""
+
+
+@register_rule
+class BitVectorLoopRule(Rule):
+    """EBI105: bit-at-a-time BitVector use inside ``src/repro`` loops.
+
+    Two shapes defeat the word-packed design anywhere in the library
+    (tests and docs lint with ``module=None`` and are exempt):
+
+    * iterating a ``BitVector`` directly (``for bit in vector`` or
+      ``for j in range(len(vector))``) — a per-*bit* Python loop over
+      data stored 64 bits per word; use :meth:`BitVector.iter_set_bits`,
+      :meth:`~BitVector.indices` or a word-level numpy op instead;
+    * rebinding ``x = x & y`` / ``| y`` / ``^ y`` inside a loop body —
+      each pass allocates a fresh vector although an in-place ``out=``
+      variant (``&=``, ``|=``, ``^=``) exists.
+    """
+
+    id = "EBI105"
+    name = "bitvector-per-bit-loop"
+    description = (
+        "bit-at-a-time BitVector use in a loop; iterate set bits / "
+        "use the in-place out= operator variant instead"
+    )
+    rationale = (
+        "Performance contract: compiled kernels and evaluators touch "
+        "64 bits per operation; per-bit Python iteration or a fresh "
+        "vector per loop pass forfeits that factor."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if isinstance(loop, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(ctx, loop)
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for sub in ast.walk(loop):
+                if (
+                    isinstance(sub, ast.Assign)
+                    and id(sub) not in seen
+                    and not AllocInLoopRule._in_nested_function(loop, sub)
+                ):
+                    finding = self._check_rebinding(ctx, sub)
+                    if finding is not None:
+                        seen.add(id(sub))
+                        yield finding
+
+    def _check_iteration(
+        self, ctx: LintContext, loop: ast.For
+    ) -> Iterator[Finding]:
+        iterator = loop.iter
+        if _vectorish(iterator):
+            yield self.finding(
+                ctx,
+                loop,
+                "per-bit iteration over a BitVector; use "
+                "iter_set_bits()/indices() or word-level numpy ops",
+            )
+            return
+        # for j in range(len(vector)): ...
+        if (
+            isinstance(iterator, ast.Call)
+            and isinstance(iterator.func, ast.Name)
+            and iterator.func.id == "range"
+        ):
+            for arg in iterator.args:
+                if (
+                    isinstance(arg, ast.Call)
+                    and isinstance(arg.func, ast.Name)
+                    and arg.func.id == "len"
+                    and arg.args
+                    and _vectorish(arg.args[0])
+                ):
+                    yield self.finding(
+                        ctx,
+                        loop,
+                        "per-bit index loop over a BitVector length; "
+                        "use iter_set_bits()/indices() or word-level "
+                        "numpy ops",
+                    )
+
+    def _check_rebinding(
+        self, ctx: LintContext, assign: ast.Assign
+    ) -> Optional[Finding]:
+        value = assign.value
+        if not isinstance(value, ast.BinOp):
+            return None
+        spelling = _INPLACE_SPELLING.get(type(value.op))
+        if spelling is None:
+            return None
+        if len(assign.targets) != 1:
+            return None
+        target = _binding_name(assign.targets[0])
+        if not target or target != _binding_name(value.left):
+            return None
+        if not (_vectorish(assign.targets[0]) or _vectorish(value.left)):
+            return None
+        return self.finding(
+            ctx,
+            assign,
+            f"BitVector temporary rebuilt every iteration; use the "
+            f"in-place '{spelling}' (out=) variant",
+        )
 
 
 _EVALUATOR_ENTRYPOINTS = frozenset({"evaluate_dnf", "evaluate_expression"})

@@ -239,6 +239,7 @@ class Executor:
                 # its left operand in place.
                 self._registry().counter("query.leaf_cache_hits").inc()
                 return cached.copy()
+            self._registry().counter("query.leaf_cache_misses").inc()
         step = lookup.get(id(predicate))
         if step is None:
             raise QueryError(f"no access step for predicate {predicate}")
@@ -250,6 +251,11 @@ class Executor:
         if trace is not None:
             trace.accesses.append(_access_event(step, step_cost))
         if leaf_cache is not None:
+            # Single-copy discipline (audited with repro.kernels):
+            # ``vector`` is freshly allocated by ``lookup`` and owned by
+            # the caller, who may mutate it in place, so the cache keeps
+            # its own copy here and the hit path above copies once per
+            # reuse.  Neither path copies twice.
             leaf_cache[predicate] = vector.copy()
         return vector
 

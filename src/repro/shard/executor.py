@@ -21,6 +21,18 @@ aggregated metrics (the property ``tests/test_shard.py`` pins down).
 evaluated partition by partition, sharing one leaf-vector cache and
 one column-array cache per partition, so queries selecting on the
 same leaf predicate pay its vector read once.
+
+Compiled-kernel and reduction reuse across partitions is free: the
+reduction cache (:mod:`repro.boolean.reduction`) and the compile cache
+(:mod:`repro.kernels.compiler`) are process-wide and thread-safe, so
+when partitions are built over one *shared* mapping (identical codes),
+the first partition to see a predicate shape pays Quine–McCluskey and
+kernel compilation once and the other N-1 partitions hit the caches —
+watch ``boolean.reduction_cache.hits`` and
+``kernels.compile_cache.hits`` in the merged metrics.  Partition-local
+mappings (the :class:`~repro.shard.index.PartitionedIndex` default)
+produce different codes per partition and therefore different cache
+keys; supply a shared-mapping factory to unlock the sharing.
 """
 
 from __future__ import annotations

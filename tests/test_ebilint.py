@@ -214,6 +214,85 @@ def test_ebi104_ignores_other_count_calls():
 
 
 # ----------------------------------------------------------------------
+# EBI105 — bit-at-a-time BitVector use in src/repro loops
+# ----------------------------------------------------------------------
+def test_ebi105_flags_direct_vector_iteration():
+    bad = """
+        def collect(vector):
+            out = []
+            for bit in vector:
+                out.append(bit)
+            return out
+    """
+    found = findings_for("EBI105", bad, module="repro.aggregate.fake")
+    assert len(found) == 1
+    assert "per-bit iteration" in found[0].message
+
+
+def test_ebi105_flags_range_len_vector_loop():
+    bad = """
+        def collect(result_vector):
+            for j in range(len(result_vector)):
+                use(result_vector[j])
+    """
+    found = findings_for("EBI105", bad, module="repro.query.fake")
+    assert len(found) == 1
+    assert "index loop" in found[0].message
+
+
+def test_ebi105_flags_rebinding_temporary_in_loop():
+    bad = """
+        def combine(vectors, selection):
+            for vector in vectors:
+                vector = vector & selection
+                yield vector.count()
+    """
+    found = findings_for("EBI105", bad, module="repro.aggregate.fake")
+    assert len(found) == 1
+    assert "&=" in found[0].message
+
+
+def test_ebi105_accepts_inplace_and_word_level_forms():
+    good = """
+        def combine(vectors, selection):
+            for vector in vectors:
+                vector &= selection
+                yield vector.count()
+
+        def positions(vector):
+            for j in vector.iter_set_bits():
+                yield j
+
+        def fresh(vectors, other):
+            for vector in vectors:
+                merged = vector & other
+                yield merged
+    """
+    assert not findings_for("EBI105", good, module="repro.aggregate.fake")
+
+
+def test_ebi105_exempt_outside_repro_package():
+    bad = """
+        def collect(vector):
+            for bit in vector:
+                pass
+    """
+    assert not findings_for("EBI105", bad, module=None)
+
+
+def test_ebi105_ignores_nested_function_bodies():
+    good = """
+        def plans(vectors, selection):
+            for vector in vectors:
+                def thunk(vector=vector):
+                    vector = vector & selection
+                    return vector
+                yield thunk
+    """
+    assert not findings_for("EBI105", good, module="repro.aggregate.fake")
+
+
+# ----------------------------------------------------------------------
 # EBI201 — code 0 is reserved for the VOID sentinel (Theorem 2.1)
 # ----------------------------------------------------------------------
 def test_ebi201_flags_assign_zero_to_real_value():

@@ -61,6 +61,12 @@ def test_every_shipped_rule_fails_a_violating_fixture():
             "def pop(x):\n    return bin(x).count(\"1\")\n",
             "repro.encoding.fake",
         ),
+        "EBI105": (
+            "def scan(vector):\n"
+            "    for bit in vector:\n"
+            "        pass\n",
+            "repro.aggregate.fake",
+        ),
         "EBI201": (
             "def build(t):\n    t.assign(\"red\", 0)\n",
             "repro.encoding.fake",
