@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test doctest bench bench-json parallel-bench kernel-bench tables validate examples lint typecheck all
+.PHONY: install test doctest bench bench-json parallel-bench kernel-bench tables validate examples lint typecheck race-check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,13 @@ lint:
 typecheck:
 	@if python -c "import mypy" 2>/dev/null; then python -m mypy src/repro; \
 	else echo "mypy not installed (pip install -e .[lint]); skipped"; fi
+
+# EBI3xx at a zero baseline plus the seeded-interleaving stress suite
+# (docs/concurrency.md).
+race-check:
+	PYTHONPATH=src python -m repro.lint src tests \
+		--select EBI301 EBI302 EBI303 EBI304 --no-baseline
+	PYTHONPATH=src python -m pytest -q tests/test_concurrency.py
 
 doctest:
 	PYTHONPATH=src python -m pytest --doctest-modules \
@@ -46,4 +53,4 @@ validate:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
-all: lint typecheck test doctest bench validate
+all: lint typecheck race-check test doctest bench validate

@@ -681,6 +681,164 @@ def case_kernel_eval(
     ]
 
 
+#: Threads / per-thread operations for the cache-contention case.
+CONTENTION_THREADS = 4
+CONTENTION_ITERATIONS = 36
+
+
+def case_cache_contention(tolerance: float) -> List[Comparison]:
+    """Mirrors ``tests/test_concurrency.py``: N threads hammer the
+    process-wide reduction and compile caches through their public
+    entry points under the dynamic sanitizer's instrumented locks
+    (docs/concurrency.md).
+
+    Every ``reduce_values_cached`` / ``compile_function`` call does
+    exactly one ``get`` on its cache, so the hit+miss ledger must
+    balance to the operation count; concurrent misses of the same key
+    are benign (the factory runs outside the lock) but bounded by
+    threads x distinct keys because neither cache evicts at this
+    working-set size.  The sanitizer must see an acyclic lock order,
+    and the contended-acquisition count is recorded as a measured
+    contention line.
+    """
+    from repro.boolean.reduction import (
+        clear_reduction_cache,
+        reduce_values_cached,
+        reduction_cache,
+    )
+    from repro.kernels.compiler import (
+        _compile_cache,
+        clear_compile_cache,
+        compile_function,
+    )
+    from repro.lint.sanitizer import (
+        LockOrderRecorder,
+        instrument,
+        make_jitter,
+        run_stress,
+    )
+
+    threads, iterations = CONTENTION_THREADS, CONTENTION_ITERATIONS
+    ops = threads * iterations
+    width = 6
+    # 12 distinct contiguous selections -> 12 reduction keys and (the
+    # reductions being value-distinct) 12 compiled kernels.
+    selections = [tuple(range(start, start + 4)) for start in range(12)]
+
+    clear_reduction_cache()
+    clear_compile_cache()
+    # clear() keeps lifetime hit/miss totals; measure deltas.
+    red_hits0, red_misses0 = reduction_cache.hits, reduction_cache.misses
+    comp_hits0, comp_misses0 = _compile_cache.hits, _compile_cache.misses
+
+    recorder = LockOrderRecorder()
+    jitter = make_jitter(17)
+    red_lock = instrument(
+        reduction_cache,
+        recorder=recorder,
+        name="boolean.reduction_cache._lock",
+        jitter=jitter,
+    )
+    comp_lock = instrument(
+        _compile_cache,
+        recorder=recorder,
+        name="kernels.compile_cache._lock",
+        jitter=jitter,
+    )
+
+    def workload(tid: int, i: int) -> None:
+        codes = selections[(tid + i) % len(selections)]
+        function = reduce_values_cached(codes, width)
+        compile_function(function)
+
+    try:
+        report = run_stress(
+            workload,
+            threads=threads,
+            iterations=iterations,
+            seed=17,
+            recorder=recorder,
+        )
+    finally:
+        # Benches share the process with later cases/tests: put the
+        # native locks back so instrumentation does not leak.
+        reduction_cache._lock = red_lock._inner
+        _compile_cache._lock = comp_lock._inner
+
+    red_gets = (reduction_cache.hits - red_hits0) + (
+        reduction_cache.misses - red_misses0
+    )
+    comp_gets = (_compile_cache.hits - comp_hits0) + (
+        _compile_cache.misses - comp_misses0
+    )
+    red_misses = reduction_cache.misses - red_misses0
+    comp_misses = _compile_cache.misses - comp_misses0
+    miss_bound = threads * len(selections)
+
+    return [
+        compare(
+            f"reduction-cache hit+miss ledger balances over {ops} "
+            f"contended gets ({threads} threads)",
+            red_gets,
+            ops,
+            mode="eq",
+            unit="gets",
+            tolerance=tolerance,
+        ),
+        compare(
+            f"compile-cache hit+miss ledger balances over {ops} "
+            f"contended gets ({threads} threads)",
+            comp_gets,
+            ops,
+            mode="eq",
+            unit="gets",
+            tolerance=tolerance,
+        ),
+        compare(
+            "reduction-cache misses bounded by threads x distinct "
+            "keys (no eviction, stampede misses only)",
+            red_misses,
+            miss_bound,
+            mode="le",
+            unit="misses",
+            tolerance=tolerance,
+        ),
+        compare(
+            "compile-cache misses bounded by threads x distinct keys",
+            comp_misses,
+            miss_bound,
+            mode="le",
+            unit="misses",
+            tolerance=tolerance,
+        ),
+        compare(
+            "lock-order inversions seen by the sanitizer",
+            len(report.inversions),
+            0,
+            mode="eq",
+            unit="pairs",
+            tolerance=tolerance,
+        ),
+        compare(
+            "worker errors under seeded interleaving",
+            len(report.errors),
+            0,
+            mode="eq",
+            unit="errors",
+            tolerance=tolerance,
+        ),
+        compare(
+            "contended lock acquisitions observed (measured, lower "
+            "bound trivially holds)",
+            report.lock_waits,
+            0,
+            mode="ge",
+            unit="waits",
+            tolerance=tolerance,
+        ),
+    ]
+
+
 QUICK_CASES: List[BenchCase] = [
     BenchCase(
         name="reduction",
@@ -705,6 +863,15 @@ QUICK_CASES: List[BenchCase] = [
             "model prediction (bench_examples.py)"
         ),
         run=case_table1_example,
+    ),
+    BenchCase(
+        name="cache_contention",
+        description=(
+            f"{CONTENTION_THREADS} threads hammering the shared "
+            "reduction/compile caches under the lock sanitizer "
+            "(tests/test_concurrency.py, docs/concurrency.md)"
+        ),
+        run=case_cache_contention,
     ),
 ]
 

@@ -101,20 +101,25 @@ class LRUCache(Generic[K, V]):
     # ------------------------------------------------------------------
     def get(self, key: K) -> Optional[V]:
         """Return the cached value (marking it recently used), or None."""
+        hit = False
+        value: Optional[V] = None
         with self._lock:
             try:
                 value = self._data[key]
             except KeyError:
                 self.misses += 1
-                self._count("misses")
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
-            self._count("hits")
-            return value
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+                hit = True
+        # Registry publishing resolves thread state and runs callback
+        # code; keep it outside the critical section (EBI303).
+        self._count("hits" if hit else "misses")
+        return value if hit else None
 
     def put(self, key: K, value: V) -> None:
         """Insert or refresh an entry, evicting the LRU one if full."""
+        evicted = False
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
@@ -124,7 +129,9 @@ class LRUCache(Generic[K, V]):
             if len(self._data) > self._maxsize:
                 self._data.popitem(last=False)
                 self.evictions += 1
-                self._count("evictions")
+                evicted = True
+        if evicted:
+            self._count("evictions")
 
     def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
         """Fetch ``key``, building and caching it on a miss.

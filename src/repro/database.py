@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import (
     Any,
     Callable,
@@ -102,8 +103,11 @@ class Database:
     def __init__(
         self, *, registry: Optional[MetricsRegistry] = None
     ) -> None:
-        self.catalog = Catalog()
-        self.registry = registry
+        self.catalog = Catalog()  # ebi: shared-readonly
+        self.registry = registry  # ebi: shared-readonly
+        #: Guards the lazily built per-table executor map — ``query``
+        #: is part of the facade's thread-safe surface.
+        self._lock = threading.Lock()
         self._partitioned: Dict[str, PartitionedTable] = {}
         self._executors: Dict[str, ParallelExecutor] = {}
         #: One entry per ``create_index`` call: table, column, kind.
@@ -242,7 +246,7 @@ class Database:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def query(
+    def query(  # ebi: worker-entry
         self,
         table_name: str,
         predicate: Predicate,
@@ -266,7 +270,7 @@ class Database:
             self.catalog.table(table_name), predicate, trace=trace
         )
 
-    def query_many(
+    def query_many(  # ebi: worker-entry
         self,
         table_name: str,
         predicates: Sequence[Predicate],
@@ -313,12 +317,17 @@ class Database:
         return plan.explain()
 
     def _executor(self, table_name: str) -> ParallelExecutor:
-        executor = self._executors.get(table_name)
-        if executor is None:
-            executor = ParallelExecutor(
-                self._partitioned[table_name], registry=self.registry
-            )
-            self._executors[table_name] = executor
+        with self._lock:
+            executor = self._executors.get(table_name)
+        if executor is not None:
+            return executor
+        # Build outside the lock (executor construction spins up a
+        # worker pool); first-one-in wins on concurrent misses.
+        built = ParallelExecutor(
+            self._partitioned[table_name], registry=self.registry
+        )
+        with self._lock:
+            executor = self._executors.setdefault(table_name, built)
         return executor
 
     # ------------------------------------------------------------------

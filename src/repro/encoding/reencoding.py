@@ -138,15 +138,11 @@ def apply_reencoding(
 
     column = index.table.column(index.column_name)
     void = index.table.void_rows()
-    # resize the vector set to the new width
-    from repro.bitmap.bitvector import BitVector
-
     nbits = len(index.table)
-    index._mapping = rebuilt
-    index._vectors = [BitVector(nbits) for _ in range(width)]
-    index._reduction_cache.clear()
-    index._kernel_cache.clear()
-    index._data_version += 1
+    # Swap mapping + vectors, invalidate caches and bump the data
+    # version atomically under the index's own lock (EBI302: foreign
+    # writes to another object's _data_version are a protocol breach).
+    index.apply_mapping(rebuilt)
     for row_id in range(nbits):
         if row_id in void:
             index._write_code(row_id, index._void_code())

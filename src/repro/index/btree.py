@@ -113,7 +113,14 @@ class BPlusTreeIndex(Index):
         return node
 
     def _fetch(self, page_id: int, cost: Optional[LookupCost]) -> _Node:
-        self.pager.read(page_id)
+        # The private pager is shared by every worker thread running a
+        # lookup on this index: its physical read mutates the page
+        # image and the I/O counters, so it runs under the index lock.
+        # The pager is a simulated in-memory disk — holding the lock
+        # across its "I/O" costs memory-copy time only (EBI303 is
+        # suppressed for the same reason as in the buffer pool).
+        with self._lock:
+            self.pager.read(page_id)  # ebilint: disable=EBI303
         if cost is not None:
             cost.node_accesses += 1
         return self._nodes[page_id]

@@ -120,11 +120,11 @@ class EncodedBitmapIndex(Index):
         self.void_mode = void_mode
         self.null_mode = null_mode
         self.exact_reduction = exact_reduction
-        self._mapping = (
+        self._mapping = (  # ebi: versioned
             encoding if encoding is not None else self._default_mapping()
         )
         self._validate_mapping()
-        self._vectors: List[BitVector] = [
+        self._vectors: List[BitVector] = [  # ebi: versioned
             BitVector(len(table)) for _ in range(self._mapping.width)
         ]
         self._exists_vector: Optional[BitVector] = (
@@ -252,9 +252,10 @@ class EncodedBitmapIndex(Index):
             self._null_vector[row_id] = True
 
     def _write_code(self, row_id: int, code: int) -> None:
-        for i, vector in enumerate(self._vectors):
-            vector[row_id] = bool((code >> i) & 1)
-        self._data_version += 1
+        with self._lock:
+            for i, vector in enumerate(self._vectors):
+                vector[row_id] = bool((code >> i) & 1)
+            self._data_version += 1
 
     # ------------------------------------------------------------------
     # introspection
@@ -292,12 +293,18 @@ class EncodedBitmapIndex(Index):
         """Logically reduced retrieval expression for an IN-list."""
         codes = tuple(sorted(self._code_for(v) for v in values))
         key = (codes, self.width)
-        cached = self._reduction_cache.get(key)
-        self.last_cache_hit = cached is not None
+        with self._lock:
+            cached = self._reduction_cache.get(key)
+            self.last_cache_hit = cached is not None
         if cached is None:
+            # Reduce outside the lock: Quine-McCluskey is the slow
+            # path, and a duplicate reduction under contention is
+            # benign (pure function of the key).  Registry counters
+            # stay outside any critical section (EBI303).
             get_registry().counter("index.reduction_cache_misses").inc()
             cached = self._reduce_codes(codes)
-            self._reduction_cache[key] = cached
+            with self._lock:
+                self._reduction_cache[key] = cached
         else:
             get_registry().counter("index.reduction_cache_hits").inc()
         return cached
@@ -388,11 +395,23 @@ class EncodedBitmapIndex(Index):
     def _lookup(self, predicate: Predicate, cost: LookupCost) -> BitVector:
         if isinstance(predicate, IsNull):
             return self._lookup_null(cost)
-        known = self.predicate_values(predicate)
-        if not known:
-            return BitVector(self._row_count())
-        function = self.reduced_function(known)
-        return self._evaluate(function, cost)
+        # Optimistic read (seqlock style): the reduced function is
+        # derived from the mapping at ``version``; _evaluate refuses
+        # to pair it with a plane snapshot from any *other* version
+        # (a concurrent remap can change the plane width), so on a
+        # conflict we rebuild against the new mapping and try again.
+        # Writers always terminate, so the retry loop does too.
+        while True:
+            with self._lock:
+                version = self._data_version
+            known = self.predicate_values(predicate)
+            if not known:
+                break
+            function = self.reduced_function(known)
+            result = self._evaluate(function, cost, version=version)
+            if result is not None:
+                return result
+        return BitVector(self._row_count())
 
     def _lookup_null(self, cost: LookupCost) -> BitVector:
         if self._null_vector is not None:
@@ -400,8 +419,13 @@ class EncodedBitmapIndex(Index):
             return self._null_vector.copy()
         if NULL not in self._mapping:
             return BitVector(self._row_count())
-        function = self.reduced_function([None])
-        return self._evaluate(function, cost)
+        while True:
+            with self._lock:
+                version = self._data_version
+            function = self.reduced_function([None])
+            result = self._evaluate(function, cost, version=version)
+            if result is not None:
+                return result
 
     def clear_caches(self) -> None:
         """Drop this index's memoised lookup state.
@@ -414,10 +438,11 @@ class EncodedBitmapIndex(Index):
         :func:`repro.boolean.reduction.clear_reduction_cache` /
         :func:`repro.kernels.clear_compile_cache`).
         """
-        self._reduction_cache.clear()
-        self._kernel_cache.clear()
-        self._planes = None
-        self._planes_version = -1
+        with self._lock:
+            self._reduction_cache.clear()
+            self._kernel_cache.clear()
+            self._planes = None
+            self._planes_version = -1
 
     #: Entries kept in the per-index compiled-kernel cache before it is
     #: reset wholesale (simple bound; the process-wide LRU behind it
@@ -432,12 +457,17 @@ class EncodedBitmapIndex(Index):
         process-wide compile cache consulted on a local miss publishes
         ``kernels.compile_cache.hits``/``.misses``.
         """
-        kernel = self._kernel_cache.get(function)
+        with self._lock:
+            kernel = self._kernel_cache.get(function)
         if kernel is None:
+            # Compile outside the lock (the process-wide cache behind
+            # it publishes metrics); worst case two threads compile
+            # the same pure function once each.
             kernel = compile_function(function)
-            if len(self._kernel_cache) >= self.KERNEL_CACHE_SIZE:
-                self._kernel_cache.clear()
-            self._kernel_cache[function] = kernel
+            with self._lock:
+                if len(self._kernel_cache) >= self.KERNEL_CACHE_SIZE:
+                    self._kernel_cache.clear()
+                self._kernel_cache[function] = kernel
         return kernel
 
     def _plane_snapshot(self) -> PlaneSet:
@@ -449,37 +479,73 @@ class EncodedBitmapIndex(Index):
         not a registry counter, keeping per-lookup instrumentation
         constant).
         """
-        if self._planes is None or self._planes_version != self._data_version:
-            self._planes = PlaneSet.from_vectors(
-                self._vectors, self._row_count()
-            )
-            self._planes_version = self._data_version
-            self.plane_rebuilds += 1
-        return self._planes
+        with self._lock:
+            if (
+                self._planes is None
+                or self._planes_version != self._data_version
+            ):
+                self._planes = PlaneSet.from_vectors(
+                    self._vectors, self._row_count()
+                )
+                self._planes_version = self._data_version
+                self.plane_rebuilds += 1
+            return self._planes
 
     def _evaluate(
-        self, function: ReducedFunction, cost: LookupCost
-    ) -> BitVector:
+        self,
+        function: ReducedFunction,
+        cost: LookupCost,
+        *,
+        version: Optional[int] = None,
+    ) -> Optional[BitVector]:
+        """Evaluate ``function`` over the current planes.
+
+        When ``version`` is given, the plane snapshot is validated
+        against it *under the same lock that guards the version* (the
+        EBI302 coherence discipline): if a writer bumped
+        ``_data_version`` after the function was derived, the pairing
+        would be torn (e.g. a kernel compiled for the old plane
+        width), so ``None`` is returned and the caller retries.
+        """
         counter = AccessCounter()
         if self.use_kernels:
+            with self._lock:
+                if (
+                    version is not None
+                    and version != self._data_version
+                ):
+                    return None
+                planes = self._plane_snapshot()
             result = self._kernel_for(function).evaluate(
-                self._plane_snapshot(), counter
+                planes, counter
             )
         else:
+            # Reference configuration: reads the live vectors (the
+            # snapshot copy would distort the ablation cost model);
+            # coherent-width is still guaranteed by the version check.
+            with self._lock:
+                if (
+                    version is not None
+                    and version != self._data_version
+                ):
+                    return None
+                vectors = list(self._vectors)
+                nbits = self._row_count()
             result = evaluate_dnf(
                 function,
-                lambda i: self._vectors[i],
-                self._row_count(),
+                lambda i: vectors[i],
+                nbits,
                 counter,
             )
         cost.vectors_accessed += counter.distinct_accesses
         # Trace detail for EXPLAIN: the expression just evaluated and
         # the distinct vectors it pulled (merged across sub-lookups of
         # one dispatched predicate tree).
-        self.last_reduction = function
-        self.last_touched = tuple(
-            sorted(set(self.last_touched) | counter.touched)
-        )
+        with self._lock:
+            self.last_reduction = function
+            self.last_touched = tuple(
+                sorted(set(self.last_touched) | counter.touched)
+            )
         counter.publish(get_registry())
         if self._exists_vector is not None:
             # Without the Theorem 2.1 encoding the existence vector
@@ -496,17 +562,18 @@ class EncodedBitmapIndex(Index):
     # ------------------------------------------------------------------
     def on_append(self, row_id: int, row: Dict[str, Any]) -> None:
         value = row.get(self.column_name)
-        self._ensure_encodable(value)
-        nbits = row_id + 1
-        for vector in self._vectors:
-            vector.resize(nbits)
-        if self._exists_vector is not None:
-            self._exists_vector.resize(nbits)
-            self._exists_vector[row_id] = True
-        if self._null_vector is not None:
-            self._null_vector.resize(nbits)
-        self._write_row(row_id, value)
-        self.stats.maintenance_ops += self.width
+        with self._lock:
+            self._ensure_encodable(value)
+            nbits = row_id + 1
+            for vector in self._vectors:
+                vector.resize(nbits)
+            if self._exists_vector is not None:
+                self._exists_vector.resize(nbits)
+                self._exists_vector[row_id] = True
+            if self._null_vector is not None:
+                self._null_vector.resize(nbits)
+            self._write_row(row_id, value)
+            self.stats.maintenance_ops += self.width
 
     def _ensure_encodable(self, value: Any) -> None:
         """Expand the mapping (and vectors) for a brand-new value.
@@ -524,35 +591,59 @@ class EncodedBitmapIndex(Index):
             if value in self._mapping:
                 return
             value_key = value
-        _, expanded = self._mapping.add_value(value_key)
-        if expanded:
-            self._vectors.append(BitVector(self._row_count()))
-            # Adding a vector rewrites nothing, but the Boolean
-            # functions of every existing value change (step 4 of the
-            # paper's expansion procedure) — accounted as one op per
-            # mapped value.
-            self.stats.maintenance_ops += len(self._mapping)
-        # Any mapping change invalidates the cached reductions and the
-        # kernels compiled from them; the plane snapshot follows the
-        # data version, bumped here because an expansion changes the
-        # plane count without touching existing rows.
-        self._reduction_cache.clear()
-        self._kernel_cache.clear()
-        self._data_version += 1
-        self.stats.maintenance_ops += 1
+        with self._lock:
+            _, expanded = self._mapping.add_value(value_key)
+            if expanded:
+                self._vectors.append(BitVector(self._row_count()))
+                # Adding a vector rewrites nothing, but the Boolean
+                # functions of every existing value change (step 4 of
+                # the paper's expansion procedure) — accounted as one
+                # op per mapped value.
+                self.stats.maintenance_ops += len(self._mapping)
+            # Any mapping change invalidates the cached reductions and
+            # the kernels compiled from them; the plane snapshot
+            # follows the data version, bumped here because an
+            # expansion changes the plane count without touching
+            # existing rows.
+            self._reduction_cache.clear()
+            self._kernel_cache.clear()
+            self._data_version += 1
+            self.stats.maintenance_ops += 1
+
+    def apply_mapping(self, mapping: MappingTable) -> None:
+        """Install a re-encoded mapping and reset the bit planes.
+
+        Used by :func:`repro.encoding.reencoding.apply_reencoding`:
+        the mapping swap, vector reset, cache invalidation and version
+        bump happen atomically under the index lock, so a concurrent
+        lookup never observes the new mapping against stale planes
+        (the rows are then re-written through ``_write_code`` /
+        ``_write_row``, each of which bumps again under the lock).
+        """
+        with self._lock:
+            self._mapping = mapping
+            self._vectors = [
+                BitVector(self._row_count())
+                for _ in range(mapping.width)
+            ]
+            self._reduction_cache.clear()
+            self._kernel_cache.clear()
+            self._data_version += 1
 
     def _apply_update(self, row_id: int, old: Any, new: Any) -> None:
-        self._ensure_encodable(new)
-        if self._null_vector is not None:
-            self._null_vector[row_id] = new is None
-        self._write_row(row_id, new)
-        self.stats.maintenance_ops += self.width
+        with self._lock:
+            self._ensure_encodable(new)
+            if self._null_vector is not None:
+                self._null_vector[row_id] = new is None
+            self._write_row(row_id, new)
+            self.stats.maintenance_ops += self.width
 
     def on_delete(self, row_id: int) -> None:
-        if self.void_mode == "encode":
-            self._write_code(row_id, self._mapping.encode(VOID))
-        else:
-            self._exists_vector[row_id] = False
-        if self._null_vector is not None:
-            self._null_vector[row_id] = False
-        self.stats.maintenance_ops += 1
+        with self._lock:
+            if self.void_mode == "encode":
+                self._write_code(row_id, self._mapping.encode(VOID))
+            else:
+                self._exists_vector[row_id] = False
+            if self._null_vector is not None:
+                self._null_vector[row_id] = False
+            self.stats.maintenance_ops += 1

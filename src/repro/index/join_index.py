@@ -16,6 +16,7 @@ values.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Hashable, List, Optional
 
 from repro.bitmap.bitvector import BitVector
@@ -81,6 +82,9 @@ class BitmapJoinIndex:
         self.fact_index = EncodedBitmapIndex(
             fact, fact_column, encoding=encoding, registry=registry
         )
+        #: Guards stats and last-lookup trace state shared across
+        #: worker threads (see docs/concurrency.md).
+        self._lock = threading.RLock()
         self.stats = IndexStatistics()
         self.last_cost = LookupCost()
 
@@ -97,7 +101,8 @@ class BitmapJoinIndex:
             checked += 1
             if dimension_predicate.matches(row):
                 keys.append(row[self.dimension_key])
-        self.last_cost = LookupCost(rows_checked=checked)
+        with self._lock:
+            self.last_cost = LookupCost(rows_checked=checked)
         return keys
 
     def lookup(self, dimension_predicate: Predicate) -> BitVector:
@@ -111,7 +116,8 @@ class BitmapJoinIndex:
         dimension_cost = self.last_cost
         if not keys:
             result = BitVector(len(self.fact))
-            self.stats.record(dimension_cost)
+            with self._lock:
+                self.stats.record(dimension_cost)
             return result
         result = self.fact_index.lookup(
             InList(self.fact_column, keys)
@@ -122,8 +128,9 @@ class BitmapJoinIndex:
             ),
             rows_checked=dimension_cost.rows_checked,
         )
-        self.last_cost = cost
-        self.stats.record(cost)
+        with self._lock:
+            self.last_cost = cost
+            self.stats.record(cost)
         return result
 
     def join_rows(

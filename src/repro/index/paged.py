@@ -81,11 +81,21 @@ class PagedEncodedBitmapIndex(EncodedBitmapIndex):
 
     # ------------------------------------------------------------------
     def _evaluate(
-        self, function: ReducedFunction, cost: LookupCost
-    ) -> BitVector:
+        self,
+        function: ReducedFunction,
+        cost: LookupCost,
+        *,
+        version: Optional[int] = None,
+    ) -> Optional[BitVector]:
         if self._store is None:  # during construction
-            return super()._evaluate(function, cost)
+            return super()._evaluate(function, cost, version=version)
         counter = AccessCounter()
+        # Same optimistic-read discipline as the base class: refuse
+        # to evaluate a function derived from a superseded mapping
+        # (the store's page layout tracks the vector widths).
+        with self._lock:
+            if version is not None and version != self._data_version:
+                return None
         result = evaluate_dnf(
             function,
             lambda i: self._store.load(i),

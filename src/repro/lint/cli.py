@@ -7,8 +7,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+import textwrap
+
 from repro.lint.baseline import DEFAULT_BASELINE, write_baseline
-from repro.lint.core import all_rules
+from repro.lint.core import all_rules, get_rule
 from repro.lint.runner import lint_paths, selected_rules
 
 
@@ -64,6 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     parser.add_argument(
+        "--explain",
+        nargs="+",
+        metavar="RULE",
+        help=(
+            "print each rule's full description and paper/roadmap "
+            "rationale, then exit"
+        ),
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -78,6 +89,30 @@ def _print_rule_catalogue() -> None:
         print(f"    {rule.description}")
         if rule.rationale:
             print(f"    rationale: {rule.rationale}")
+
+
+def _explain_rules(rule_ids: List[str]) -> None:
+    for rule_id in rule_ids:
+        rule = get_rule(rule_id.upper())
+        print(f"{rule.id} — {rule.name} [{rule.severity.value}]")
+        print(
+            textwrap.fill(
+                rule.description,
+                width=72,
+                initial_indent="  what: ",
+                subsequent_indent="        ",
+            )
+        )
+        if rule.rationale:
+            print(
+                textwrap.fill(
+                    rule.rationale,
+                    width=72,
+                    initial_indent="  why:  ",
+                    subsequent_indent="        ",
+                )
+            )
+        print()
 
 
 def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
@@ -95,6 +130,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_rules:
         _print_rule_catalogue()
+        return 0
+
+    if args.explain:
+        try:
+            _explain_rules(args.explain)
+        except KeyError as exc:
+            parser.error(str(exc))
         return 0
 
     try:

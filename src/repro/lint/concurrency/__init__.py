@@ -1,0 +1,18 @@
+"""Whole-program concurrency-discipline analysis (EBI301–EBI304).
+
+``model`` builds the cross-module program view (class tables, call
+graph, lock summaries, worker reachability); ``rules`` registers the
+four rule families on top of it.  See ``docs/concurrency.md`` for the
+locking model these rules enforce.
+"""
+
+from __future__ import annotations
+
+from repro.lint.concurrency.model import (
+    ProgramModel,
+    build_model,
+    parse_ebi_tags,
+)
+from repro.lint.concurrency import rules  # noqa: F401  (registry)
+
+__all__ = ["ProgramModel", "build_model", "parse_ebi_tags"]

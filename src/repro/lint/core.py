@@ -19,7 +19,7 @@ from __future__ import annotations
 import ast
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Type
+from typing import Any, Dict, Iterator, List, Optional, Type
 from repro.errors import InvalidArgumentError
 
 
@@ -122,6 +122,38 @@ class Rule:
             severity=self.severity,
             source_line=ctx.source_line(lineno),
         )
+
+
+class ProgramRule(Rule):
+    """A rule that inspects the *whole-program* model, not one file.
+
+    Per-file linting skips program rules (:meth:`applies` is final and
+    returns ``False``); the runner builds one
+    :class:`repro.lint.concurrency.model.ProgramModel` over every file
+    in the run and calls :meth:`check_program` once.  ``lint_source``
+    builds a degenerate single-module model so fixtures and unit tests
+    exercise program rules through the same entry point as ordinary
+    rules.
+    """
+
+    def applies(self, ctx: LintContext) -> bool:
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, model: Any) -> Iterator[Finding]:
+        """Yield findings over a built :class:`ProgramModel`."""
+        raise NotImplementedError
+
+    def program_finding(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """A finding located inside one of the model's files."""
+        return self.finding(ctx, node, message)
 
 
 _REGISTRY: Dict[str, Rule] = {}

@@ -8,14 +8,16 @@ from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.lint import baseline as baseline_mod
+from repro.lint.concurrency.model import build_model
 from repro.lint.core import (
     Finding,
     LintContext,
+    ProgramRule,
     Rule,
     Severity,
     all_rules,
 )
-from repro.lint.suppress import parse_suppressions
+from repro.lint.suppress import Suppressions, parse_suppressions
 
 #: Rule id reserved for files that fail to parse.
 PARSE_ERROR_RULE = "EBI000"
@@ -102,7 +104,9 @@ def lint_source(
     """Lint one in-memory source text (the unit tests' entry point).
 
     Suppression pragmas are honoured; the baseline is not applied at
-    this level.
+    this level.  Program rules (EBI3xx) run over a degenerate
+    single-module model — enough for fixtures, while real runs build
+    the model over every file via :func:`lint_paths`.
     """
     try:
         tree = ast.parse(source, filename=path)
@@ -119,14 +123,43 @@ def lint_source(
         ]
     ctx = LintContext(path=path, source=source, tree=tree, module=module)
     suppressions = parse_suppressions(source)
+    active = list(rules) if rules is not None else all_rules()
     findings: List[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        if not rule.applies(ctx):
+    for rule in active:
+        if isinstance(rule, ProgramRule) or not rule.applies(ctx):
             continue
         for finding in rule.check(ctx):
             if not suppressions.is_suppressed(finding):
                 findings.append(finding)
+    findings.extend(
+        _run_program_rules(
+            [rule for rule in active if isinstance(rule, ProgramRule)],
+            [ctx],
+            {ctx.path: suppressions},
+        )
+    )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _run_program_rules(
+    program_rules: Sequence[ProgramRule],
+    contexts: Sequence[LintContext],
+    suppressions_by_path: dict[str, Suppressions],
+) -> List[Finding]:
+    """One whole-program pass; per-file suppressions still apply."""
+    if not program_rules or not contexts:
+        return []
+    model = build_model(contexts)
+    findings: List[Finding] = []
+    for rule in program_rules:
+        for finding in rule.check_program(model):
+            suppressions = suppressions_by_path.get(finding.path)
+            if suppressions is not None and suppressions.is_suppressed(
+                finding
+            ):
+                continue
+            findings.append(finding)
     return findings
 
 
@@ -153,11 +186,46 @@ def lint_paths(
     rules: Optional[Sequence[Rule]] = None,
     baseline_path: Optional[Path] = None,
 ) -> Report:
-    """Lint files/directories, applying the baseline when given."""
+    """Lint files/directories, applying the baseline when given.
+
+    Per-file rules run file by file; program rules (EBI3xx) run once
+    over a whole-program model of every parseable file in the run, so
+    cross-module facts (worker reachability, lock order) are visible.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    file_rules = [
+        rule for rule in active if not isinstance(rule, ProgramRule)
+    ]
+    program_rules = [
+        rule for rule in active if isinstance(rule, ProgramRule)
+    ]
     report = Report()
+    contexts: List[LintContext] = []
+    suppressions_by_path: dict[str, Suppressions] = {}
     for file_path in iter_python_files(paths):
         report.files_checked += 1
-        report.findings.extend(lint_file(file_path, rules=rules))
+        report.findings.extend(lint_file(file_path, rules=file_rules))
+        if not program_rules:
+            continue
+        source = file_path.read_text(encoding="utf-8")
+        display = _display_path(file_path)
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError:
+            continue  # already reported as EBI000 by lint_file
+        contexts.append(
+            LintContext(
+                path=display,
+                source=source,
+                tree=tree,
+                module=module_name_for(file_path),
+            )
+        )
+        suppressions_by_path[display] = parse_suppressions(source)
+    report.findings.extend(
+        _run_program_rules(program_rules, contexts, suppressions_by_path)
+    )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if baseline_path is not None:
         known = baseline_mod.load_baseline(baseline_path)
         report.findings, report.stale_baseline = baseline_mod.apply_baseline(

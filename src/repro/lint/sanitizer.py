@@ -1,0 +1,321 @@
+"""Dynamic lock-order sanitizer and interleaving stress harness.
+
+The static analyzer (:mod:`repro.lint.concurrency`) proves discipline
+about locks it can *see*; this module checks the same properties at
+runtime, where aliasing and dynamic dispatch are no longer a problem:
+
+* :class:`InstrumentedLock` wraps a real ``threading`` lock and
+  records, per thread, the order in which locks nest.  A thread that
+  acquires ``B`` while holding ``A`` contributes the edge ``A -> B``
+  to a shared :class:`LockOrderRecorder`; observing both ``A -> B``
+  and ``B -> A`` across the whole run is a lock-order inversion — the
+  static cycle check's runtime twin (rule EBI303).  Contended
+  acquisitions (a non-blocking try fails before the blocking wait)
+  are counted as ``lock_waits``, which the ``cache_contention`` bench
+  reports.
+
+* :func:`run_stress` drives a workload from several threads behind a
+  start barrier, with *seeded* per-thread micro-delays so a given
+  seed replays the same interleaving pressure run after run.  Tests
+  sweep many seeds (see ``tests/test_concurrency.py``) instead of
+  hoping one lucky scheduling exposes the race.
+
+Everything here is deterministic given the seed: thread bodies draw
+delays from ``random.Random`` instances keyed on ``(seed, thread
+index)``, never from global entropy.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "InstrumentedLock",
+    "LockOrderRecorder",
+    "StressReport",
+    "instrument",
+    "make_jitter",
+    "run_stress",
+]
+
+
+class NativeLock(Protocol):
+    """Structural type covering ``Lock``, ``RLock`` and wrappers."""
+
+    def acquire(
+        self, blocking: bool = ..., timeout: float = ...
+    ) -> bool: ...
+
+    def release(self) -> None: ...
+
+
+class LockOrderRecorder:
+    """Shared edge set for a group of instrumented locks.
+
+    One recorder spans one "lock universe" (typically: every lock the
+    objects under test own).  It keeps a per-thread stack of currently
+    held lock names and a global set of nesting edges; inversions are
+    computed at the end from the edge set, so they are caught even
+    when the two conflicting nestings never overlapped in time.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: Set[Tuple[str, str]] = set()
+        self._waits = 0
+        self._held = threading.local()
+
+    # -- per-thread held stack -----------------------------------------
+    def _stack(self) -> List[str]:
+        stack: Optional[List[str]] = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    # -- event hooks (called by InstrumentedLock) ----------------------
+    def note_acquired(self, name: str) -> None:
+        stack = self._stack()
+        if stack:
+            with self._mutex:
+                for outer in stack:
+                    if outer != name:
+                        self._edges.add((outer, name))
+        stack.append(name)
+
+    def note_released(self, name: str) -> None:
+        stack = self._stack()
+        # remove the innermost matching entry (reentrant locks may
+        # hold the same name more than once)
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def note_wait(self) -> None:
+        with self._mutex:
+            self._waits += 1
+
+    # -- results -------------------------------------------------------
+    @property
+    def lock_waits(self) -> int:
+        with self._mutex:
+            return self._waits
+
+    def edges(self) -> Set[Tuple[str, str]]:
+        with self._mutex:
+            return set(self._edges)
+
+    def inversions(self) -> List[Tuple[str, str]]:
+        """Unordered lock pairs seen nesting in *both* directions."""
+        edges = self.edges()
+        return sorted(
+            (a, b)
+            for (a, b) in edges
+            if a < b and (b, a) in edges
+        )
+
+
+class InstrumentedLock:
+    """Drop-in wrapper around a ``threading`` lock with order tracking.
+
+    Contention is measured with a non-blocking probe: if
+    ``acquire(False)`` fails, one ``lock_wait`` is recorded and the
+    call falls back to a normal blocking acquire.  An optional
+    ``jitter`` callable runs *before* each acquisition — the stress
+    harness injects seeded micro-sleeps there to widen race windows
+    deterministically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        recorder: LockOrderRecorder,
+        inner: Optional[NativeLock] = None,
+        jitter: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.name = name
+        self._recorder = recorder
+        self._inner: NativeLock = (
+            inner if inner is not None else threading.Lock()
+        )
+        self._jitter = jitter
+
+    def acquire(
+        self, blocking: bool = True, timeout: float = -1
+    ) -> bool:
+        if self._jitter is not None:
+            self._jitter()
+        got = self._inner.acquire(False)
+        if not got:
+            self._recorder.note_wait()
+            if not blocking:
+                return False
+            got = self._inner.acquire(True, timeout)
+        if got:
+            self._recorder.note_acquired(self.name)
+        return got
+
+    def release(self) -> None:
+        self._recorder.note_released(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"InstrumentedLock({self.name!r})"
+
+
+def instrument(
+    obj: Any,
+    attr: str = "_lock",
+    *,
+    recorder: LockOrderRecorder,
+    name: Optional[str] = None,
+    jitter: Optional[Callable[[], None]] = None,
+) -> InstrumentedLock:
+    """Swap ``obj.<attr>`` for an instrumented wrapper around it.
+
+    The existing lock object becomes the wrapper's inner lock, so
+    reentrancy semantics (``Lock`` vs ``RLock``) are preserved.  The
+    default label is ``<TypeName>.<attr>``; pass ``name=`` when
+    instrumenting several instances of one class.
+    """
+    inner = getattr(obj, attr)
+    if isinstance(inner, InstrumentedLock):
+        return inner
+    label = name if name is not None else f"{type(obj).__name__}.{attr}"
+    wrapped = InstrumentedLock(
+        label, recorder, inner=inner, jitter=jitter
+    )
+    setattr(obj, attr, wrapped)
+    return wrapped
+
+
+# ---------------------------------------------------------------------
+# stress harness
+# ---------------------------------------------------------------------
+@dataclass
+class StressReport:
+    """Outcome of one seeded multi-thread stress run."""
+
+    seed: int
+    threads: int
+    iterations: int
+    inversions: List[Tuple[str, str]] = field(default_factory=list)
+    lock_waits: int = 0
+    errors: List[BaseException] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.inversions and not self.errors
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        parts = [
+            f"stress(seed={self.seed}, threads={self.threads}, "
+            f"iters={self.iterations}): {status}, "
+            f"lock_waits={self.lock_waits}"
+        ]
+        for a, b in self.inversions:
+            parts.append(f"  lock-order inversion: {a} <-> {b}")
+        for err in self.errors:
+            parts.append(f"  {type(err).__name__}: {err}")
+        return "\n".join(parts)
+
+
+def make_jitter(
+    seed: int, max_delay: float = 5e-5
+) -> Callable[[], None]:
+    """Deterministic per-thread micro-sleep for widening race windows.
+
+    Each thread draws from its own ``random.Random`` keyed on the
+    seed and the thread name, so a given seed reproduces the same
+    delay sequence per thread regardless of start order.
+    """
+    local = threading.local()
+
+    def jitter() -> None:
+        rng: Optional[random.Random] = getattr(local, "rng", None)
+        if rng is None:
+            key = f"{seed}:{threading.current_thread().name}"
+            rng = random.Random(key)
+            local.rng = rng
+        if rng.random() < 0.5:
+            time.sleep(rng.random() * max_delay)
+
+    return jitter
+
+
+def run_stress(
+    workload: Callable[[int, int], None],
+    *,
+    threads: int = 4,
+    iterations: int = 25,
+    seed: int = 0,
+    recorder: Optional[LockOrderRecorder] = None,
+) -> StressReport:
+    """Run ``workload(thread_index, iteration)`` from many threads.
+
+    All threads rendezvous on a barrier, then loop ``iterations``
+    times with seeded micro-delays between calls.  Exceptions are
+    collected (not raised) so one failing thread cannot mask another
+    thread's inversion; pass the ``recorder`` shared by the
+    instrumented locks to fold inversions and wait counts into the
+    report.
+    """
+    barrier = threading.Barrier(threads)
+    errors: List[BaseException] = []
+    errors_mutex = threading.Lock()
+
+    def body(tid: int) -> None:
+        rng = random.Random(f"{seed}:{tid}")
+        try:
+            barrier.wait()
+            for i in range(iterations):
+                if rng.random() < 0.5:
+                    time.sleep(rng.random() * 5e-5)
+                workload(tid, i)
+        except BaseException as exc:  # report, don't mask
+            with errors_mutex:
+                errors.append(exc)
+
+    pool = [
+        threading.Thread(
+            target=body, args=(t,), name=f"stress-{seed}-{t}"
+        )
+        for t in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    return StressReport(
+        seed=seed,
+        threads=threads,
+        iterations=iterations,
+        inversions=(
+            recorder.inversions() if recorder is not None else []
+        ),
+        lock_waits=(
+            recorder.lock_waits if recorder is not None else 0
+        ),
+        errors=errors,
+    )

@@ -127,9 +127,9 @@ class ParallelExecutor:
             raise InvalidArgumentError(
                 f"worker count must be >= 1, got {workers}"
             )
-        self.table = table
-        self.workers = workers
-        self.registry = registry
+        self.table = table  # ebi: shared-readonly
+        self.workers = workers  # ebi: shared-readonly
+        self.registry = registry  # ebi: shared-readonly
 
     def _registry(self) -> MetricsRegistry:
         return self.registry if self.registry is not None else get_registry()

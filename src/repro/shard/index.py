@@ -102,11 +102,14 @@ class PartitionedIndex(Index):
         ``last_cost``; the merged vector is word-aligned
         concatenation, so no bits are shifted.
         """
-        self.last_touched = ()
-        self.last_reduction = None
-        self.last_cache_hit = None
+        with self._lock:
+            self.last_touched = ()
+            self.last_reduction = None
+            self.last_cache_hit = None
         cost = LookupCost()
         vectors: List[BitVector] = []
+        # Children take their own locks (and publish their own
+        # metrics), so the fan-out runs outside this index's lock.
         for child in self._children:
             vectors.append(child.lookup(predicate))
             child_cost = child.last_cost
@@ -114,8 +117,9 @@ class PartitionedIndex(Index):
             cost.node_accesses += child_cost.node_accesses
             cost.rows_checked += child_cost.rows_checked
         result = BitVector.concat(vectors)
-        self.last_cost = cost
-        self.stats.record(cost)
+        with self._lock:
+            self.last_cost = cost
+            self.stats.record(cost)
         # The children already published the per-lookup index.*
         # counters; only the fan-out itself is new information.
         get_registry().counter("shard.index_lookups").inc()

@@ -9,6 +9,7 @@ updates and deletions so they stay consistent.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.bitmap.bitvector import BitVector
@@ -32,12 +33,19 @@ class Table:
             raise TableError("a table needs at least one column")
         if len(set(column_names)) != len(column_names):
             raise TableError("duplicate column names")
-        self.name = name
+        self.name = name  # ebi: shared-readonly
         self._columns: Dict[str, Column] = {
             col_name: Column(col_name) for col_name in column_names
         }
         self._void: Set[int] = set()
         self._observers: List[Any] = []
+        #: Serialises each mutation *with* its index notifications, so
+        #: two concurrent writers to the same row cannot leave the
+        #: column and its indexes applied in opposite orders (a lost
+        #: update the interleaving stress tests reproduce).  Readers
+        #: never take it.  Lock order is table -> index; indexes never
+        #: call back into the table while holding their own lock.
+        self._write_lock = threading.Lock()
 
     @classmethod
     def from_columns(
@@ -94,10 +102,13 @@ class Table:
         """
         values = self._row_values(row)
         row_id = -1
-        for col_name, value in zip(self._columns, values):
-            row_id = self._columns[col_name].append(value)
-        for observer in self._observers:
-            observer.on_append(row_id, dict(zip(self._columns, values)))
+        with self._write_lock:
+            for col_name, value in zip(self._columns, values):
+                row_id = self._columns[col_name].append(value)
+            for observer in self._observers:
+                observer.on_append(
+                    row_id, dict(zip(self._columns, values))
+                )
         return row_id
 
     def append_rows(self, rows: Iterable[Any]) -> List[int]:
@@ -113,21 +124,29 @@ class Table:
 
     def update(self, row_id: int, column_name: str, value: Any) -> None:
         """Overwrite one attribute of a live row."""
-        if row_id in self._void:
-            raise TableError(f"row {row_id} is deleted")
-        old = self.column(column_name).update(row_id, value)
-        for observer in self._observers:
-            observer.on_update(row_id, column_name, old, value)
+        with self._write_lock:
+            if row_id in self._void:
+                raise TableError(f"row {row_id} is deleted")
+            old = self.column(column_name).update(row_id, value)
+            for observer in self._observers:
+                # Index maintenance must stay inside the write lock —
+                # that atomicity is the whole point (see the lock's
+                # docstring).  Some index kinds persist vectors
+                # through the simulated pager, whose "I/O" is memory
+                # copies, so the no-I/O-under-lock rule is suppressed
+                # here deliberately.
+                observer.on_update(row_id, column_name, old, value)  # ebilint: disable=EBI303
 
     def delete(self, row_id: int) -> None:
         """Soft-delete a row: the position becomes a void tuple."""
         if row_id < 0 or row_id >= len(self):
             raise TableError(f"row {row_id} out of range")
-        if row_id in self._void:
-            raise TableError(f"row {row_id} already deleted")
-        self._void.add(row_id)
-        for observer in self._observers:
-            observer.on_delete(row_id)
+        with self._write_lock:
+            if row_id in self._void:
+                raise TableError(f"row {row_id} already deleted")
+            self._void.add(row_id)
+            for observer in self._observers:
+                observer.on_delete(row_id)
 
     def is_void(self, row_id: int) -> bool:
         return row_id in self._void

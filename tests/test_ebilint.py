@@ -717,3 +717,432 @@ def test_ebi206_inline_disable():
         )
     """
     assert not findings_for("EBI206", source, module="tests.test_x")
+
+
+# ----------------------------------------------------------------------
+# EBI301 — shared-state discipline on worker-reachable paths
+# ----------------------------------------------------------------------
+def test_ebi301_flags_unguarded_write_on_worker_path():
+    bad = """
+        class C:
+            def __init__(self):
+                self.n = 0
+
+            def work(self):  # ebi: worker-entry
+                self.n += 1
+    """
+    found = findings_for("EBI301", bad, module="repro.shard.fake")
+    assert len(found) == 1
+    assert "'n'" in found[0].message
+    assert found[0].line == 7  # the += line inside work()
+
+
+def test_ebi301_accepts_lock_guarded_write():
+    good = """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+
+            def work(self):  # ebi: worker-entry
+                with self._lock:
+                    self.n += 1
+    """
+    assert not findings_for("EBI301", good, module="repro.shard.fake")
+
+
+def test_ebi301_worker_entry_via_pool_submit():
+    bad = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        class C:
+            def __init__(self):
+                self.n = 0
+
+            def run(self):
+                with ThreadPoolExecutor() as pool:
+                    pool.submit(self._task)
+
+            def _task(self):
+                self.n += 1
+    """
+    found = findings_for("EBI301", bad, module="repro.shard.fake")
+    assert len(found) == 1
+    assert "_task" in found[0].message
+
+
+def test_ebi301_shared_readonly_violation_any_method():
+    # a shared-readonly attribute must never be written after
+    # construction, worker-reachable or not
+    bad = """
+        class C:
+            def __init__(self):
+                self.table = object()  # ebi: shared-readonly
+
+            def rebind(self, t):
+                self.table = t
+    """
+    found = findings_for("EBI301", bad, module="repro.index.fake")
+    assert len(found) == 1
+    assert "shared-readonly" in found[0].message
+
+
+def test_ebi301_init_helpers_are_construction():
+    good = """
+        class C:
+            def __init__(self):
+                self.table = object()  # ebi: shared-readonly
+                self._init_rest()
+
+            def _init_rest(self):
+                self.table = object()
+
+            def work(self):  # ebi: worker-entry
+                return self.table
+    """
+    assert not findings_for("EBI301", good, module="repro.index.fake")
+
+
+def test_ebi301_thread_local_state_is_exempt():
+    good = """
+        class C:
+            def __init__(self):
+                self.scratch = []  # ebi: thread-local
+
+            def work(self):  # ebi: worker-entry
+                self.scratch = []
+    """
+    assert not findings_for("EBI301", good, module="repro.shard.fake")
+
+
+def test_ebi301_worker_constructed_instances_are_private():
+    good = """
+        class Scratch:
+            def __init__(self):
+                self.items = []
+
+            def add(self, x):
+                self.items.append(x)
+
+        class C:
+            def work(self):  # ebi: worker-entry
+                s = Scratch()
+                s.add(1)
+    """
+    assert not findings_for("EBI301", good, module="repro.shard.fake")
+
+
+def test_ebi301_inline_disable():
+    source = """
+        class C:
+            def __init__(self):
+                self.n = 0
+
+            def work(self):  # ebi: worker-entry
+                self.n += 1  # ebilint: disable=EBI301
+    """
+    assert not findings_for("EBI301", source, module="repro.shard.fake")
+
+
+# ----------------------------------------------------------------------
+# EBI302 — invalidation protocol around _data_version
+# ----------------------------------------------------------------------
+def test_ebi302_flags_missing_bump_on_early_return():
+    bad = """
+        class C:
+            def __init__(self):
+                self._data_version = 0
+                self._rows = []  # ebi: versioned
+
+            def add(self, x):
+                self._rows.append(x)
+                if x < 0:
+                    return
+                self._data_version += 1
+    """
+    found = findings_for("EBI302", bad, module="repro.index.fake")
+    assert len(found) == 1
+    assert found[0].line == 10  # the dirty early return
+
+
+def test_ebi302_flags_missing_bump_at_fall_off_end():
+    bad = """
+        class C:
+            def __init__(self):
+                self._data_version = 0
+                self._rows = []  # ebi: versioned
+
+            def add(self, x):
+                self._rows.append(x)
+    """
+    found = findings_for("EBI302", bad, module="repro.index.fake")
+    assert len(found) == 1
+
+
+def test_ebi302_try_finally_bump_covers_exception_paths():
+    good = """
+        class C:
+            def __init__(self):
+                self._data_version = 0
+                self._rows = []  # ebi: versioned
+
+            def add(self, x):
+                try:
+                    self._rows.append(x)
+                    if x < 0:
+                        raise ValueError(x)
+                finally:
+                    self._data_version += 1
+    """
+    assert not findings_for("EBI302", good, module="repro.index.fake")
+
+
+def test_ebi302_flags_foreign_version_write():
+    bad = """
+        class Helper:
+            def poke(self, index):
+                index._data_version += 1
+    """
+    found = findings_for("EBI302", bad, module="repro.encoding.fake")
+    assert len(found) == 1
+    assert "another object" in found[0].message
+
+
+def test_ebi302_flags_unlocked_version_read_in_locked_class():
+    bad = """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data_version = 0
+
+            def snapshot(self):
+                return self._data_version
+    """
+    found = findings_for("EBI302", bad, module="repro.index.fake")
+    assert len(found) == 1
+    assert "lock" in found[0].message.lower()
+
+
+def test_ebi302_locked_version_read_is_clean():
+    good = """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data_version = 0
+
+            def snapshot(self):
+                with self._lock:
+                    return self._data_version
+    """
+    assert not findings_for("EBI302", good, module="repro.index.fake")
+
+
+# ----------------------------------------------------------------------
+# EBI303 — lock hygiene
+# ----------------------------------------------------------------------
+def test_ebi303_flags_nonreentrant_reacquire():
+    bad = """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def f(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+    """
+    found = findings_for("EBI303", bad, module="repro.cache.fake")
+    assert len(found) == 1
+    assert "re-acquisition" in found[0].message
+
+
+def test_ebi303_rlock_reacquire_is_clean():
+    good = """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def f(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+    """
+    assert not findings_for("EBI303", good, module="repro.cache.fake")
+
+
+def test_ebi303_flags_metrics_callback_under_lock():
+    bad = """
+        import threading
+        from repro.obs.metrics import get_registry
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def f(self):
+                with self._lock:
+                    get_registry().counter("x").inc()
+    """
+    found = findings_for("EBI303", bad, module="repro.cache.fake")
+    assert any("metrics" in f.message for f in found)
+
+
+def test_ebi303_flags_blocking_sleep_under_lock():
+    bad = """
+        import threading
+        import time
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def f(self):
+                with self._lock:
+                    time.sleep(0.1)
+    """
+    found = findings_for("EBI303", bad, module="repro.cache.fake")
+    assert len(found) >= 1
+
+
+def test_ebi303_flags_lock_order_cycle():
+    bad = """
+        import threading
+
+        class A:
+            def __init__(self, other):
+                self._lock = threading.Lock()
+                self.other: B = other
+
+            def outer_ab(self):
+                with self._lock:
+                    self.other.inner_b()
+
+            def inner_a(self):
+                with self._lock:
+                    pass
+
+        class B:
+            def __init__(self, other):
+                self._lock = threading.Lock()
+                self.other: A = other
+
+            def inner_b(self):
+                with self._lock:
+                    pass
+
+            def outer_ba(self):
+                with self._lock:
+                    self.other.inner_a()
+    """
+    found = findings_for("EBI303", bad, module="repro.shard.fake")
+    assert any("cycle" in f.message for f in found)
+
+
+def test_ebi303_consistent_lock_order_is_clean():
+    good = """
+        import threading
+
+        class A:
+            def __init__(self, other):
+                self._lock = threading.Lock()
+                self.other: B = other
+
+            def outer_ab(self):
+                with self._lock:
+                    self.other.inner_b()
+
+        class B:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def inner_b(self):
+                with self._lock:
+                    pass
+    """
+    assert not findings_for("EBI303", good, module="repro.shard.fake")
+
+
+# ----------------------------------------------------------------------
+# EBI304 — accounting soundness in evaluator/kernel code
+# ----------------------------------------------------------------------
+def test_ebi304_flags_uncounted_plane_access():
+    bad = """
+        class K:
+            def eval_block(self, matrix):
+                return matrix[0]
+    """
+    found = findings_for("EBI304", bad, module="repro.kernels.fake")
+    assert len(found) == 1
+    assert "counted" in found[0].message
+
+
+def test_ebi304_counter_parameter_is_compliant():
+    good = """
+        class K:
+            def eval_block(self, matrix, counter):
+                counter.record(0)
+                return matrix[0]
+    """
+    assert not findings_for("EBI304", good, module="repro.kernels.fake")
+
+
+def test_ebi304_counted_caller_covers_helper():
+    good = """
+        class K:
+            def evaluate(self, matrix, counter):
+                counter.record_accesses([0])
+                return self._eval_inner(matrix)
+
+            def _eval_inner(self, matrix):
+                return matrix[0]
+    """
+    assert not findings_for("EBI304", good, module="repro.kernels.fake")
+
+
+def test_ebi304_out_of_scope_module_ignored():
+    source = """
+        class K:
+            def eval_block(self, matrix):
+                return matrix[0]
+    """
+    assert not findings_for("EBI304", source, module="repro.table.fake")
+
+
+def test_ebi304_flags_raw_vector_call_in_query_layer():
+    bad = """
+        def pick(index):
+            return index.vector(0)
+    """
+    found = findings_for("EBI304", bad, module="repro.query.fake")
+    assert len(found) == 1
+
+
+# ----------------------------------------------------------------------
+# --explain mode
+# ----------------------------------------------------------------------
+def test_cli_explain_concurrency_rule(capsys):
+    assert lint_main(["--explain", "EBI301"]) == 0
+    out = capsys.readouterr().out
+    assert "EBI301" in out
+    assert "shared" in out.lower()
+
+
+def test_cli_explain_multiple_rules(capsys):
+    assert lint_main(["--explain", "EBI302", "EBI303"]) == 0
+    out = capsys.readouterr().out
+    assert "EBI302" in out and "EBI303" in out
+
+
+def test_cli_explain_unknown_rule_errors():
+    with pytest.raises(SystemExit):
+        lint_main(["--explain", "EBI999"])

@@ -93,6 +93,40 @@ def test_every_shipped_rule_fails_a_violating_fixture():
             "i = EncodedBitmapIndex(t, \"v\", mapping=m)\n",
             "repro.index.fake",
         ),
+        "EBI301": (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.n = 0\n"
+            "    def work(self):  # ebi: worker-entry\n"
+            "        self.n += 1\n",
+            "repro.shard.fake",
+        ),
+        "EBI302": (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._data_version = 0\n"
+            "        self._rows = []  # ebi: versioned\n"
+            "    def add(self, x):\n"
+            "        self._rows.append(x)\n",
+            "repro.index.fake",
+        ),
+        "EBI303": (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            with self._lock:\n"
+            "                pass\n",
+            "repro.cache.fake",
+        ),
+        "EBI304": (
+            "class K:\n"
+            "    def eval_block(self, matrix):\n"
+            "        return matrix[0]\n",
+            "repro.kernels.fake",
+        ),
     }
     missing_fixture = [
         rule.id for rule in all_rules() if rule.id not in fixtures
