@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test doctest bench bench-json parallel-bench kernel-bench tables validate examples lint typecheck race-check all
+.PHONY: install test doctest bench bench-json parallel-bench kernel-bench tables validate examples lint typecheck race-check crash-check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,15 @@ race-check:
 	PYTHONPATH=src python -m repro.lint src tests \
 		--select EBI301 EBI302 EBI303 EBI304 --no-baseline
 	PYTHONPATH=src python -m pytest -q tests/test_concurrency.py
+
+# Durability discipline at a zero baseline plus the deterministic
+# crash matrix, the WAL/fault suites and the delta-tier guarantees
+# (docs/robustness.md "Durability & recovery").
+crash-check:
+	PYTHONPATH=src python -m repro.lint src tests \
+		--select EBI401 --no-baseline
+	PYTHONPATH=src python -m pytest -q tests/test_crash_matrix.py \
+		tests/test_wal.py tests/test_delta.py tests/test_faults.py
 
 doctest:
 	PYTHONPATH=src python -m pytest --doctest-modules \
@@ -53,4 +62,4 @@ validate:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
 
-all: lint typecheck race-check test doctest bench validate
+all: lint typecheck race-check crash-check test doctest bench validate

@@ -839,6 +839,160 @@ def case_cache_contention(tolerance: float) -> List[Comparison]:
     ]
 
 
+#: Streaming-ingest shape: a saved base, then WAL-logged append batches
+#: small enough to stay inside the delta tier (no plane rebuilds).
+INGEST_BASE_ROWS = 512
+INGEST_BATCHES = 16
+INGEST_BATCH_ROWS = 32
+#: Conservative floors/ceilings so the case is a smoke check, not a
+#: machine-speed lottery: any working build clears these by far.
+INGEST_RATE_FLOOR = 50.0
+RECOVERY_SECONDS_CEILING = 30.0
+
+
+def case_streaming_ingest(tolerance: float) -> List[Comparison]:
+    """Mirrors ``tests/test_delta.py`` + ``tests/test_crash_matrix.py``:
+    WAL-logged append batches stream into a saved database while the
+    encoded index absorbs them in its delta tier (docs/robustness.md).
+
+    Measures ingest throughput (rows/sec through the durable
+    log-before-apply path), checks the delta merge stays bit-identical
+    — rows *and* ``c_e`` — to a from-scratch rebuild, that streaming
+    never triggers a plane rebuild below the compaction threshold, and
+    times :meth:`repro.database.Database.recover` replaying the log.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.database import Database
+    from repro.index.encoded_bitmap import EncodedBitmapIndex
+    from repro.query.predicates import Equals
+
+    values = ["ale", "bock", "cider", "dunkel"]
+    base = INGEST_BASE_ROWS
+    batches, batch = INGEST_BATCHES, INGEST_BATCH_ROWS
+    ingested = batches * batch
+    directory = tempfile.mkdtemp(prefix="ebi_bench_ingest_")
+    try:
+        db = Database()
+        db.create_table(
+            "sales",
+            {"product": [values[i % 4] for i in range(base)]},
+        )
+        db.create_index("sales", "product")
+        db.save(directory)
+        index = db.catalog.indexes_on("sales", "product")[0]
+        index.lookup(Equals("product", values[0]))  # warm the planes
+        rebuilds_before = index.plane_rebuilds
+
+        started = time.perf_counter()
+        for b in range(batches):
+            db.append_rows(
+                "sales",
+                [
+                    {"product": values[(b + i) % 4]}
+                    for i in range(batch)
+                ],
+            )
+        ingest_seconds = time.perf_counter() - started
+        rate = ingested / max(ingest_seconds, 1e-9)
+        rebuilds_during = index.plane_rebuilds - rebuilds_before
+
+        table = db.table("sales")
+        rebuilt = EncodedBitmapIndex(
+            table, "product", encoding=index.mapping
+        )
+        row_mismatches = 0
+        cost_mismatches = 0
+        for value in values:
+            expected = rebuilt.lookup(Equals("product", value))
+            actual = index.lookup(Equals("product", value))
+            if list(actual) != list(expected):
+                row_mismatches += 1
+            if (
+                index.last_cost.vectors_accessed
+                != rebuilt.last_cost.vectors_accessed
+            ):
+                cost_mismatches += 1
+
+        started = time.perf_counter()
+        recovered = Database.recover(directory)
+        recovery_seconds = time.perf_counter() - started
+        recovered_rows = len(recovered.table("sales"))
+        fsck_failures = sum(
+            0 if report.ok else 1
+            for report in recovered.fsck().values()
+        )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    return [
+        compare(
+            f"durable ingest throughput over {ingested} rows in "
+            f"{batches} WAL-logged batches (measured, floor trivially "
+            "holds)",
+            rate,
+            INGEST_RATE_FLOOR,
+            mode="ge",
+            unit="rows/s",
+            tolerance=tolerance,
+        ),
+        compare(
+            "plane rebuilds while streaming below the compaction "
+            "threshold (delta tier absorbs every batch)",
+            rebuilds_during,
+            0,
+            mode="eq",
+            unit="rebuilds",
+            tolerance=tolerance,
+        ),
+        compare(
+            "domain values whose delta-merged rows differ from a "
+            "from-scratch rebuild",
+            row_mismatches,
+            0,
+            mode="eq",
+            unit="values",
+            tolerance=tolerance,
+        ),
+        compare(
+            "domain values whose c_e differs from a from-scratch "
+            "rebuild (the delta must not change what a query is "
+            "charged)",
+            cost_mismatches,
+            0,
+            mode="eq",
+            unit="values",
+            tolerance=tolerance,
+        ),
+        compare(
+            "rows present after WAL replay (base + every acked batch)",
+            recovered_rows,
+            base + ingested,
+            mode="eq",
+            unit="rows",
+            tolerance=tolerance,
+        ),
+        compare(
+            "fsck failures on the recovered database",
+            fsck_failures,
+            0,
+            mode="eq",
+            unit="indexes",
+            tolerance=tolerance,
+        ),
+        compare(
+            "recovery wall time (measured; generous ceiling)",
+            recovery_seconds,
+            RECOVERY_SECONDS_CEILING,
+            mode="le",
+            unit="seconds",
+            tolerance=tolerance,
+        ),
+    ]
+
+
 QUICK_CASES: List[BenchCase] = [
     BenchCase(
         name="reduction",
@@ -872,6 +1026,16 @@ QUICK_CASES: List[BenchCase] = [
             "(tests/test_concurrency.py, docs/concurrency.md)"
         ),
         run=case_cache_contention,
+    ),
+    BenchCase(
+        name="streaming_ingest",
+        description=(
+            f"{INGEST_BATCHES} WAL-logged append batches streaming "
+            "into a saved database: ingest rows/sec, delta-merge "
+            "bit-identity vs rebuild, recovery time "
+            "(docs/robustness.md)"
+        ),
+        run=case_streaming_ingest,
     ),
 ]
 

@@ -63,11 +63,14 @@ from repro.index.btree import BPlusTreeIndex
 from repro.index.encoded_bitmap import EncodedBitmapIndex
 from repro.index.paged import PagedEncodedBitmapIndex
 from repro.index.simple_bitmap import SimpleBitmapIndex
+from repro.faults.crash import crash_point
 from repro.index.verify import FsckReport, verify_index
 from repro.index.verify import repair as repair_index
 from repro.obs.metrics import MetricsRegistry
 from repro.query.executor import Executor, QueryResult
 from repro.query.predicates import Predicate
+from repro.query.snapshot import pinned_rows
+from repro.storage.wal import FileWriteAheadLog, WalRecord
 from repro.shard.executor import ParallelExecutor
 from repro.shard.index import PartitionedIndex
 from repro.shard.partition import Partition, PartitionedTable
@@ -86,6 +89,7 @@ INDEX_KINDS: Dict[str, Callable[..., Index]] = {
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
+WAL_NAME = "wal.log"
 
 AnyTable = Union[Table, PartitionedTable]
 
@@ -112,6 +116,16 @@ class Database:
         self._executors: Dict[str, ParallelExecutor] = {}
         #: One entry per ``create_index`` call: table, column, kind.
         self._index_specs: List[Dict[str, str]] = []
+        #: Serialises WAL logging with the mutation it covers, so the
+        #: log order matches the apply order exactly.
+        self._ingest_lock = threading.Lock()
+        #: Durable home, set by :meth:`save` / :meth:`recover`.  While
+        #: attached, every ingest call is WAL-logged (and fsynced)
+        #: before it is applied — the ack implies durability.
+        self._directory: Optional[str] = None
+        self._wal: Optional[FileWriteAheadLog] = None
+        #: Monotonic manifest generation; bumped by every save.
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -295,12 +309,131 @@ class Database:
             )
         executor = Executor(self.catalog, registry=self.registry)
         table = self.catalog.table(table_name)
-        plans = executor.planner.plan_many(table, predicates)
-        leaf_cache: Dict[Predicate, Any] = {}
-        return [
-            executor.execute(plan, trace=trace, leaf_cache=leaf_cache)
-            for plan in plans
-        ]
+        # Pin the published-row watermark for the whole batch so a
+        # concurrent ingester cannot produce torn results (queries
+        # early in the batch seeing fewer rows than later ones).
+        with pinned_rows(table):
+            plans = executor.planner.plan_many(table, predicates)
+            leaf_cache: Dict[Predicate, Any] = {}
+            return [
+                executor.execute(
+                    plan, trace=trace, leaf_cache=leaf_cache
+                )
+                for plan in plans
+            ]
+
+    # ------------------------------------------------------------------
+    # ingest (WAL-logged when a durable home is attached)
+    # ------------------------------------------------------------------
+    def append(self, table_name: str, row: Any) -> int:
+        """Append one row; the ack implies WAL durability.
+
+        See :meth:`append_rows` for the logging protocol.
+        """
+        return self.append_rows(table_name, [row])[0]
+
+    def append_rows(
+        self, table_name: str, rows: Sequence[Any]
+    ) -> List[int]:
+        """Append a batch of rows, WAL-first.
+
+        The record (normalised row dicts plus the base row count) is
+        fsynced to the WAL *before* the batch is applied, so once this
+        returns the rows survive any crash — :meth:`recover` replays
+        them.  Replay is idempotent: the base row count lets it skip
+        batches the manifest already contains.
+        """
+        table = self.table(table_name)
+        normalised = [self._normalise_row(table, row) for row in rows]
+        if not normalised:
+            return []
+        with self._ingest_lock:
+            crash_point("database.ingest.pre-log")
+            if self._wal is not None:
+                # WAL-before-apply is the durability invariant: the
+                # fsync *must* sit inside the ingest lock so the log
+                # order matches the apply order.  The no-I/O-under-
+                # lock rule is suppressed here deliberately.
+                self._wal.append(  # ebilint: disable=EBI303
+                    WalRecord(
+                        "append",
+                        {
+                            "table": table_name,
+                            "base": len(table),
+                            "rows": normalised,
+                        },
+                    )
+                )
+            crash_point("database.ingest.logged")
+            row_ids = table.append_rows(normalised)  # ebilint: disable=EBI303
+            crash_point("database.ingest.applied")
+        return row_ids
+
+    def update(
+        self, table_name: str, row_id: int, column: str, value: Any
+    ) -> None:
+        """Overwrite one attribute, WAL-first (idempotent on replay)."""
+        table = self.table(table_name)
+        with self._ingest_lock:
+            crash_point("database.ingest.pre-log")
+            if self._wal is not None:
+                # Log-before-apply, fsync under the ingest lock — see
+                # append_rows for why the I/O rule is suppressed.
+                self._wal.append(  # ebilint: disable=EBI303
+                    WalRecord(
+                        "update",
+                        {
+                            "table": table_name,
+                            "row": row_id,
+                            "column": column,
+                            "value": value,
+                        },
+                    )
+                )
+            crash_point("database.ingest.logged")
+            table.update(row_id, column, value)  # ebilint: disable=EBI303
+            crash_point("database.ingest.applied")
+
+    def delete(self, table_name: str, row_id: int) -> None:
+        """Soft-delete one row, WAL-first (idempotent on replay)."""
+        table = self.table(table_name)
+        with self._ingest_lock:
+            crash_point("database.ingest.pre-log")
+            if self._wal is not None:
+                # Log-before-apply, fsync under the ingest lock — see
+                # append_rows for why the I/O rule is suppressed.
+                self._wal.append(  # ebilint: disable=EBI303
+                    WalRecord(
+                        "delete", {"table": table_name, "row": row_id}
+                    )
+                )
+            crash_point("database.ingest.logged")
+            table.delete(row_id)  # ebilint: disable=EBI303
+            crash_point("database.ingest.applied")
+
+    def compact(self) -> int:
+        """Fold every encoded index's delta tier into packed planes.
+
+        Returns the number of indexes that actually compacted.  Also
+        runs implicitly when a delta crosses its size threshold.
+        """
+        compacted = 0
+        for _, index in self._encoded_indexes():
+            if index.compact():
+                compacted += 1
+        return compacted
+
+    @staticmethod
+    def _normalise_row(table: AnyTable, row: Any) -> Dict[str, Any]:
+        if isinstance(row, Mapping):
+            return dict(row)
+        values = list(row)
+        names = table.column_names
+        if len(values) != len(names):
+            raise InvalidArgumentError(
+                f"row has {len(values)} values, expected {len(names)}"
+            )
+        return dict(zip(names, values))
 
     def explain(self, table_name: str, predicate: Predicate) -> str:
         """EXPLAIN without reading any vectors.
@@ -374,16 +507,26 @@ class Database:
     # persistence
     # ------------------------------------------------------------------
     def save(self, directory: str) -> None:
-        """Write the database to a directory.
+        """Write the database to a directory, crash-consistently.
 
         ``manifest.json`` carries the table data and index specs;
         every encoded-bitmap index adds one checksummed ``.ebi``
         payload (per partition child for partitioned tables) that
         :meth:`load` verifies and :meth:`fsck` can audit offline.
+
+        Durability protocol (see docs/robustness.md): payloads first,
+        then the manifest through a fsynced temp file and an atomic
+        rename — the rename is the commit point.  Only after the
+        commit is the WAL reset (to a single checkpoint carrying the
+        new generation) and stale payloads deleted, so a crash at any
+        step leaves either the old generation or the new one, never a
+        mix.
         """
         os.makedirs(directory, exist_ok=True)
+        generation = self._generation + 1
         manifest: Dict[str, Any] = {
             "version": MANIFEST_VERSION,
+            "generation": generation,
             "tables": [],
             "indexes": list(self._index_specs),
         }
@@ -404,36 +547,57 @@ class Database:
                 bounds.append(len(ptable))
                 entry["bounds"] = bounds
             manifest["tables"].append(entry)
+        expected = {MANIFEST_NAME, WAL_NAME}
         for index in self.catalog.all_indexes():
             if isinstance(index, PartitionedIndex):
                 for i, child in enumerate(index.children):
                     if isinstance(child, EncodedBitmapIndex):
+                        payload = self._payload_name(
+                            index.table.name, index.column_name, i
+                        )
+                        expected.add(payload)
                         serialization.save(
-                            child,
-                            os.path.join(
-                                directory,
-                                self._payload_name(
-                                    index.table.name,
-                                    index.column_name,
-                                    i,
-                                ),
-                            ),
+                            child, os.path.join(directory, payload)
                         )
             elif isinstance(index, EncodedBitmapIndex):
-                serialization.save(
-                    index,
-                    os.path.join(
-                        directory,
-                        self._payload_name(
-                            index.table.name, index.column_name
-                        ),
-                    ),
+                payload = self._payload_name(
+                    index.table.name, index.column_name
                 )
+                expected.add(payload)
+                serialization.save(
+                    index, os.path.join(directory, payload)
+                )
+        crash_point("database.save.payloads")
         path = os.path.join(directory, MANIFEST_NAME)
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        crash_point("database.save.manifest-temp")
+        crash_point("database.save.pre-rename")
         os.replace(tmp, path)
+        crash_point("database.save.post-rename")
+        # The new generation is durable; everything after this point
+        # is cleanup a recovery can redo.
+        self._generation = generation
+        self._directory = directory
+        if self._wal is not None and self._wal.path != os.path.join(
+            directory, WAL_NAME
+        ):
+            self._wal.close()
+            self._wal = None
+        if self._wal is None:
+            self._wal = FileWriteAheadLog(
+                os.path.join(directory, WAL_NAME)
+            )
+        self._wal.reset(generation)
+        crash_point("database.save.cleanup")
+        for filename in sorted(os.listdir(directory)):
+            if filename in expected:
+                continue
+            if filename.endswith(".ebi") or filename.endswith(".tmp"):
+                os.remove(os.path.join(directory, filename))
 
     @staticmethod
     def _payload_name(
@@ -469,11 +633,70 @@ class Database:
                 f"{manifest.get('version')!r}"
             )
         db = cls(registry=registry)
+        db._generation = int(manifest.get("generation", 0))
         for entry in manifest["tables"]:
             db._load_table(entry)
         for spec in manifest.get("indexes", []):
             db._load_index(directory, spec)
         return db
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "Database":
+        """Load the last durable generation and replay the WAL.
+
+        The recovery contract (exercised by the crash matrix in
+        ``tests/test_crash_matrix.py``): every row whose ingest call
+        returned before the crash is present afterwards, and replay
+        is idempotent — records the manifest already covers are
+        skipped by their base row count, re-applied updates write the
+        same value, and re-applied deletes are no-ops.  A damaged WAL
+        tail is truncated, never replayed.
+
+        The returned database stays attached to ``directory`` (its
+        WAL keeps logging), so recovery composes: crash, recover,
+        crash again, recover again.
+        """
+        db = cls.load(directory, registry=registry)
+        wal = FileWriteAheadLog(os.path.join(directory, WAL_NAME))
+        for record in wal.replay():
+            db._replay(record)
+        db._directory = directory
+        db._wal = wal
+        return db
+
+    def _replay(self, record: "WalRecord") -> None:
+        if record.kind == "checkpoint":
+            return
+        data = record.data
+        table_name = data["table"]
+        if table_name not in {t.name for t in self.catalog.tables()}:
+            # The WAL may predate a manifest that dropped the table;
+            # nothing durable references these rows any more.
+            return
+        table = self.table(table_name)
+        if record.kind == "append":
+            base = int(data["base"])
+            rows = data["rows"]
+            if len(table) >= base + len(rows):
+                # The manifest already contains this batch (crash fell
+                # between the manifest rename and the WAL reset).
+                return
+            # Batches are applied atomically, so the only other
+            # possibility is that none of the batch landed.
+            table.append_rows(rows[max(0, len(table) - base):])
+        elif record.kind == "update":
+            row_id = int(data["row"])
+            if row_id < len(table) and not table.is_void(row_id):
+                table.update(row_id, data["column"], data["value"])
+        elif record.kind == "delete":
+            row_id = int(data["row"])
+            if row_id < len(table) and not table.is_void(row_id):
+                table.delete(row_id)
 
     def _load_table(self, entry: Dict[str, Any]) -> None:
         name = entry["name"]

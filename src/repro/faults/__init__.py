@@ -15,6 +15,13 @@ operation fails and how it is detected or recovered.
 
 from __future__ import annotations
 
+from repro.faults.crash import (
+    CrashSchedule,
+    SimulatedCrash,
+    crash_point,
+    crash_schedule,
+    registered_crash_points,
+)
 from repro.faults.pager import FaultyPager
 from repro.faults.policy import (
     KINDS,
@@ -28,9 +35,14 @@ from repro.faults.retry import RetryPolicy
 __all__ = [
     "KINDS",
     "OPERATIONS",
+    "CrashSchedule",
     "FaultEvent",
     "FaultPolicy",
     "FaultRule",
     "FaultyPager",
     "RetryPolicy",
+    "SimulatedCrash",
+    "crash_point",
+    "crash_schedule",
+    "registered_crash_points",
 ]

@@ -1,0 +1,160 @@
+"""Deterministic crash injection for the durability matrix.
+
+Complements :class:`~repro.faults.pager.FaultyPager` (which perturbs
+*I/O operations*) with process-death simulation: named
+:func:`crash_point` hooks are compiled into the write path —
+``Database.save``, the WAL-logged ingest path, index compaction — and
+a :class:`CrashSchedule` arms exactly one of them.  When the armed
+point is reached, :class:`SimulatedCrash` is raised.
+
+``SimulatedCrash`` subclasses :class:`BaseException` deliberately: a
+real crash is not an error the code under test may observe, so no
+``except Exception`` handler, retry loop or degraded-mode fallback can
+swallow it — only cleanup that would also run on ``kill -9``-adjacent
+teardown (``finally`` blocks that delete temp files) executes, which
+is exactly the semantics the crash matrix wants to audit.
+
+The matrix test (`tests/test_crash_matrix.py`) iterates
+:func:`registered_crash_points` and asserts, for every point, that
+:meth:`repro.database.Database.recover` + fsck reaches a consistent
+state with zero acknowledged-row loss.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+from contextlib import contextmanager
+
+from repro.errors import InvalidArgumentError
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" at a crash point.
+
+    Not an :class:`Exception` subclass — see the module docstring.
+    Carries the point name for the harness's bookkeeping.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(point)
+        self.point = point
+
+
+#: Every compiled-in injection point, name -> where it sits in the
+#: write path.  ``crash_point`` refuses unregistered names so the
+#: matrix in ``registered_crash_points`` can never silently lag the
+#: code.
+CRASH_POINTS: Dict[str, str] = {
+    "database.save.payloads": (
+        "Database.save, before any index payload is written"
+    ),
+    "database.save.manifest-temp": (
+        "Database.save, manifest temp written but not yet fsynced"
+    ),
+    "database.save.pre-rename": (
+        "Database.save, manifest temp durable, before os.replace"
+    ),
+    "database.save.post-rename": (
+        "Database.save, manifest renamed, before the WAL checkpoint"
+    ),
+    "database.save.cleanup": (
+        "Database.save, checkpointed, before stale payload deletion"
+    ),
+    "database.ingest.pre-log": (
+        "facade ingest, before the WAL record is appended"
+    ),
+    "database.ingest.logged": (
+        "facade ingest, WAL record durable, before the table apply"
+    ),
+    "database.ingest.applied": (
+        "facade ingest, table applied, before acknowledgement"
+    ),
+    "index.compact.pre-swap": (
+        "EncodedBitmapIndex.compact, before the plane hot-swap"
+    ),
+    "index.compact.post-swap": (
+        "EncodedBitmapIndex.compact, after the plane hot-swap"
+    ),
+}
+
+
+def registered_crash_points() -> Tuple[str, ...]:
+    """Every compiled-in crash point name, sorted (the matrix axis)."""
+    return tuple(sorted(CRASH_POINTS))
+
+
+@dataclass
+class CrashSchedule:
+    """Arm one crash point, optionally letting early hits pass.
+
+    ``skip`` counts matching hits to let through first ("crash the
+    second save" is ``skip=1`` on a save point).  ``fired`` records
+    whether the crash actually happened — the matrix asserts it, so a
+    point that silently stops being reachable fails the suite instead
+    of passing vacuously.
+    """
+
+    point: str
+    skip: int = 0
+    fired: bool = False
+    hits: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise InvalidArgumentError(
+                f"unknown crash point {self.point!r}; expected one of "
+                f"{registered_crash_points()}"
+            )
+
+
+_state_lock = threading.Lock()
+_active: Optional[CrashSchedule] = None
+
+
+def crash_point(name: str) -> None:
+    """Declare an injection point; raises when a schedule arms it.
+
+    Disarmed cost is one attribute read and a ``None`` check, so the
+    hooks stay in production paths permanently (the same philosophy as
+    the checksummed pager: the machinery that tests recovery is the
+    machinery that runs for real).
+    """
+    if name not in CRASH_POINTS:
+        raise InvalidArgumentError(f"unknown crash point {name!r}")
+    schedule = _active
+    if schedule is None or schedule.point != name:
+        return
+    with _state_lock:
+        if _active is not schedule or schedule.fired:
+            return
+        schedule.hits += 1
+        if schedule.skip > 0:
+            schedule.skip -= 1
+            return
+        schedule.fired = True
+    raise SimulatedCrash(name)
+
+
+@contextmanager
+def crash_schedule(point: str, *, skip: int = 0) -> Iterator[CrashSchedule]:
+    """Arm ``point`` for the duration of the block.
+
+    The schedule fires at most once; recovery code running *after* the
+    simulated crash (inside or outside the block) is never re-killed,
+    mirroring a real restart on healthy hardware.
+    """
+    global _active
+    schedule = CrashSchedule(point=point, skip=skip)
+    with _state_lock:
+        if _active is not None:
+            raise InvalidArgumentError(
+                f"crash point {_active.point!r} is already armed"
+            )
+        _active = schedule
+    try:
+        yield schedule
+    finally:
+        with _state_lock:
+            _active = None

@@ -22,6 +22,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 from repro.bitmap.bitvector import BitVector
 from repro.errors import UnsupportedPredicateError
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.query.snapshot import snapshot_rows
 from repro.query.predicates import (
     AndPredicate,
     Equals,
@@ -192,6 +193,13 @@ class Index:
             self.last_cache_hit = None
         cost = LookupCost()
         result = self._dispatch(predicate, cost)
+        # Snapshot discipline: when the calling batch pinned a row
+        # watermark (repro.query.snapshot), clamp the result to it so
+        # every predicate in the batch sees the same row universe even
+        # while a concurrent ingester grows the table.
+        pinned = snapshot_rows(self.table)
+        if pinned is not None and len(result) > pinned:
+            result.resize(pinned)
         with self._lock:
             self.last_cost = cost
             self.stats.record(cost)
@@ -213,10 +221,14 @@ class Index:
         if isinstance(predicate, NotPredicate):
             inner = self._dispatch(predicate.operand, cost)
             result = ~inner
-            # A negation must still exclude void rows.
+            # A negation must still exclude void rows.  Rows voided
+            # after the inner vector was sized (concurrent ingest)
+            # are beyond its length — the snapshot clamp in
+            # :meth:`lookup` owns those.
             void = self.table.void_rows()
             for row_id in void:
-                result[row_id] = False
+                if row_id < len(result):
+                    result[row_id] = False
             return result
         if isinstance(predicate, AndPredicate):
             result = self._dispatch(predicate.operands[0], cost)

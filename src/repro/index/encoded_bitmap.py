@@ -33,6 +33,7 @@ from repro.errors import (
     InvalidArgumentError,
     UnsupportedPredicateError,
 )
+from repro.faults.crash import crash_point
 from repro.index.base import (
     Index,
     LookupCost,
@@ -43,6 +44,7 @@ from repro.index.base import (
 from repro.kernels import CompiledKernel, PlaneSet, compile_function
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
+from repro.query.snapshot import snapshot_rows
 from repro.table.table import Table
 
 
@@ -159,6 +161,20 @@ class EncodedBitmapIndex(Index):
         self._planes_version = -1
         self._data_version = 0
         self.plane_rebuilds = 0
+        # Delta tier (arrival-order, per Section 4's dynamic scheme):
+        # rows appended since the planes were last built live here as
+        # row -> code, matched per row at query time and folded into
+        # the packed planes by compact().  The bitmap vectors stay
+        # authoritative throughout (serialization/fsck read them, not
+        # the delta), so any plane rebuild doubles as a compaction.
+        # ``_delta_seq`` is the delta half of the epoch: it moves under
+        # the lock on every delta mutation, where ``_data_version``
+        # only moves on mapping/plane identity changes — appends no
+        # longer thrash the kernel caches.
+        self._delta: Dict[int, int] = {}  # ebi: versioned
+        self._delta_seq = 0
+        self._base_rows = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -253,9 +269,16 @@ class EncodedBitmapIndex(Index):
 
     def _write_code(self, row_id: int, code: int) -> None:
         with self._lock:
-            for i, vector in enumerate(self._vectors):
-                vector[row_id] = bool((code >> i) & 1)
+            self._write_code_raw(row_id, code)
             self._data_version += 1
+
+    def _write_code_raw(self, row_id: int, code: int) -> None:  # ebilint: disable=EBI302
+        """Set one row's bits across the planes; caller holds the lock
+        and owns the matching epoch bump (``_data_version`` for base
+        rows, ``_delta_seq`` for delta rows) — hence the protocol-rule
+        suppression on this deliberately dirty helper."""
+        for i, vector in enumerate(self._vectors):
+            vector[row_id] = bool((code >> i) & 1)
 
     # ------------------------------------------------------------------
     # introspection
@@ -411,14 +434,18 @@ class EncodedBitmapIndex(Index):
             result = self._evaluate(function, cost, version=version)
             if result is not None:
                 return result
-        return BitVector(self._row_count())
+        return BitVector(self._snapshot_rows())
 
     def _lookup_null(self, cost: LookupCost) -> BitVector:
         if self._null_vector is not None:
             cost.vectors_accessed += 1
-            return self._null_vector.copy()
+            result = self._null_vector.copy()
+            limit = self._snapshot_rows()
+            if len(result) != limit:
+                result.resize(limit)
+            return result
         if NULL not in self._mapping:
-            return BitVector(self._row_count())
+            return BitVector(self._snapshot_rows())
         while True:
             with self._lock:
                 version = self._data_version
@@ -426,6 +453,110 @@ class EncodedBitmapIndex(Index):
             result = self._evaluate(function, cost, version=version)
             if result is not None:
                 return result
+
+    # ------------------------------------------------------------------
+    # delta tier (incremental maintenance + snapshot epochs)
+    # ------------------------------------------------------------------
+    #: Delta entries tolerated before an append folds them into the
+    #: packed planes inline (amortised: one rebuild per threshold
+    #: appends instead of one cache invalidation per append).
+    DELTA_COMPACT_THRESHOLD = 4096
+
+    def _delta_active(self) -> bool:
+        """Whether appends land in the delta tier.
+
+        Requires the kernel path (the delta merges into a kernel
+        result) and the Theorem 2.1 encodings — under the ablation
+        ``"vector"`` modes the existence/NULL vectors must track every
+        row eagerly anyway, so those configurations keep the legacy
+        bump-per-write protocol.
+        """
+        return (
+            self.use_kernels
+            and self.void_mode == "encode"
+            and self.null_mode == "encode"
+        )
+
+    def epoch(self) -> Tuple[int, int]:
+        """The snapshot epoch ``(_data_version, _delta_seq)``.
+
+        The first component moves on mapping/plane identity changes
+        (remap, expansion, compaction), the second on every delta
+        mutation; a batch that records the pair observes any later
+        write as an epoch change.
+        """
+        with self._lock:
+            return (self._data_version, self._delta_seq)
+
+    def delta_rows(self) -> int:
+        """Rows currently in the delta tier (0 after :meth:`compact`)."""
+        with self._lock:
+            return len(self._delta)
+
+    def compact(self) -> bool:
+        """Fold the delta into the packed planes (atomic hot-swap).
+
+        Rebuilds the :class:`~repro.kernels.planes.PlaneSet` over all
+        rows and swaps it in under the lock with a ``_data_version``
+        bump, so an in-flight optimistic lookup that paired the old
+        planes with the old version simply retries — it never sees a
+        half-swapped state.  Returns ``True`` when a fold happened.
+        Idempotent and cheap when there is nothing to fold.
+        """
+        if not self._delta_active():
+            return False
+        with self._lock:
+            if (
+                not self._delta
+                and self._planes is not None
+                and self._planes_version == self._data_version
+            ):
+                return False
+            crash_point("index.compact.pre-swap")
+            planes = PlaneSet.from_vectors(
+                self._vectors, self._vector_rows()
+            )
+            self._planes = planes
+            self._data_version += 1
+            self._planes_version = self._data_version
+            self._base_rows = planes.nbits
+            self._delta.clear()
+            self._delta_seq += 1
+            self.compactions += 1
+            crash_point("index.compact.post-swap")
+        return True
+
+    def _delta_matches(self, function: ReducedFunction, limit: int) -> List[int]:
+        """Delta rows below ``limit`` selected by ``function``.
+
+        Caller holds the lock.  Per-row evaluation against the stored
+        code touches no bitmap vector, so ``c_e`` stays exactly the
+        reduced function's vector count — bit-identical to evaluating
+        the same function over fully compacted planes.
+        """
+        return [
+            row_id
+            for row_id, code in self._delta.items()
+            if row_id < limit and function.evaluate_value(code)
+        ]
+
+    def _vector_rows(self) -> int:
+        """Rows this index has ingested — the vectors' own length.
+
+        Differs from ``len(self.table)`` only inside the window where
+        a concurrent append has extended the table's columns but this
+        index's ``on_append`` has not run yet; the vectors are the
+        universe every lock-guarded read here must use.
+        """
+        return len(self._vectors[0]) if self._vectors else 0
+
+    def _snapshot_rows(self) -> int:
+        """Result-universe length: the thread's pin, else all rows."""
+        rows = self._vector_rows()
+        pinned = snapshot_rows(self.table)
+        if pinned is None:
+            return rows
+        return min(pinned, rows)
 
     def clear_caches(self) -> None:
         """Drop this index's memoised lookup state.
@@ -484,10 +615,21 @@ class EncodedBitmapIndex(Index):
                 self._planes is None
                 or self._planes_version != self._data_version
             ):
+                # The vectors' own length, not ``len(self.table)``, is
+                # the coherent row universe here: a concurrent append
+                # extends the table's columns *before* this index's
+                # on_append runs, and only the vectors are guarded by
+                # the lock being held.
                 self._planes = PlaneSet.from_vectors(
-                    self._vectors, self._row_count()
+                    self._vectors, self._vector_rows()
                 )
                 self._planes_version = self._data_version
+                # A full rebuild covers every row, so it doubles as a
+                # compaction: the delta's rows are now in the planes.
+                self._base_rows = self._planes.nbits
+                if self._delta:
+                    self._delta.clear()
+                    self._delta_seq += 1
                 self.plane_rebuilds += 1
             return self._planes
 
@@ -516,9 +658,25 @@ class EncodedBitmapIndex(Index):
                 ):
                     return None
                 planes = self._plane_snapshot()
+                limit = self._snapshot_rows()
+                # Delta rows are matched per stored code under the
+                # same lock acquisition that validated the version, so
+                # (planes, delta, limit) is one coherent epoch.
+                delta_hits = (
+                    self._delta_matches(function, limit)
+                    if self._delta
+                    else []
+                )
             result = self._kernel_for(function).evaluate(
                 planes, counter
             )
+            if len(result) != limit:
+                # The plane snapshot is frozen at the last compaction
+                # (``_base_rows``); grow to cover delta rows, or shrink
+                # to the batch's pinned watermark.
+                result.resize(limit)
+            for row_id in delta_hits:
+                result[row_id] = True
         else:
             # Reference configuration: reads the live vectors (the
             # snapshot copy would distort the ablation cost model);
@@ -530,7 +688,8 @@ class EncodedBitmapIndex(Index):
                 ):
                     return None
                 vectors = list(self._vectors)
-                nbits = self._row_count()
+                nbits = self._vector_rows()
+                limit = self._snapshot_rows()
             result = evaluate_dnf(
                 function,
                 lambda i: vectors[i],
@@ -552,6 +711,10 @@ class EncodedBitmapIndex(Index):
             # must be ANDed in — the extra access the paper calls out.
             cost.vectors_accessed += 1
             result &= self._exists_vector
+        if len(result) != limit:
+            # Legacy/vector paths evaluate at the live row count; a
+            # pinned batch still gets its snapshot-length universe.
+            result.resize(limit)
         return result
 
     def _domain_values(self) -> List[Any]:
@@ -560,7 +723,12 @@ class EncodedBitmapIndex(Index):
     # ------------------------------------------------------------------
     # maintenance (Section 2.2, updates with/without domain expansion)
     # ------------------------------------------------------------------
-    def on_append(self, row_id: int, row: Dict[str, Any]) -> None:
+    def on_append(self, row_id: int, row: Dict[str, Any]) -> None:  # ebilint: disable=EBI302
+        # Protocol rule suppressed: both branches discharge the epoch
+        # obligation (``_delta_seq`` bump / always-bumping
+        # ``_write_row``); the analyzer is tripped only by the inline
+        # ``compact()`` threshold call, whose own mutation paths all
+        # bump before returning (checked separately on ``compact``).
         value = row.get(self.column_name)
         with self._lock:
             self._ensure_encodable(value)
@@ -572,7 +740,19 @@ class EncodedBitmapIndex(Index):
                 self._exists_vector[row_id] = True
             if self._null_vector is not None:
                 self._null_vector.resize(nbits)
-            self._write_row(row_id, value)
+            if self._delta_active():
+                # Arrival-order delta: the row's bits are written (the
+                # vectors stay authoritative) but only ``_delta_seq``
+                # moves — the plane snapshot, compiled kernels and
+                # reductions all survive the append.
+                code = self._code_for(value)
+                self._write_code_raw(row_id, code)
+                self._delta[row_id] = code
+                self._delta_seq += 1
+                if len(self._delta) >= self.DELTA_COMPACT_THRESHOLD:
+                    self.compact()
+            else:
+                self._write_row(row_id, value)
             self.stats.maintenance_ops += self.width
 
     def _ensure_encodable(self, value: Any) -> None:
@@ -635,13 +815,27 @@ class EncodedBitmapIndex(Index):
             self._ensure_encodable(new)
             if self._null_vector is not None:
                 self._null_vector[row_id] = new is None
-            self._write_row(row_id, new)
+            if row_id in self._delta:
+                # The row never made it into the planes; rewriting its
+                # delta entry needs no plane invalidation.
+                code = self._code_for(new)
+                self._write_code_raw(row_id, code)
+                self._delta[row_id] = code
+                self._delta_seq += 1
+            else:
+                self._write_row(row_id, new)
             self.stats.maintenance_ops += self.width
 
     def on_delete(self, row_id: int) -> None:
         with self._lock:
             if self.void_mode == "encode":
-                self._write_code(row_id, self._mapping.encode(VOID))
+                void_code = self._mapping.encode(VOID)
+                if row_id in self._delta:
+                    self._write_code_raw(row_id, void_code)
+                    self._delta[row_id] = void_code
+                    self._delta_seq += 1
+                else:
+                    self._write_code(row_id, void_code)
             else:
                 self._exists_vector[row_id] = False
             if self._null_vector is not None:

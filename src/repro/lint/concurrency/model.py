@@ -234,7 +234,11 @@ class CallSite:
 
 @dataclass(slots=True)
 class VersionAccess:
-    """A read or write of ``self._data_version``/``_planes_version``."""
+    """A read or write of an epoch counter.
+
+    Covers ``self._data_version``/``_planes_version`` and the delta
+    tier's ``self._delta_seq`` (the second half of an index epoch).
+    """
 
     node: ast.AST
     held_locks: FrozenSet[LockId]
@@ -575,7 +579,7 @@ class _MethodWalker:
         self.info.writes.append(
             AttrWrite(attr=attr, node=node, held_locks=held, kind=kind)
         )
-        if attr in ("_data_version", "_planes_version"):
+        if attr in ("_data_version", "_planes_version", "_delta_seq"):
             # Store targets never pass through ``_scan_expr`` (it only
             # walks value expressions), so record the version write
             # here for the cache-under-lock check.
@@ -613,7 +617,9 @@ class _MethodWalker:
     def _record_version_access(
         self, node: ast.Attribute, held: FrozenSet[LockId]
     ) -> None:
-        if node.attr not in ("_data_version", "_planes_version"):
+        if node.attr not in (
+            "_data_version", "_planes_version", "_delta_seq"
+        ):
             return
         if not _is_self(node.value):
             return
@@ -1258,11 +1264,16 @@ def _always_bumps(method: MethodInfo) -> bool:
 
 
 def _stmt_bumps(stmt: ast.stmt, method: MethodInfo) -> bool:
+    # ``_delta_seq`` is the delta tier's epoch half: bumping it marks
+    # a mutation that the next lookup reads directly (the delta is
+    # never cached), so it satisfies the protocol like a
+    # ``_data_version`` bump does.
     if isinstance(stmt, ast.AugAssign):
-        return _self_attr(stmt.target) == "_data_version"
+        return _self_attr(stmt.target) in ("_data_version", "_delta_seq")
     if isinstance(stmt, ast.Assign):
         return any(
-            _self_attr(t) == "_data_version" for t in stmt.targets
+            _self_attr(t) in ("_data_version", "_delta_seq")
+            for t in stmt.targets
         )
     if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
         func = stmt.value.func

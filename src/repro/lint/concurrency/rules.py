@@ -294,10 +294,14 @@ class _DirtyWalker:
 
     @staticmethod
     def _is_version_target(target: ast.expr) -> bool:
+        # Either epoch half discharges the obligation: ``_data_version``
+        # for plane/mapping identity changes, ``_delta_seq`` for
+        # arrival-order delta mutations (read fresh on every lookup,
+        # so no cache can go stale).
         return (
             isinstance(target, ast.Attribute)
             and _is_self(target.value)
-            and target.attr == "_data_version"
+            and target.attr in ("_data_version", "_delta_seq")
         )
 
     def _report(self, node: ast.AST, message: str) -> None:

@@ -69,3 +69,119 @@ class BareBuiltinRaiseRule(Rule):
         if isinstance(exc, ast.Name):
             return exc.id
         return None
+
+
+#: Modules whose on-disk artifacts must survive a crash: everything
+#: they persist goes through write-temp -> fsync -> atomic rename (or
+#: the append-only fsynced WAL).  A direct ``open(path, "w")`` of a
+#: final filename in one of these can be torn by a crash mid-write.
+_DURABLE_MODULES = (
+    "repro.database",
+    "repro.index.serialization",
+    "repro.storage.wal",
+)
+
+#: Write modes that truncate/overwrite in place.  Append modes ("ab")
+#: are fine — the WAL's frame CRCs make a torn appended tail
+#: detectable and truncatable.
+_OVERWRITE_MODES = frozenset({"w", "wb", "w+", "wb+", "w+b"})
+
+
+@register_rule
+class DurableWriteRule(Rule):
+    """EBI401: persistence code must not overwrite final files in
+    place.
+
+    In the durability-critical modules, ``open(path, "w")`` on a final
+    filename bypasses the write-temp + fsync + atomic-rename protocol
+    that :meth:`repro.database.Database.save` and the index serializer
+    follow — a crash mid-write then leaves a torn file where a valid
+    previous generation used to be.  Writes to a temp name (later
+    renamed over the target) and append-mode WAL writes are allowed.
+    """
+
+    id = "EBI401"
+    name = "durable-write-protocol"
+    description = (
+        "in-place overwrite of a final file in durability-critical "
+        "code; write a .tmp file, fsync it, then os.replace over the "
+        "target"
+    )
+    rationale = (
+        "Crash-consistency contract (docs/robustness.md): the rename "
+        "is the commit point, so every persisted artifact is either "
+        "the old generation or the new one — never a torn mix.  An "
+        "in-place open(path, 'w') reintroduces the torn-file window."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package(*_DURABLE_MODULES)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not self._is_open_call(node):
+                continue
+            assert isinstance(node, ast.Call)
+            mode = self._mode_argument(node)
+            if mode not in _OVERWRITE_MODES:
+                continue
+            target = node.args[0] if node.args else None
+            if target is not None and self._is_temp_path(target):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"open(..., {mode!r}) overwrites a final file in "
+                "place; write to a .tmp name, fsync, then os.replace "
+                "over the target",
+            )
+
+    @staticmethod
+    def _is_open_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        return isinstance(func, ast.Name) and func.id == "open"
+
+    @staticmethod
+    def _mode_argument(call: ast.Call) -> str | None:
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        else:
+            mode = next(
+                (
+                    kw.value
+                    for kw in call.keywords
+                    if kw.arg == "mode"
+                ),
+                None,
+            )
+        if isinstance(mode, ast.Constant) and isinstance(
+            mode.value, str
+        ):
+            return mode.value
+        return None
+
+    @staticmethod
+    def _is_temp_path(target: ast.expr) -> bool:
+        """Conservatively recognise temp-file targets.
+
+        A Name/attribute mentioning ``tmp`` or a string/f-string
+        containing ``.tmp`` is taken as the protocol's temp file; the
+        rename that follows is the crash-safe commit.
+        """
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name) and "tmp" in node.id.lower():
+                return True
+            if (
+                isinstance(node, ast.Attribute)
+                and "tmp" in node.attr.lower()
+            ):
+                return True
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and ".tmp" in node.value
+            ):
+                return True
+        return False

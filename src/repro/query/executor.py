@@ -25,6 +25,7 @@ from repro.obs.trace import (
     VectorAccess,
 )
 from repro.query.planner import AccessStep, Plan, Planner
+from repro.query.snapshot import bounded_rows
 from repro.query.predicates import (
     AndPredicate,
     NotPredicate,
@@ -228,7 +229,11 @@ class Executor:
             )
             result = ~inner
             for row_id in table.void_rows():
-                result[row_id] = False
+                # A row voided after the inner vector was sized
+                # (concurrent ingest) lies beyond it; the snapshot
+                # clamp in Index.lookup already excluded it.
+                if row_id < len(result):
+                    result[row_id] = False
             return result
         if leaf_cache is not None:
             cached = leaf_cache.get(predicate)
@@ -347,9 +352,13 @@ class Executor:
         return float(ordered[(len(ordered) - 1) // 2])
 
     def _scan(self, table: Table, predicate: Predicate) -> QueryResult:
-        vector = BitVector(len(table))
+        # Honour a pinned snapshot (repro.query.snapshot) so a scan
+        # inside an execute_many batch covers the same row universe as
+        # the index lookups next to it.
+        limit = bounded_rows(table)
+        vector = BitVector(limit)
         cost = LookupCost()
-        for row_id in range(len(table)):
+        for row_id in range(limit):
             if table.is_void(row_id):
                 continue
             cost.rows_checked += 1

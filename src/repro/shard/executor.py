@@ -56,6 +56,7 @@ from repro.obs.trace import QueryTrace, StageTiming
 from repro.query.executor import Executor, QueryResult
 from repro.query.optimizer import shared_leaf_counts
 from repro.query.predicates import Predicate
+from repro.query.snapshot import bounded_rows, pinned_rows
 from repro.shard.partition import Partition, PartitionedTable
 from repro.shard.scan import ColumnArrayCache, try_vector_scan
 
@@ -239,7 +240,11 @@ class ParallelExecutor:
     ) -> Tuple[List[_PartitionRecord], Dict[str, MetricValue]]:
         registry = MetricsRegistry()
         records: List[_PartitionRecord] = []
-        with use_registry(registry):
+        # Pin the partition's published-row watermark for the whole
+        # batch: every predicate sees the same row universe even while
+        # a concurrent ingester appends to the tail partition
+        # (repro.query.snapshot).
+        with use_registry(registry), pinned_rows(partition.table):
             executor = Executor(partition.catalog)
             arrays = ColumnArrayCache(partition.table)
             leaf_cache: Dict[Predicate, BitVector] = {}
@@ -280,6 +285,9 @@ class ParallelExecutor:
         vector = try_vector_scan(partition.table, predicate, arrays)
         if vector is None:
             return None
+        limit = bounded_rows(partition.table)
+        if len(vector) != limit:
+            vector.resize(limit)
         registry.counter("query.queries").inc()
         scope = registry.scoped()
         rows_checked = partition.table.live_count()

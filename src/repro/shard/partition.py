@@ -302,7 +302,29 @@ class PartitionedTable:
         return row_id
 
     def append_rows(self, rows: Iterable[Any]) -> List[int]:
-        return [self.append(row) for row in rows]
+        """Batch append to the last partition, batch-atomically.
+
+        Delegates to :meth:`Table.append_rows` on the tail partition,
+        which holds its write lock (and moves its published watermark)
+        once for the whole batch — snapshot readers pinned on the
+        partition never observe a half-applied batch.
+        """
+        rows = list(rows)
+        if not rows:
+            return []
+        last = self._partitions[-1]
+        local_ids = last.table.append_rows(rows)
+        row_ids = [last.offset + local for local in local_ids]
+        for row_id, local in zip(row_ids, local_ids):
+            values = last.table.row(local)
+            for observer in self._observers:
+                observer.on_append(row_id, values)
+        return row_ids
+
+    def published_rows(self) -> int:
+        """Snapshot watermark: full partitions plus the tail's own."""
+        last = self._partitions[-1]
+        return last.offset + last.table.published_rows()
 
     def row(self, row_id: int) -> Dict[str, Any]:
         partition, local = self.partition_for(row_id)

@@ -13,6 +13,13 @@ from repro.storage.pager import Pager
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.stats import IOStatistics
 from repro.storage.vector_store import PagedVectorStore, VectorHandle
+from repro.storage.wal import (
+    FileWriteAheadLog,
+    PagedWriteAheadLog,
+    WalRecord,
+    decode_wal,
+    encode_record,
+)
 
 __all__ = [
     "Page",
@@ -23,4 +30,9 @@ __all__ = [
     "PagedVectorStore",
     "VectorHandle",
     "page_checksum",
+    "FileWriteAheadLog",
+    "PagedWriteAheadLog",
+    "WalRecord",
+    "decode_wal",
+    "encode_record",
 ]

@@ -1,0 +1,314 @@
+"""Write-ahead log: length-framed, CRC32-checked append-only records.
+
+Durability for the write path rides on the same principle as the EBI2
+index container (:mod:`repro.index.serialization`): every payload is
+framed by its length and a CRC32, so *any* torn tail or flipped bit is
+detected at replay — recovery keeps the longest clean prefix and
+truncates at the first bad frame, never replaying a damaged record.
+
+Two log devices share one frame codec:
+
+- :class:`PagedWriteAheadLog` stores the byte stream in fixed-size
+  pages through a :class:`~repro.storage.pager.Pager` — substitute a
+  :class:`~repro.faults.pager.FaultyPager` and the whole torn-write /
+  bit-rot / failed-write fault matrix applies to the log itself;
+- :class:`FileWriteAheadLog` appends to a real file with
+  ``flush`` + ``fsync`` per batch, the durable device behind
+  :meth:`repro.database.Database.append_rows` /
+  :meth:`~repro.database.Database.recover`.
+
+Frame format (little-endian), after a 6-byte stream header
+(magic ``EBWL`` + u16 version)::
+
+    offset  size  field
+    0       1     kind   (1=append, 2=update, 3=delete, 4=checkpoint)
+    1       4     payload length
+    5       4     CRC32 over kind + length + payload
+    9       n     payload  (UTF-8 JSON, sorted keys)
+
+Doctest (in-memory device; the file device has the same surface)::
+
+    >>> log = PagedWriteAheadLog()
+    >>> log.append(WalRecord("append", {"table": "t", "row_id": 0,
+    ...                                 "rows": [{"v": 1}]}))
+    >>> [r.kind for r in log.records()]
+    ['append']
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    CorruptIndexError,
+    InvalidArgumentError,
+    ReproError,
+)
+from repro.storage.page import PAGE_SIZE_DEFAULT, Page
+from repro.storage.pager import Pager
+
+#: Stream header: magic + format version.
+WAL_MAGIC = b"EBWL"
+WAL_VERSION = 1
+_HEADER = struct.Struct("<4sH")
+_FRAME = struct.Struct("<BII")
+
+#: Record kinds; the codec refuses anything else, so a bit flip in the
+#: kind byte truncates the log exactly like a CRC mismatch.
+RECORD_KINDS: Dict[str, int] = {
+    "append": 1,
+    "update": 2,
+    "delete": 3,
+    "checkpoint": 4,
+}
+_KIND_NAMES = {code: name for name, code in RECORD_KINDS.items()}
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logical log record: a kind plus a JSON-safe payload."""
+
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECORD_KINDS:
+            raise InvalidArgumentError(
+                f"unknown WAL record kind {self.kind!r}; expected one "
+                f"of {sorted(RECORD_KINDS)}"
+            )
+
+
+def wal_header() -> bytes:
+    """The 6-byte stream header every log starts with."""
+    return _HEADER.pack(WAL_MAGIC, WAL_VERSION)
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Serialise one record into its length+CRC frame.
+
+    The CRC covers the kind byte and length as well as the payload, so
+    a single flipped bit *anywhere* in the frame — including one that
+    would turn a valid kind code into another valid kind code — fails
+    verification instead of replaying as a different record.
+    """
+    payload = json.dumps(
+        record.data, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    crc = _frame_crc(RECORD_KINDS[record.kind], payload)
+    return _FRAME.pack(RECORD_KINDS[record.kind], len(payload), crc) + payload
+
+
+def _frame_crc(kind_code: int, payload: bytes) -> int:
+    prefix = struct.pack("<BI", kind_code, len(payload))
+    return zlib.crc32(payload, zlib.crc32(prefix)) & 0xFFFFFFFF
+
+
+def decode_wal(buffer: bytes) -> Tuple[List[WalRecord], int]:
+    """Decode a log byte stream into ``(records, clean_length)``.
+
+    ``clean_length`` is the byte offset of the first bad frame (or the
+    header, if that is already damaged) — the longest prefix a recovery
+    may keep.  Damage never raises: a torn tail, a flipped bit in a
+    length, CRC, kind byte or payload, and trailing garbage all simply
+    end the decode at the last intact record.
+    """
+    if len(buffer) < _HEADER.size:
+        return [], 0
+    magic, version = _HEADER.unpack_from(buffer, 0)
+    if magic != WAL_MAGIC or version != WAL_VERSION:
+        return [], 0
+    records: List[WalRecord] = []
+    offset = _HEADER.size
+    while offset + _FRAME.size <= len(buffer):
+        kind_code, length, crc = _FRAME.unpack_from(buffer, offset)
+        kind = _KIND_NAMES.get(kind_code)
+        start = offset + _FRAME.size
+        end = start + length
+        if kind is None or end > len(buffer):
+            break
+        payload = buffer[start:end]
+        if _frame_crc(kind_code, payload) != crc:
+            break
+        try:
+            data = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(data, dict):
+            break
+        records.append(WalRecord(kind, data))
+        offset = end
+    return records, offset
+
+
+class PagedWriteAheadLog:
+    """A WAL whose byte stream lives in pager pages.
+
+    Appends rewrite only the pages a frame touches; reads pull every
+    page back through the pager, so a :class:`~repro.faults.pager.
+    FaultyPager` schedule (failed writes, torn tails, bit rot) hits the
+    log exactly as it would hit index payloads.  A page that fails its
+    CRC at read time truncates the recovered stream at that page
+    boundary — together with the frame CRCs this keeps the longest
+    clean record prefix.
+    """
+
+    def __init__(
+        self,
+        pager: Optional[Pager] = None,
+        *,
+        page_size: int = PAGE_SIZE_DEFAULT,
+    ) -> None:
+        if page_size < _HEADER.size:
+            raise InvalidArgumentError(
+                f"page size {page_size} smaller than the WAL header"
+            )
+        self.pager = (
+            pager if pager is not None else Pager(page_size=page_size)
+        )
+        self.page_size = self.pager.page_size
+        self._pages: List[Page] = []
+        self._buffer = bytearray(wal_header())
+        self._flush_from(0)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def append(self, record: WalRecord) -> None:
+        """Frame and durably write one record.
+
+        A failed page write propagates *before* the in-memory stream
+        advances, so the log never acknowledges a record the device
+        rejected.
+        """
+        frame = encode_record(record)
+        start = len(self._buffer)
+        self._buffer.extend(frame)
+        try:
+            self._flush_from(start)
+        except Exception:
+            del self._buffer[start:]
+            raise
+
+    def records(self) -> List[WalRecord]:
+        """Replay the log from the device, truncating at damage."""
+        stream = bytearray()
+        for i, page in enumerate(self._pages):
+            if i * self.page_size >= len(self._buffer):
+                break
+            try:
+                fresh = self.pager.read(page.page_id)
+            except ReproError:
+                # A torn or rotten page ends the recoverable stream at
+                # this page boundary; frames fully inside earlier pages
+                # are still validated by their own CRCs below.
+                break
+            stream.extend(fresh.read())
+        records, _clean = decode_wal(bytes(stream))
+        return records
+
+    # ------------------------------------------------------------------
+    def _flush_from(self, start: int) -> None:
+        """Write every page overlapping ``buffer[start:]``."""
+        first = start // self.page_size
+        last = max(first, (len(self._buffer) - 1) // self.page_size)
+        for i in range(first, last + 1):
+            while i >= len(self._pages):
+                self._pages.append(self.pager.allocate())
+            page = self._pages[i]
+            chunk = bytes(
+                self._buffer[i * self.page_size: (i + 1) * self.page_size]
+            )
+            page.write(chunk, 0)
+            self.pager.write(page)
+
+
+class FileWriteAheadLog:
+    """A WAL backed by a real file, fsynced on every append.
+
+    The contract :meth:`repro.database.Database.append_rows` relies on:
+    when :meth:`append` returns, the record is durable — a crash at any
+    later point replays it.  :meth:`reset` atomically replaces the log
+    with a single checkpoint record (write temp, fsync, rename), the
+    post-save step that keeps the log from growing without bound.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    def append(self, record: WalRecord) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        handle = self._open()
+        handle.write(encode_record(record))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replay(self, *, truncate: bool = True) -> List[WalRecord]:
+        """Read back every intact record, in order.
+
+        With ``truncate=True`` (the default used by recovery) a
+        damaged tail is also physically cut from the file, so the next
+        append extends a clean stream instead of burying new records
+        behind garbage.
+        """
+        self.close()
+        try:
+            with open(self.path, "rb") as handle:
+                buffer = handle.read()
+        except FileNotFoundError:
+            return []
+        records, clean = decode_wal(buffer)
+        if not records and clean == 0 and len(buffer) >= _HEADER.size:
+            header = buffer[: _HEADER.size]
+            if header != wal_header():
+                raise CorruptIndexError(
+                    f"WAL {self.path!r} has a damaged header", offset=0
+                )
+        if truncate and clean < len(buffer):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(max(clean, _HEADER.size))
+                handle.flush()
+                os.fsync(handle.fileno())
+        return records
+
+    def reset(self, generation: int) -> None:
+        """Atomically restart the log at a checkpoint.
+
+        Called after a durable :meth:`repro.database.Database.save`:
+        everything before the checkpoint is folded into manifest
+        ``generation``, so the old records are retired in one rename.
+        """
+        self.close()
+        tmp = self.path + ".tmp"
+        frame = wal_header() + encode_record(
+            WalRecord("checkpoint", {"generation": generation})
+        )
+        with open(tmp, "wb") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    def _open(self) -> Any:
+        if self._handle is None:
+            fresh = not os.path.exists(self.path)
+            self._handle = open(self.path, "ab")
+            if fresh or os.path.getsize(self.path) == 0:
+                self._handle.write(wal_header())
+        return self._handle
+
+    def __repr__(self) -> str:
+        return f"FileWriteAheadLog({self.path!r})"

@@ -46,6 +46,12 @@ class Table:
         #: never take it.  Lock order is table -> index; indexes never
         #: call back into the table while holding their own lock.
         self._write_lock = threading.Lock()
+        #: Batch-atomic row watermark: moves once per ``append`` /
+        #: ``append_rows`` call, after the whole batch (values *and*
+        #: index notifications) is applied.  Snapshot readers pin on
+        #: this instead of ``len(self)``, so a pin can never land in
+        #: the middle of a batch.
+        self._published_rows = 0
 
     @classmethod
     def from_columns(
@@ -63,6 +69,7 @@ class Table:
             raise TableError(f"unequal column lengths: {lengths}")
         for col_name, values in columns.items():
             table._columns[col_name].extend(values)
+        table._published_rows = len(table)
         return table
 
     # ------------------------------------------------------------------
@@ -95,6 +102,14 @@ class Table:
         """Rows that are not void."""
         return len(self) - len(self._void)
 
+    def published_rows(self) -> int:
+        """Rows visible to snapshot readers (batch-atomic watermark).
+
+        Trails ``len(self)`` only in the middle of an append batch;
+        equal otherwise.  See :mod:`repro.query.snapshot`.
+        """
+        return self._published_rows
+
     def append(self, row: Any) -> int:
         """Append one row (dict by column name, or positional sequence).
 
@@ -109,10 +124,35 @@ class Table:
                 observer.on_append(
                     row_id, dict(zip(self._columns, values))
                 )
+            self._published_rows = row_id + 1
         return row_id
 
     def append_rows(self, rows: Iterable[Any]) -> List[int]:
-        return [self.append(row) for row in rows]
+        """Append a batch of rows atomically.
+
+        The write lock is held for the *whole* batch and the published
+        watermark moves once at the end, so a concurrent snapshot
+        reader (see :mod:`repro.query.snapshot`) observes either none
+        of the batch or all of it — never rows 0..i of it.  Row
+        validation happens up front, before any mutation, so a bad row
+        fails the batch without applying a prefix.
+        """
+        batch = [self._row_values(row) for row in rows]
+        if not batch:
+            return []
+        row_ids: List[int] = []
+        with self._write_lock:
+            for values in batch:
+                row_id = -1
+                for col_name, value in zip(self._columns, values):
+                    row_id = self._columns[col_name].append(value)
+                for observer in self._observers:
+                    observer.on_append(
+                        row_id, dict(zip(self._columns, values))
+                    )
+                row_ids.append(row_id)
+            self._published_rows = row_ids[-1] + 1
+        return row_ids
 
     def row(self, row_id: int) -> Dict[str, Any]:
         """Materialise one row as a dict (void rows raise)."""

@@ -251,3 +251,72 @@ def test_database_write_vs_query_seeded_interleavings():
         assert result.row_ids() == expected, (
             f"seed {seed}: stale index after concurrent updates"
         )
+
+
+# ---------------------------------------------------------------------
+# scenario 3: batch-atomic appends vs pinned snapshot readers
+# ---------------------------------------------------------------------
+def test_batch_appends_vs_pinned_readers_seeded_interleavings():
+    """Writers append marker batches while readers pin snapshots.
+
+    ``Table.append_rows`` holds the write lock for the whole batch and
+    moves the published watermark once, so every pinned snapshot must
+    land on a batch boundary: the observed watermark is always the
+    base row count plus a multiple of the batch size, and a pinned
+    query never returns a row from a half-applied batch.
+    """
+    from repro.query.snapshot import pinned_rows, snapshot_rows
+
+    base_rows = 24
+    batch = 6
+    for seed in SEEDS:
+        db = Database()
+        db.create_table(
+            "stream",
+            {"product": [i % 4 for i in range(base_rows)]},
+        )
+        db.create_index("stream", "product")
+        rec = LockOrderRecorder()
+        _instrument_db(db, rec, make_jitter(seed))
+        table = db.table("stream")
+
+        def workload(tid, i, db=db, table=table, rng_seed=seed):
+            rng = random.Random(f"{rng_seed}:{tid}:{i}")
+            if tid % 2 == 0:
+                # writer: one marker batch, all rows the same value
+                marker = rng.randrange(4)
+                table.append_rows(
+                    [{"product": marker}] * batch
+                )
+            else:
+                with pinned_rows(table):
+                    watermark = snapshot_rows(table)
+                    assert (watermark - base_rows) % batch == 0, (
+                        f"pin landed mid-batch at {watermark}"
+                    )
+                    result = db.query(
+                        "stream", Equals("product", rng.randrange(4))
+                    )
+                    assert len(result.vector) == watermark
+                    for row_id in result.row_ids():
+                        assert 0 <= row_id < watermark
+
+        report = run_stress(
+            workload, threads=4, iterations=6, seed=seed, recorder=rec
+        )
+        assert report.ok, report.render()
+        # quiesced: all batches fully applied, watermark caught up
+        assert (len(table) - base_rows) % batch == 0
+        assert table.published_rows() == len(table)
+
+        # index agrees with brute force after the append storm
+        value = random.Random(seed).randrange(4)
+        result = db.query("stream", Equals("product", value))
+        expected = [
+            row_id
+            for row_id in range(len(table))
+            if table.row(row_id)["product"] == value
+        ]
+        assert result.row_ids() == expected, (
+            f"seed {seed}: stale index after concurrent batch appends"
+        )

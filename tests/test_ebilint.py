@@ -1146,3 +1146,64 @@ def test_cli_explain_multiple_rules(capsys):
 def test_cli_explain_unknown_rule_errors():
     with pytest.raises(SystemExit):
         lint_main(["--explain", "EBI999"])
+
+
+# ----------------------------------------------------------------------
+# EBI401 — durable-write protocol
+# ----------------------------------------------------------------------
+def test_ebi401_flags_inplace_overwrite_of_final_file():
+    bad = """
+        def save(path, data):
+            with open(path, "w") as handle:
+                handle.write(data)
+    """
+    found = findings_for("EBI401", bad, module="repro.database")
+    assert len(found) == 1
+    assert "os.replace" in found[0].message
+
+
+def test_ebi401_flags_mode_keyword_and_binary_modes():
+    bad = """
+        def save(path, blob):
+            with open(path, mode="wb") as handle:
+                handle.write(blob)
+    """
+    found = findings_for("EBI401", bad, module="repro.storage.wal")
+    assert len(found) == 1
+
+
+def test_ebi401_accepts_tmp_fsync_rename_protocol():
+    good = """
+        import os
+
+        def save(path, data):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+    """
+    assert findings_for("EBI401", good, module="repro.database") == []
+
+
+def test_ebi401_accepts_append_mode_and_reads():
+    good = """
+        def log(path, frame):
+            with open(path, "ab") as handle:
+                handle.write(frame)
+
+        def read(path):
+            with open(path, "rb") as handle:
+                return handle.read()
+    """
+    assert findings_for("EBI401", good, module="repro.storage.wal") == []
+
+
+def test_ebi401_scope_is_durability_critical_modules_only():
+    bad = """
+        def dump(path, data):
+            with open(path, "w") as handle:
+                handle.write(data)
+    """
+    assert findings_for("EBI401", bad, module="repro.bench.report") == []

@@ -127,6 +127,12 @@ def test_every_shipped_rule_fails_a_violating_fixture():
             "        return matrix[0]\n",
             "repro.kernels.fake",
         ),
+        "EBI401": (
+            "def save(path, data):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(data)\n",
+            "repro.database",
+        ),
     }
     missing_fixture = [
         rule.id for rule in all_rules() if rule.id not in fixtures
