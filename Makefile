@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test doctest bench bench-json parallel-bench kernel-bench tables validate examples lint typecheck race-check crash-check all
+.PHONY: install test doctest bench bench-json parallel-bench kernel-bench compression-bench tables validate examples lint typecheck race-check crash-check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -52,6 +52,10 @@ parallel-bench:
 kernel-bench:
 	PYTHONPATH=src python -m repro.cli bench --case kernel_eval \
 		--suite kernel --workers 1,4
+
+compression-bench:
+	PYTHONPATH=src python -m repro.cli bench --case compression \
+		--suite compression
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

@@ -13,7 +13,7 @@ snapshot around it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.table.table import Table
 
@@ -993,6 +993,261 @@ def case_streaming_ingest(tolerance: float) -> List[Comparison]:
     ]
 
 
+#: Compression-frontier shape: a Zipf-skewed fact column over
+#: ``COMPRESSION_DOMAIN`` values plus a low-cardinality secondary
+#: column (so ``hist``'s ascending-cardinality priority picks a
+#: different primary sort column than ``lex``'s caller order),
+#: queried by ``COMPRESSION_QUERIES`` IN-lists of
+#: ``COMPRESSION_DELTA`` values each.
+COMPRESSION_DOMAIN = 64
+COMPRESSION_SECONDARY = 8
+COMPRESSION_DELTA = 8
+COMPRESSION_QUERIES = 4
+#: Acceptance floor: the best sorted ordering must at least halve the
+#: word-aligned footprint of the unordered layout.
+COMPRESSION_RATIO_FLOOR = 2.0
+#: Worst case for word-aligned runs over incompressible planes:
+#: alternating fill/literal segments cost one header word per literal
+#: word, 1.5x the packed bytes — even the unordered layout must stay
+#: inside this envelope.
+COMPRESSION_WAH_ENVELOPE = 1.5
+
+
+def case_compression(tolerance: float, *, n: int) -> List[Comparison]:
+    """Space x speed frontier of word-aligned run compression under
+    build-time row reordering (docs/compression.md).
+
+    For each ordering in :data:`repro.shard.reorder.ORDERINGS` the
+    case physically permutes a copy of the same two-column table
+    (:func:`~repro.shard.reorder.row_permutation` +
+    :meth:`~repro.table.table.Table.apply_permutation`), builds a
+    packed encoded index over it, snapshots the planes into a
+    :class:`~repro.kernels.runs.CompressedPlaneSet`, and reports the
+    frontier: compressed plane bytes against the packed baseline,
+    page reads charged per distinct plane a query batch touches (a
+    word-aligned complement keeps the segmentation, so the positive
+    plane's footprint stands for either polarity), and the wall time
+    of the run-kernel query batch.
+
+    The eq-0 lines pin the compressed-execution contract: one
+    compiled kernel must return identical rows and identical access
+    accounting (the paper's ``c_e``) on packed planes, on word-aligned
+    runs, and through the legacy tree walk — and, mapped back through
+    each permutation, every ordering must select the same original
+    rows.
+    """
+    import random
+    import time
+
+    import numpy as np
+
+    from repro.boolean.evaluator import AccessCounter, evaluate_dnf
+    from repro.encoding.mapping import MappingTable
+    from repro.index.encoded_bitmap import EncodedBitmapIndex
+    from repro.kernels.compiler import CompiledKernel, compile_function
+    from repro.kernels.runs import CompressedPlaneSet
+    from repro.shard.reorder import ORDERINGS, row_permutation
+    from repro.storage.page import PAGE_SIZE_DEFAULT
+    from repro.table.table import Table
+    from repro.workload.generators import uniform_column, zipf_column
+
+    mapping = MappingTable.from_values(
+        list(range(COMPRESSION_DOMAIN)), reserve_void_zero=True
+    )
+    fact = zipf_column(n, COMPRESSION_DOMAIN, seed=31)
+    secondary = uniform_column(n, COMPRESSION_SECONDARY, seed=32)
+    rng = random.Random(53)
+    selections = [
+        sorted(rng.sample(range(COMPRESSION_DOMAIN), COMPRESSION_DELTA))
+        for _ in range(COMPRESSION_QUERIES)
+    ]
+
+    def page_count(nbytes: int) -> int:
+        return -(-nbytes // PAGE_SIZE_DEFAULT)
+
+    plane_bytes: Dict[str, int] = {}
+    batch_pages: Dict[str, int] = {}
+    batch_seconds: Dict[str, float] = {}
+    row_mismatches = 0
+    ce_mismatches = 0
+    cross_mismatches = 0
+    packed_plane_bytes = 0
+    packed_batch_pages = 0
+    packed_seconds = 0.0
+    baseline_rows: List[np.ndarray] = []
+
+    def batch_time(
+        kernels: Sequence[Tuple[object, CompiledKernel]], planes: object
+    ) -> float:
+        best = float("inf")
+        for _attempt in range(3):
+            start = time.perf_counter()
+            for _fn, kernel in kernels:
+                kernel.evaluate(planes)  # type: ignore[arg-type]
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    for ordering in ORDERINGS:
+        table = Table.from_columns(
+            f"compression_{ordering}", {"v": fact, "w": secondary}
+        )
+        perm = row_permutation(table, ["v", "w"], ordering)
+        if ordering != "unordered":
+            table.apply_permutation(perm)
+        perm_array = np.asarray(perm, dtype=np.int64)
+        index = EncodedBitmapIndex(table, "v", encoding=mapping)
+        packed = index.planes()
+        runs = CompressedPlaneSet.from_vectors(
+            [index.vector(i) for i in range(index.width)], len(table)
+        )
+        plane_bytes[ordering] = runs.nbytes()
+        packed_plane_bytes = runs.packed_nbytes()
+        per_plane_packed = runs.nwords * 8
+
+        kernels = [
+            (fn, compile_function(fn))
+            for fn in (
+                index.reduced_function(values) for values in selections
+            )
+        ]
+
+        ordering_pages = 0
+        packed_pages = 0
+        for qi, (fn, kernel) in enumerate(kernels):
+            counter_packed = AccessCounter()
+            rows_packed = kernel.evaluate(packed, counter_packed)
+            counter_runs = AccessCounter()
+            rows_runs = kernel.evaluate(runs, counter_runs)
+            counter_tree = AccessCounter()
+            rows_tree = evaluate_dnf(
+                fn, index.vector, len(table), counter_tree
+            )
+            if not (rows_packed == rows_runs and rows_packed == rows_tree):
+                row_mismatches += 1
+            if (
+                counter_packed.distinct_accesses
+                != counter_runs.distinct_accesses
+                or counter_packed.distinct_accesses
+                != counter_tree.distinct_accesses
+                or counter_packed.reads != counter_runs.reads
+                or counter_packed.reads != counter_tree.reads
+            ):
+                ce_mismatches += 1
+            for i in counter_runs.touched:
+                ordering_pages += page_count(runs.plane(i).nbytes())
+                packed_pages += page_count(per_plane_packed)
+            selected = np.nonzero(rows_runs.to_mask())[0]
+            original = np.sort(perm_array[selected])
+            if ordering == "unordered":
+                baseline_rows.append(original)
+            elif not np.array_equal(original, baseline_rows[qi]):
+                cross_mismatches += 1
+        batch_pages[ordering] = ordering_pages
+        batch_seconds[ordering] = batch_time(kernels, runs)
+        if ordering == "unordered":
+            packed_batch_pages = packed_pages
+            packed_seconds = batch_time(kernels, packed)
+
+    sorted_orderings = [o for o in ORDERINGS if o != "unordered"]
+    best = min(sorted_orderings, key=lambda o: plane_bytes[o])
+    ratio = plane_bytes["unordered"] / max(plane_bytes[best], 1)
+    speed_ratio = packed_seconds / max(batch_seconds[best], 1e-9)
+
+    comparisons: List[Comparison] = []
+    for ordering in ORDERINGS:
+        if ordering == "unordered":
+            label = (
+                "unordered: compressed plane bytes stay inside the "
+                "word-aligned worst-case envelope"
+            )
+            predicted = COMPRESSION_WAH_ENVELOPE * packed_plane_bytes
+        else:
+            label = (
+                f"{ordering}: compressed plane bytes vs the packed "
+                "baseline"
+            )
+            predicted = float(packed_plane_bytes)
+        comparisons.append(
+            compare(
+                label,
+                plane_bytes[ordering],
+                predicted,
+                mode="le",
+                unit="bytes",
+                tolerance=tolerance,
+            )
+        )
+    for ordering in ORDERINGS:
+        comparisons.append(
+            compare(
+                f"{ordering}: run-kernel query batch wall time "
+                "(measured, floor trivially holds)",
+                batch_seconds[ordering],
+                0.0,
+                mode="ge",
+                unit="seconds",
+                tolerance=tolerance,
+            )
+        )
+    comparisons.extend(
+        [
+            compare(
+                f"run compression: unordered bytes / {best} bytes",
+                ratio,
+                COMPRESSION_RATIO_FLOOR,
+                mode="ge",
+                unit="ratio",
+                tolerance=tolerance,
+            ),
+            compare(
+                "rows: ordering x query runs where compressed kernel, "
+                "packed kernel and tree walk disagree",
+                row_mismatches,
+                0,
+                mode="eq",
+                unit="queries",
+                tolerance=tolerance,
+            ),
+            compare(
+                "c_e: ordering x query runs where the three paths' "
+                "access accounting disagrees",
+                ce_mismatches,
+                0,
+                mode="eq",
+                unit="queries",
+                tolerance=tolerance,
+            ),
+            compare(
+                "orderings x queries whose permutation-mapped rows "
+                "differ from the unordered baseline",
+                cross_mismatches,
+                0,
+                mode="eq",
+                unit="queries",
+                tolerance=tolerance,
+            ),
+            compare(
+                f"page reads: {best} compressed batch vs packed planes",
+                batch_pages[best],
+                packed_batch_pages,
+                mode="le",
+                unit="pages",
+                tolerance=tolerance,
+            ),
+            compare(
+                f"run-kernel speed: packed batch / {best} compressed "
+                "batch (measured)",
+                speed_ratio,
+                0.0,
+                mode="ge",
+                unit="ratio",
+                tolerance=tolerance,
+            ),
+        ]
+    )
+    return comparisons
+
+
 QUICK_CASES: List[BenchCase] = [
     BenchCase(
         name="reduction",
@@ -1112,6 +1367,21 @@ def kernel_case(
     )
 
 
+def compression_case(quick: bool) -> BenchCase:
+    """Build the compression-frontier case for a suite flavor."""
+    n = PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS
+    return BenchCase(
+        name="compression_smoke" if quick else "compression_1m",
+        description=(
+            f"row-reordering x word-aligned run compression frontier "
+            f"over {n} rows: bytes, page reads and run-kernel wall "
+            "time across "
+            "{unordered, lex, gray, hist} (docs/compression.md)"
+        ),
+        run=lambda tolerance: case_compression(tolerance, n=n),
+    )
+
+
 def cases_for(
     quick: bool, workers: Optional[Sequence[int]] = None
 ) -> List[BenchCase]:
@@ -1123,4 +1393,5 @@ def cases_for(
     cases = list(QUICK_CASES if quick else FULL_CASES)
     cases.append(parallel_case(quick, workers))
     cases.append(kernel_case(quick, workers))
+    cases.append(compression_case(quick))
     return cases

@@ -16,10 +16,12 @@ from repro.bitmap.ops import (
     packed_length,
 )
 from repro.bitmap.rle import RunLengthBitmap
+from repro.bitmap.wah import WordAlignedBitmap
 
 __all__ = [
     "BitVector",
     "RunLengthBitmap",
+    "WordAlignedBitmap",
     "and_all",
     "or_all",
     "xor_all",

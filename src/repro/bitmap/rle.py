@@ -16,12 +16,15 @@ number of bits.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, List, Tuple
 
 import numpy as np
 
 from repro.bitmap.bitvector import BitVector
 from repro.errors import InvalidArgumentError, LengthMismatchError
+
+if TYPE_CHECKING:
+    from repro.bitmap.wah import WordAlignedBitmap
 
 Run = Tuple[bool, int]
 
@@ -133,6 +136,26 @@ class RunLengthBitmap:
                 mask[pos : pos + length] = True
             pos += length
         return BitVector.from_mask(mask)
+
+    def to_word_aligned(self) -> "WordAlignedBitmap":
+        """Re-segment into the word-aligned (WAH) representation.
+
+        Bit-granular runs do not land on word boundaries, so the
+        bridge goes through the packed words once (O(n), vectorised)
+        rather than run-by-run.  Used at save time to persist
+        compressed indexes in the word-aligned token format
+        (:mod:`repro.index.serialization`).
+        """
+        from repro.bitmap.wah import WordAlignedBitmap
+
+        return WordAlignedBitmap.from_bitvector(self.to_bitvector())
+
+    @classmethod
+    def from_word_aligned(
+        cls, bitmap: "WordAlignedBitmap"
+    ) -> "RunLengthBitmap":
+        """Re-segment a word-aligned bitmap into bit-granular runs."""
+        return cls.from_bitvector(bitmap.to_bitvector())
 
     # ------------------------------------------------------------------
     # run-wise logical operations

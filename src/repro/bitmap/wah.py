@@ -1,0 +1,444 @@
+"""Word-aligned (WAH-style) run compression over packed bit vectors.
+
+:class:`WordAlignedBitmap` stores a bit vector as a sequence of
+word-aligned *segments*: runs of all-zero words (``FILL_ZERO``), runs of
+all-one words (``FILL_ONE``), and blocks of verbatim *literal* words
+(``LITERAL``).  Every segment costs one 64-bit header word in the
+serialized form and every literal word costs one more, so
+:meth:`WordAlignedBitmap.nbytes` is the honest on-disk size — the
+space axis of the compression bench's space×speed frontier.
+
+This is the representation the Lemire/Kaser sorting papers target:
+after the fact table is reordered (``repro.shard.reorder``) the bit
+planes of an encoded bitmap index collapse into long fills, and the
+logical operators here (``&``, ``|``, ``~``) run segment-at-a-time —
+fill runs are combined in O(1) per segment while literal blocks fall
+back to vectorised word operations, never bit-at-a-time loops.
+
+Unlike :class:`~repro.bitmap.rle.RunLengthBitmap` (bit-granular runs,
+kept for the per-value compressed index), this format is word-aligned
+so it can feed the compiled kernels directly: see
+:class:`repro.kernels.runs.CompressedPlaneSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.ops import (
+    WORD_BITS,
+    packed_length,
+    popcount_words,
+    tail_mask,
+)
+from repro.errors import InvalidArgumentError, LengthMismatchError
+
+#: Segment kinds.
+FILL_ZERO = 0
+FILL_ONE = 1
+LITERAL = 2
+
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: ``(kind, word_count, literal_offset)``; the offset indexes into the
+#: bitmap's shared literal word array for LITERAL segments and is -1
+#: for fills.
+Segment = Tuple[int, int, int]
+
+_OP_AND = 0
+_OP_OR = 1
+
+
+class _SegmentWriter:
+    """Accumulates canonical segments during a merge.
+
+    Adjacent segments of the same kind coalesce, and a literal chunk
+    that turns out to be uniformly zero/one (an AND of disjoint
+    literals, say) is demoted to a fill so intermediate results stay
+    canonical and keep their short-circuit potential.
+    """
+
+    __slots__ = ("segments", "chunks", "literal_words")
+
+    def __init__(self) -> None:
+        self.segments: List[List[int]] = []
+        self.chunks: List[np.ndarray] = []
+        self.literal_words = 0
+
+    def fill(self, kind: int, count: int) -> None:
+        if count <= 0:
+            return
+        if self.segments and self.segments[-1][0] == kind:
+            self.segments[-1][1] += count
+        else:
+            self.segments.append([kind, count, -1])
+
+    def literal(self, chunk: np.ndarray) -> None:
+        count = int(chunk.shape[0])
+        if count == 0:
+            return
+        # Demote uniform chunks to fills (canonical form).
+        if not chunk.any():
+            self.fill(FILL_ZERO, count)
+            return
+        if bool(np.all(chunk == _FULL_WORD)):
+            self.fill(FILL_ONE, count)
+            return
+        self.chunks.append(chunk)
+        if self.segments and self.segments[-1][0] == LITERAL:
+            self.segments[-1][1] += count
+        else:
+            self.segments.append([LITERAL, count, self.literal_words])
+        self.literal_words += count
+
+    def finish(self, nbits: int) -> "WordAlignedBitmap":
+        if self.chunks:
+            literals = np.concatenate(self.chunks)
+        else:
+            literals = np.zeros(0, dtype=np.uint64)
+        segments = tuple(
+            (kind, count, offset) for kind, count, offset in self.segments
+        )
+        return WordAlignedBitmap(segments, literals, nbits)
+
+
+class WordAlignedBitmap:
+    """An immutable bit vector compressed into word-aligned runs.
+
+    Build one from packed words or a :class:`BitVector`; combine with
+    ``&``/``|``/``~``.  Negation flips fills and complements literal
+    words in one pass — like :class:`repro.kernels.planes.PlaneSet`,
+    the bits beyond ``nbits`` in the final word are left as garbage
+    and masking happens once on the final materialised result.
+    """
+
+    __slots__ = ("nbits", "nwords", "_segments", "_literals")
+
+    def __init__(
+        self,
+        segments: Tuple[Segment, ...],
+        literals: np.ndarray,
+        nbits: int,
+    ) -> None:
+        if nbits < 0:
+            raise InvalidArgumentError(f"negative bit length: {nbits}")
+        covered = sum(count for _, count, _ in segments)
+        nwords = packed_length(nbits)
+        if covered != nwords:
+            raise InvalidArgumentError(
+                f"segments cover {covered} words, expected {nwords}"
+            )
+        literal_total = sum(
+            count for kind, count, _ in segments if kind == LITERAL
+        )
+        if literal_total != int(literals.shape[0]):
+            raise InvalidArgumentError(
+                f"literal array holds {int(literals.shape[0])} words, "
+                f"segments reference {literal_total}"
+            )
+        self.nbits = nbits
+        self.nwords = nwords
+        self._segments = segments
+        self._literals = literals
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_words(cls, words: np.ndarray, nbits: int) -> "WordAlignedBitmap":
+        """Compress a packed ``uint64`` word array.
+
+        Classification is fully vectorised: each word is tagged
+        zero-fill / one-fill / literal in one pass and run boundaries
+        come from a single ``diff`` — no per-bit work.
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        nwords = packed_length(nbits)
+        if int(words.shape[0]) != nwords:
+            raise InvalidArgumentError(
+                f"word array holds {int(words.shape[0])} words, "
+                f"expected {nwords} for {nbits} bits"
+            )
+        if nwords == 0:
+            return cls((), np.zeros(0, dtype=np.uint64), nbits)
+        kinds = np.full(nwords, LITERAL, dtype=np.int8)
+        kinds[words == np.uint64(0)] = FILL_ZERO
+        kinds[words == _FULL_WORD] = FILL_ONE
+        change = np.flatnonzero(kinds[1:] != kinds[:-1]) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
+        ends = np.concatenate((change, np.array([nwords], dtype=np.int64)))
+        segments: List[Segment] = []
+        chunks: List[np.ndarray] = []
+        offset = 0
+        for lo, hi in zip(starts.tolist(), ends.tolist()):
+            kind = int(kinds[lo])
+            count = hi - lo
+            if kind == LITERAL:
+                segments.append((LITERAL, count, offset))
+                chunks.append(words[lo:hi])
+                offset += count
+            else:
+                segments.append((kind, count, -1))
+        if chunks:
+            literals = np.concatenate(chunks) if len(chunks) > 1 else chunks[0].copy()
+        else:
+            literals = np.zeros(0, dtype=np.uint64)
+        return cls(tuple(segments), literals, nbits)
+
+    @classmethod
+    def from_bitvector(cls, vector: BitVector) -> "WordAlignedBitmap":
+        """Compress a :class:`BitVector` (its tail bits are clean)."""
+        return cls.from_words(vector.words, len(vector))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        """The ``(kind, word_count, literal_offset)`` segment tuples."""
+        return self._segments
+
+    def runs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(kind, word_count)`` runs without decompressing."""
+        for kind, count, _ in self._segments:
+            yield kind, count
+
+    def run_count(self) -> int:
+        return len(self._segments)
+
+    def literal_word_count(self) -> int:
+        return int(self._literals.shape[0])
+
+    def nbytes(self) -> int:
+        """Serialized size: one word per segment header plus one word
+        per literal word (see :meth:`tokens`)."""
+        return 8 * (len(self._segments) + int(self._literals.shape[0]))
+
+    def is_zero(self) -> bool:
+        """True when no bit is set (canonical forms only)."""
+        if not self._segments:
+            return True
+        return len(self._segments) == 1 and self._segments[0][0] == FILL_ZERO
+
+    def is_ones_words(self) -> bool:
+        """True when every *word* is a one-fill.  Note this speaks in
+        word space: a negated bitmap carries garbage tail bits, so this
+        is a short-circuit test, not a statement about ``count()``."""
+        if not self._segments:
+            return False
+        return len(self._segments) == 1 and self._segments[0][0] == FILL_ONE
+
+    def count(self) -> int:
+        """Number of set bits within the logical length."""
+        ones = 0
+        for kind, count, offset in self._segments:
+            if kind == FILL_ONE:
+                ones += count * WORD_BITS
+            elif kind == LITERAL:
+                ones += popcount_words(self._literals[offset : offset + count])
+        if self.nwords and self.nbits % WORD_BITS:
+            last = self.word_at(self.nwords - 1)
+            ones -= int(last).bit_count()
+            ones += int(last & int(tail_mask(self.nbits))).bit_count()
+        return ones
+
+    def word_at(self, index: int) -> int:
+        """The packed word at word-index ``index`` (decompressing only
+        the containing segment's header)."""
+        if not 0 <= index < self.nwords:
+            raise InvalidArgumentError(
+                f"word {index} out of range for {self.nwords} words"
+            )
+        pos = 0
+        for kind, count, offset in self._segments:
+            if index < pos + count:
+                if kind == FILL_ZERO:
+                    return 0
+                if kind == FILL_ONE:
+                    return int(_FULL_WORD)
+                return int(self._literals[offset + (index - pos)])
+            pos += count
+        raise AssertionError("unreachable: segments cover all words")
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def to_words(self) -> np.ndarray:
+        """Decompress into a fresh packed word array (tail unmasked)."""
+        out = np.zeros(self.nwords, dtype=np.uint64)
+        pos = 0
+        for kind, count, offset in self._segments:
+            if kind == FILL_ONE:
+                out[pos : pos + count] = _FULL_WORD
+            elif kind == LITERAL:
+                out[pos : pos + count] = self._literals[offset : offset + count]
+            pos += count
+        return out
+
+    def to_bitvector(self) -> BitVector:
+        """Decompress into a :class:`BitVector` (tail masked)."""
+        out = self.to_words()
+        if self.nwords:
+            out[-1] &= tail_mask(self.nbits)
+        return BitVector._from_words(out, self.nbits)
+
+    # ------------------------------------------------------------------
+    # logical operators (segment-at-a-time)
+    # ------------------------------------------------------------------
+    def _merge(
+        self, other: "WordAlignedBitmap", op: int
+    ) -> "WordAlignedBitmap":
+        if self.nbits != other.nbits:
+            raise LengthMismatchError(self.nbits, other.nbits)
+        writer = _SegmentWriter()
+        segs_a = self._segments
+        segs_b = other._segments
+        ia = ib = 0
+        done_a = done_b = 0  # words consumed within the current segment
+        while ia < len(segs_a) and ib < len(segs_b):
+            kind_a, count_a, off_a = segs_a[ia]
+            kind_b, count_b, off_b = segs_b[ib]
+            step = min(count_a - done_a, count_b - done_b)
+            if op == _OP_AND:
+                if kind_a == FILL_ZERO or kind_b == FILL_ZERO:
+                    writer.fill(FILL_ZERO, step)
+                elif kind_a == FILL_ONE and kind_b == FILL_ONE:
+                    writer.fill(FILL_ONE, step)
+                elif kind_a == FILL_ONE:
+                    lo = off_b + done_b
+                    writer.literal(other._literals[lo : lo + step])
+                elif kind_b == FILL_ONE:
+                    lo = off_a + done_a
+                    writer.literal(self._literals[lo : lo + step])
+                else:
+                    lo_a = off_a + done_a
+                    lo_b = off_b + done_b
+                    writer.literal(
+                        np.bitwise_and(
+                            self._literals[lo_a : lo_a + step],
+                            other._literals[lo_b : lo_b + step],
+                        )
+                    )
+            else:
+                if kind_a == FILL_ONE or kind_b == FILL_ONE:
+                    writer.fill(FILL_ONE, step)
+                elif kind_a == FILL_ZERO and kind_b == FILL_ZERO:
+                    writer.fill(FILL_ZERO, step)
+                elif kind_a == FILL_ZERO:
+                    lo = off_b + done_b
+                    writer.literal(other._literals[lo : lo + step])
+                elif kind_b == FILL_ZERO:
+                    lo = off_a + done_a
+                    writer.literal(self._literals[lo : lo + step])
+                else:
+                    lo_a = off_a + done_a
+                    lo_b = off_b + done_b
+                    writer.literal(
+                        np.bitwise_or(
+                            self._literals[lo_a : lo_a + step],
+                            other._literals[lo_b : lo_b + step],
+                        )
+                    )
+            done_a += step
+            done_b += step
+            if done_a == count_a:
+                ia += 1
+                done_a = 0
+            if done_b == count_b:
+                ib += 1
+                done_b = 0
+        return writer.finish(self.nbits)
+
+    def __and__(self, other: "WordAlignedBitmap") -> "WordAlignedBitmap":
+        return self._merge(other, _OP_AND)
+
+    def __or__(self, other: "WordAlignedBitmap") -> "WordAlignedBitmap":
+        return self._merge(other, _OP_OR)
+
+    def __invert__(self) -> "WordAlignedBitmap":
+        """Complement: fills flip kind, literal words invert.
+
+        Bits beyond ``nbits`` become garbage (see the class docstring);
+        callers mask once on the final result.
+        """
+        flipped = tuple(
+            (
+                FILL_ONE
+                if kind == FILL_ZERO
+                else (FILL_ZERO if kind == FILL_ONE else LITERAL),
+                count,
+                offset,
+            )
+            for kind, count, offset in self._segments
+        )
+        literals = np.bitwise_not(self._literals)
+        return WordAlignedBitmap(flipped, literals, self.nbits)
+
+    # ------------------------------------------------------------------
+    # serialization (the token stream framed by repro.index.serialization)
+    # ------------------------------------------------------------------
+    def tokens(self) -> np.ndarray:
+        """Serialize into a flat ``uint64`` token stream.
+
+        Each segment contributes one header word — kind in the low two
+        bits, word count shifted left by two — followed, for literal
+        segments, by the literal words verbatim.  ``len(tokens) * 8``
+        equals :meth:`nbytes`.
+        """
+        parts: List[np.ndarray] = []
+        for kind, count, offset in self._segments:
+            header = np.uint64(kind) | (np.uint64(count) << np.uint64(2))
+            parts.append(np.array([header], dtype=np.uint64))
+            if kind == LITERAL:
+                parts.append(self._literals[offset : offset + count])
+        if not parts:
+            return np.zeros(0, dtype=np.uint64)
+        return np.concatenate(parts)
+
+    @classmethod
+    def from_tokens(
+        cls, tokens: np.ndarray, nbits: int
+    ) -> "WordAlignedBitmap":
+        """Rebuild from :meth:`tokens` output; validates coverage."""
+        tokens = np.ascontiguousarray(tokens, dtype=np.uint64)
+        total = int(tokens.shape[0])
+        segments: List[Segment] = []
+        chunks: List[np.ndarray] = []
+        literal_words = 0
+        pos = 0
+        while pos < total:
+            header = int(tokens[pos])
+            pos += 1
+            kind = header & 3
+            count = header >> 2
+            if kind not in (FILL_ZERO, FILL_ONE, LITERAL) or count <= 0:
+                raise InvalidArgumentError(
+                    f"malformed run header {header:#x} at token {pos - 1}"
+                )
+            if kind == LITERAL:
+                if pos + count > total:
+                    raise InvalidArgumentError(
+                        "truncated literal block in run token stream"
+                    )
+                segments.append((LITERAL, count, literal_words))
+                chunks.append(tokens[pos : pos + count])
+                literal_words += count
+                pos += count
+            else:
+                segments.append((kind, count, -1))
+        if chunks:
+            literals = np.concatenate(chunks).copy()
+        else:
+            literals = np.zeros(0, dtype=np.uint64)
+        return cls(tuple(segments), literals, nbits)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"WordAlignedBitmap(nbits={self.nbits}, "
+            f"runs={len(self._segments)}, "
+            f"literal_words={int(self._literals.shape[0])})"
+        )

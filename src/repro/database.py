@@ -60,6 +60,7 @@ from repro.index import serialization
 from repro.index.base import Index
 from repro.index.bitsliced import BitSlicedIndex
 from repro.index.btree import BPlusTreeIndex
+from repro.index.compressed import CompressedBitmapIndex
 from repro.index.encoded_bitmap import EncodedBitmapIndex
 from repro.index.paged import PagedEncodedBitmapIndex
 from repro.index.simple_bitmap import SimpleBitmapIndex
@@ -74,18 +75,23 @@ from repro.storage.wal import FileWriteAheadLog, WalRecord
 from repro.shard.executor import ParallelExecutor
 from repro.shard.index import PartitionedIndex
 from repro.shard.partition import Partition, PartitionedTable
+from repro.shard.reorder import reorder_partitioned, reorder_table
 from repro.table.catalog import Catalog
 from repro.table.table import Table
 
 #: Index kinds :meth:`Database.create_index` knows how to build (and,
-#: for non-encoded kinds, rebuild from base data on load).
+#: for kinds without a payload format, rebuild from base data on load).
 INDEX_KINDS: Dict[str, Callable[..., Index]] = {
     "encoded": EncodedBitmapIndex,
     "simple": SimpleBitmapIndex,
     "paged": PagedEncodedBitmapIndex,
     "btree": BPlusTreeIndex,
     "bitsliced": BitSlicedIndex,
+    "compressed": CompressedBitmapIndex,
 }
+
+#: Kinds whose indexes persist as checksummed ``.ebi`` payloads.
+_PAYLOAD_KINDS = (EncodedBitmapIndex, CompressedBitmapIndex)
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
@@ -116,6 +122,9 @@ class Database:
         self._executors: Dict[str, ParallelExecutor] = {}
         #: One entry per ``create_index`` call: table, column, kind.
         self._index_specs: List[Dict[str, str]] = []
+        #: Last applied row reorder per table: ordering, sort columns
+        #: and the per-partition permutations (saved in the manifest).
+        self._reorders: Dict[str, Dict[str, Any]] = {}
         #: Serialises WAL logging with the mutation it covers, so the
         #: log order matches the apply order exactly.
         self._ingest_lock = threading.Lock()
@@ -423,6 +432,62 @@ class Database:
                 compacted += 1
         return compacted
 
+    def reorder(
+        self,
+        table_name: str,
+        columns: Optional[Sequence[str]] = None,
+        *,
+        ordering: str = "lex",
+    ) -> List[List[int]]:
+        """Physically reorder a table's rows for run compression.
+
+        Applies a :mod:`repro.shard.reorder` pass (``"lex"``,
+        ``"gray"`` or ``"hist"``; ``"unordered"`` is the identity)
+        per partition — partition boundaries are preserved — and
+        rebuilds every attached index under the table's write lock.
+        Returns the per-partition permutations (one entry for a plain
+        table), which are also recorded for the manifest so a saved
+        database remembers how its rows map back to arrival order.
+
+        When a durable home is attached, the reorder commits a new
+        manifest generation immediately: a physical rewrite cannot be
+        replayed from the WAL (its row ids predate the permutation),
+        so durability comes from the save itself.
+        """
+        table = self.table(table_name)
+        with self._ingest_lock:
+            if isinstance(table, PartitionedTable):
+                permutations = reorder_partitioned(
+                    table, columns, ordering
+                )
+            else:
+                permutations = [reorder_table(table, columns, ordering)]
+            self._reorders[table_name] = {
+                "ordering": ordering,
+                "columns": (
+                    list(columns)
+                    if columns is not None
+                    else list(table.column_names)
+                ),
+                "permutations": permutations,
+            }
+            if self._directory is not None:
+                # Commit the new generation before releasing the
+                # ingest lock: a WAL-logged append interleaved between
+                # the physical rewrite and the manifest save could not
+                # be replayed (its row ids would target the old
+                # order), so the save must be atomic with the reorder.
+                self.save(self._directory)  # ebilint: disable=EBI303
+        return permutations
+
+    def reorder_metadata(
+        self, table_name: str
+    ) -> Optional[Dict[str, Any]]:
+        """The last applied reorder for a table (or ``None``):
+        ordering, sort columns, per-partition permutations."""
+        info = self._reorders.get(table_name)
+        return None if info is None else dict(info)
+
     @staticmethod
     def _normalise_row(table: AnyTable, row: Any) -> Dict[str, Any]:
         if isinstance(row, Mapping):
@@ -546,12 +611,14 @@ class Database:
                 bounds = [p.offset for p in ptable.partitions]
                 bounds.append(len(ptable))
                 entry["bounds"] = bounds
+            if name in self._reorders:
+                entry["reorder"] = self._reorders[name]
             manifest["tables"].append(entry)
         expected = {MANIFEST_NAME, WAL_NAME}
         for index in self.catalog.all_indexes():
             if isinstance(index, PartitionedIndex):
                 for i, child in enumerate(index.children):
-                    if isinstance(child, EncodedBitmapIndex):
+                    if isinstance(child, _PAYLOAD_KINDS):
                         payload = self._payload_name(
                             index.table.name, index.column_name, i
                         )
@@ -559,7 +626,7 @@ class Database:
                         serialization.save(
                             child, os.path.join(directory, payload)
                         )
-            elif isinstance(index, EncodedBitmapIndex):
+            elif isinstance(index, _PAYLOAD_KINDS):
                 payload = self._payload_name(
                     index.table.name, index.column_name
                 )
@@ -701,6 +768,10 @@ class Database:
     def _load_table(self, entry: Dict[str, Any]) -> None:
         name = entry["name"]
         columns: Dict[str, List[Any]] = entry["columns"]
+        if "reorder" in entry:
+            # The saved columns are already permuted; the metadata is
+            # provenance (how row ids map back to arrival order).
+            self._reorders[name] = entry["reorder"]
         if entry.get("partitioned"):
             bounds: List[int] = entry["bounds"]
             parts: List[Partition] = []
@@ -729,11 +800,12 @@ class Database:
         table_name = spec["table"]
         column_name = spec["column"]
         kind = spec["kind"]
-        if kind != "encoded":
-            # Non-encoded kinds have no payload format; rebuild from
-            # the base data.
+        if kind not in ("encoded", "compressed"):
+            # Kinds without a payload format; rebuild from the base
+            # data.
             self.create_index(table_name, column_name, kind=kind)
             return
+        expected_type = cast(type, INDEX_KINDS[kind])
         table = self.table(table_name)
         if isinstance(table, PartitionedTable):
             damaged: List[int] = []
@@ -745,10 +817,12 @@ class Database:
                     directory,
                     self._payload_name(table_name, column, i),
                 )
-                child = self._load_payload(path, chunk, column)
+                child = self._load_payload(
+                    path, chunk, column, expected_type
+                )
                 if child is None:
                     damaged.append(i)
-                    return EncodedBitmapIndex(chunk, column)
+                    return expected_type(chunk, column)
                 return child
 
             index: Index = PartitionedIndex(
@@ -761,17 +835,22 @@ class Database:
             path = os.path.join(
                 directory, self._payload_name(table_name, column_name)
             )
-            loaded = self._load_payload(path, table, column_name)
+            loaded = self._load_payload(
+                path, table, column_name, expected_type
+            )
             if loaded is None:
-                loaded = EncodedBitmapIndex(table, column_name)
+                loaded = expected_type(table, column_name)
                 loaded.degraded = True
             self.catalog.register_index(loaded)
         self._index_specs.append(dict(spec))
 
     @staticmethod
     def _load_payload(
-        path: str, table: Table, column_name: str
-    ) -> Optional[EncodedBitmapIndex]:
+        path: str,
+        table: Table,
+        column_name: str,
+        expected_type: type = EncodedBitmapIndex,
+    ) -> Optional[Index]:
         try:
             with open(path, "rb") as handle:
                 payload = handle.read()
@@ -779,6 +858,8 @@ class Database:
         except (OSError, IndexBuildError):
             return None
         if index.column_name != column_name:
+            return None
+        if type(index) is not expected_type:
             return None
         return index
 

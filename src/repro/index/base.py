@@ -262,6 +262,21 @@ class Index:
         """Can this index evaluate the given leaf predicate type?"""
         return isinstance(predicate, (Equals, InList, Range, IsNull))
 
+    def rebuild(self) -> None:
+        """Rebuild from the base table after a physical row reorder.
+
+        :func:`repro.shard.reorder.reorder_table` permutes a table's
+        rows in place and then asks every attached observer to rebuild;
+        index kinds that support it override this with an atomic
+        swap-under-lock (see
+        :meth:`repro.index.encoded_bitmap.EncodedBitmapIndex.rebuild`).
+        The base implementation refuses, so a reorder can never leave
+        an unsupported index silently stale.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot rebuild after a row reorder"
+        )
+
     # ------------------------------------------------------------------
     # maintenance hooks (table observer protocol)
     # ------------------------------------------------------------------

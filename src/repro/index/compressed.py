@@ -17,7 +17,12 @@ from typing import Any, Dict, Optional
 from repro.bitmap.bitvector import BitVector
 from repro.bitmap.rle import RunLengthBitmap
 from repro.errors import UnsupportedPredicateError
-from repro.index.base import Index, LookupCost, range_values
+from repro.index.base import (
+    Index,
+    LookupCost,
+    deprecated_positionals,
+    range_values,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.table.table import Table
@@ -32,9 +37,13 @@ class CompressedBitmapIndex(Index):
         self,
         table: Table,
         column_name: str,
-        *,
+        *args: Any,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        legacy = deprecated_positionals(
+            type(self).__name__, args, ("registry",)
+        )
+        registry = legacy.get("registry", registry)
         super().__init__(table, column_name, registry=registry)
         self._vectors: Dict[Any, RunLengthBitmap] = {}
         self._null_vector = RunLengthBitmap(len(table))
@@ -61,6 +70,14 @@ class CompressedBitmapIndex(Index):
         self._null_vector = RunLengthBitmap.from_bitvector(
             BitVector.from_indices(null_rows, nbits)
         )
+
+    def rebuild(self) -> None:
+        """Recompress every vector from the base table (called after a
+        :mod:`repro.shard.reorder` row permutation)."""
+        with self._lock:
+            self._vectors = {}
+            self._null_vector = RunLengthBitmap(len(self.table))
+            self._build()
 
     # ------------------------------------------------------------------
     def _lookup(self, predicate: Predicate, cost: LookupCost) -> BitVector:

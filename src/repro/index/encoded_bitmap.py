@@ -41,7 +41,13 @@ from repro.index.base import (
     deprecated_positionals,
     range_values,
 )
-from repro.kernels import CompiledKernel, PlaneSet, compile_function
+from repro.kernels import (
+    CompiledKernel,
+    CompressedPlaneSet,
+    PlaneSet,
+    PlaneSnapshot,
+    compile_function,
+)
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.query.snapshot import snapshot_rows
@@ -84,6 +90,16 @@ class EncodedBitmapIndex(Index):
         reduction cache is bypassed), which differential tests and
         ablation benches compare against.  Access accounting (``c_e``)
         is bit-identical either way.
+    plane_format:
+        ``"packed"`` (default) snapshots the planes into a dense
+        :class:`~repro.kernels.planes.PlaneSet` matrix;
+        ``"compressed"`` snapshots them into a word-aligned-run
+        :class:`~repro.kernels.runs.CompressedPlaneSet` instead, so
+        kernels evaluate run-at-a-time (``docs/compression.md``).
+        Results and ``c_e`` are bit-identical either way; the
+        compressed format wins on memory — dramatically so after a
+        :mod:`repro.shard.reorder` pass — at some per-query cost on
+        incompressible data.
     """
 
     kind = "encoded-bitmap"
@@ -99,6 +115,7 @@ class EncodedBitmapIndex(Index):
         null_mode: str = "encode",
         exact_reduction: bool = True,
         use_kernels: bool = True,
+        plane_format: str = "packed",
         mapping: Optional[MappingTable] = None,
     ) -> None:
         legacy = deprecated_positionals(
@@ -135,10 +152,12 @@ class EncodedBitmapIndex(Index):
         self._null_vector: Optional[BitVector] = (
             BitVector(len(table)) if null_mode == "vector" else None
         )
-        self._init_caches(use_kernels=use_kernels)
+        self._init_caches(use_kernels=use_kernels, plane_format=plane_format)
         self._build()
 
-    def _init_caches(self, use_kernels: bool = True) -> None:
+    def _init_caches(
+        self, use_kernels: bool = True, plane_format: str = "packed"
+    ) -> None:
         """Set up the lookup-side cache state.
 
         Factored out of ``__init__`` because deserialisation
@@ -146,6 +165,11 @@ class EncodedBitmapIndex(Index):
         ``__new__`` and must initialise the same state.
         """
         self.use_kernels = use_kernels
+        if plane_format not in ("packed", "compressed"):
+            raise InvalidArgumentError(
+                f"bad plane_format {plane_format!r}"
+            )
+        self.plane_format = plane_format
         self._reduction_cache: Dict[
             Tuple[Tuple[int, ...], int], ReducedFunction
         ] = {}
@@ -155,9 +179,10 @@ class EncodedBitmapIndex(Index):
         # compile cache on miss, so partitions sharing a mapping also
         # share kernels.
         self._kernel_cache: Dict[ReducedFunction, CompiledKernel] = {}
-        # Plane snapshot consumed by kernels, rebuilt when the data
-        # version moves (any write to the indexed column).
-        self._planes: Optional[PlaneSet] = None
+        # Plane snapshot consumed by kernels (packed or compressed per
+        # ``plane_format``), rebuilt when the data version moves (any
+        # write to the indexed column).
+        self._planes: Optional[PlaneSnapshot] = None
         self._planes_version = -1
         self._data_version = 0
         self.plane_rebuilds = 0
@@ -513,9 +538,7 @@ class EncodedBitmapIndex(Index):
             ):
                 return False
             crash_point("index.compact.pre-swap")
-            planes = PlaneSet.from_vectors(
-                self._vectors, self._vector_rows()
-            )
+            planes = self._build_planes()
             self._planes = planes
             self._data_version += 1
             self._planes_version = self._data_version
@@ -601,8 +624,24 @@ class EncodedBitmapIndex(Index):
                 self._kernel_cache[function] = kernel
         return kernel
 
-    def _plane_snapshot(self) -> PlaneSet:
-        """The current planes as a kernel-consumable matrix.
+    def _build_planes(self) -> PlaneSnapshot:
+        """Snapshot the vectors per ``plane_format``; caller holds the
+        lock (the vectors' own length is the coherent row universe)."""
+        if self.plane_format == "compressed":
+            return CompressedPlaneSet.from_vectors(
+                self._vectors, self._vector_rows()
+            )
+        return PlaneSet.from_vectors(self._vectors, self._vector_rows())
+
+    def planes(self) -> PlaneSnapshot:
+        """The current plane snapshot (packed matrix or word-aligned
+        runs, per the ``plane_format`` option) — public read surface
+        for benches and the compression demo; rebuilds lazily like any
+        lookup would."""
+        return self._plane_snapshot()
+
+    def _plane_snapshot(self) -> PlaneSnapshot:
+        """The current planes as a kernel-consumable snapshot.
 
         Rebuilt only when ``_data_version`` has moved since the last
         snapshot — i.e. after any write to the indexed column.
@@ -620,9 +659,7 @@ class EncodedBitmapIndex(Index):
                 # extends the table's columns *before* this index's
                 # on_append runs, and only the vectors are guarded by
                 # the lock being held.
-                self._planes = PlaneSet.from_vectors(
-                    self._vectors, self._vector_rows()
-                )
+                self._planes = self._build_planes()
                 self._planes_version = self._data_version
                 # A full rebuild covers every row, so it doubles as a
                 # compaction: the delta's rows are now in the planes.
@@ -809,6 +846,31 @@ class EncodedBitmapIndex(Index):
             self._reduction_cache.clear()
             self._kernel_cache.clear()
             self._data_version += 1
+
+    def rebuild(self) -> None:
+        """Rebuild every bit plane from the base table (atomic swap).
+
+        Used by :mod:`repro.shard.reorder` after a physical row
+        permutation: the mapping (and therefore every cached reduction
+        and compiled kernel) survives — only the planes change — so
+        the vector reset, bulk rebuild, delta clear and epoch bumps
+        happen under one lock acquisition, exactly like
+        :meth:`apply_mapping`'s hot-swap.  A concurrent optimistic
+        lookup that paired the old planes with the old version retries
+        against the new state.
+        """
+        with self._lock:
+            self._vectors = [
+                BitVector(self._row_count())
+                for _ in range(self._mapping.width)
+            ]
+            self._build()
+            # _build bumps _data_version only when rows exist; bump
+            # unconditionally so a snapshot of an emptied table is
+            # still invalidated.
+            self._data_version += 1
+            self._delta.clear()
+            self._delta_seq += 1
 
     def _apply_update(self, row_id: int, old: Any, new: Any) -> None:
         with self._lock:

@@ -18,6 +18,15 @@ carrying the byte offset and field that failed — never a raw
 index.  Version-1 payloads (magic ``EBIX``, no checksums) are still
 readable behind the same error contract.
 
+Version 2 payloads carry a ``kind`` tag.  ``"encoded"`` (the default
+when absent, for payloads written before the tag existed) is the
+encoded bitmap index above; ``"compressed"`` persists a
+:class:`~repro.index.compressed.CompressedBitmapIndex` as one
+word-aligned token stream (:meth:`~repro.bitmap.wah.WordAlignedBitmap.tokens`)
+per value vector plus one for the NULL vector — every section framed
+with the same length + CRC32, so ``repro fsck`` audits compressed
+payloads exactly like encoded ones.
+
 ``dumps``/``loads`` work on bytes; ``save``/``load`` wrap them with a
 file path.  ``save`` is atomic: write-temp + verify + rename, so a
 crashed save never clobbers the previous good index.  Loading binds
@@ -31,20 +40,27 @@ import json
 import os
 import struct
 import zlib
-from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.bitmap.bitvector import BitVector
+from repro.bitmap.rle import RunLengthBitmap
+from repro.bitmap.wah import WordAlignedBitmap
 from repro.encoding.mapping import NULL, VOID, MappingTable
 from repro.errors import (
     CorruptIndexError,
     EncodingError,
     IndexBuildError,
+    InvalidArgumentError,
 )
+from repro.index.compressed import CompressedBitmapIndex
 from repro.index.encoded_bitmap import EncodedBitmapIndex
 from repro.table.table import Table
+
+#: Index types with a payload format, keyed by their header tag.
+SerializableIndex = Union[EncodedBitmapIndex, CompressedBitmapIndex]
 
 #: Version-2 container magic (checksummed format).
 MAGIC = b"EBI2"
@@ -121,10 +137,18 @@ def _decode_value(tagged: Any) -> Any:
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
-def dumps(index: EncodedBitmapIndex) -> bytes:
-    """Serialise an encoded bitmap index to (checksummed) bytes."""
+def dumps(index: SerializableIndex) -> bytes:
+    """Serialise an index to (checksummed) bytes.
+
+    Dispatches on the index type: encoded bitmap indexes store their
+    ``k`` packed vectors, run-length compressed indexes store one
+    word-aligned token stream per value vector.
+    """
+    if isinstance(index, CompressedBitmapIndex):
+        return _dumps_compressed(index)
     header = {
         "version": VERSION,
+        "kind": "encoded",
         "column": index.column_name,
         "width": index.width,
         "void_mode": index.void_mode,
@@ -149,17 +173,62 @@ def dumps(index: EncodedBitmapIndex) -> bytes:
     return b"".join(parts)
 
 
+def _dumps_compressed(index: CompressedBitmapIndex) -> bytes:
+    """Compressed-index payload: WAH token sections, one per value.
+
+    Values are serialised in a deterministic order (their tagged JSON
+    form); the NULL vector is always the final section.  Token streams
+    are self-delimiting (:meth:`WordAlignedBitmap.from_tokens`
+    re-validates header words and bit coverage), so corruption is
+    caught both by the CRC frame and by structural decode.
+    """
+    tagged = sorted(
+        (_encode_value(value), value)
+        for value in index._vectors
+    )
+    header = {
+        "version": VERSION,
+        "kind": "compressed",
+        "column": index.column_name,
+        "rows": len(index.table),
+        "values": [entry for entry, _ in tagged],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    parts = [
+        MAGIC,
+        _PREAMBLE.pack(VERSION, len(header_bytes), _crc(header_bytes)),
+        header_bytes,
+    ]
+    planes = [index._vectors[value] for _, value in tagged]
+    planes.append(index._null_vector)
+    for compressed in planes:
+        tokens = compressed.to_word_aligned().tokens()
+        raw = tokens.astype("<u8").tobytes()
+        parts.append(_SECTION.pack(len(raw), _crc(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
 # ----------------------------------------------------------------------
 # parsing (table-free) — shared by loads() and the fsck CLI
 # ----------------------------------------------------------------------
 @dataclass
 class ParsedIndex:
-    """A structurally validated payload, not yet bound to a table."""
+    """A structurally validated payload, not yet bound to a table.
+
+    ``kind`` selects which halves are populated: ``"encoded"``
+    payloads carry ``mapping`` and the packed ``vectors``;
+    ``"compressed"`` payloads carry ``values`` plus the word-aligned
+    ``compressed`` planes (the last one is the NULL vector).
+    """
 
     version: int
     header: Dict[str, Any]
-    mapping: MappingTable
-    vectors: List[np.ndarray]
+    kind: str = "encoded"
+    mapping: Optional[MappingTable] = None
+    vectors: List[np.ndarray] = field(default_factory=list)
+    values: List[Any] = field(default_factory=list)
+    compressed: List[WordAlignedBitmap] = field(default_factory=list)
 
 
 def _slice(
@@ -295,6 +364,13 @@ def parse(payload: bytes) -> ParsedIndex:
             f"negative row count {rows}", field="rows"
         )
     _header_field(header, "column", str)
+    kind = header.get("kind", "encoded")
+    if kind == "compressed":
+        return _parse_compressed(payload, header, offset, rows)
+    if kind != "encoded":
+        raise CorruptIndexError(
+            f"unknown payload kind {kind!r}", field="kind"
+        )
     for mode_field in ("void_mode", "null_mode"):
         if _header_field(header, mode_field, str) not in _MODES:
             raise CorruptIndexError(
@@ -337,6 +413,75 @@ def parse(payload: bytes) -> ParsedIndex:
         )
     return ParsedIndex(
         version=VERSION, header=header, mapping=mapping, vectors=vectors
+    )
+
+
+def _parse_compressed(
+    payload: bytes, header: Dict[str, Any], offset: int, rows: int
+) -> ParsedIndex:
+    """Validate a ``kind="compressed"`` payload's value list and the
+    word-aligned token section per value (NULL vector last)."""
+    entries = _header_field(header, "values", list)
+    values: List[Any] = []
+    seen_reprs = set()
+    for entry in entries:
+        value = _decode_value(entry)
+        marker = (type(value).__name__, repr(value))
+        if marker in seen_reprs:
+            raise CorruptIndexError(
+                f"duplicate value {value!r} in compressed payload",
+                field="values",
+            )
+        seen_reprs.add(marker)
+        values.append(value)
+    planes: List[WordAlignedBitmap] = []
+    for i in range(len(values) + 1):
+        section_field = (
+            f"value[{i}]" if i < len(values) else "null-vector"
+        )
+        frame = _slice(payload, offset, _SECTION.size, section_field)
+        raw_len, raw_crc = _SECTION.unpack(frame)
+        offset += _SECTION.size
+        if raw_len % 8 != 0:
+            raise CorruptIndexError(
+                f"section {section_field} holds {raw_len} bytes, not "
+                "a whole number of 64-bit tokens",
+                offset=offset,
+                field=f"{section_field}.length",
+            )
+        raw = _slice(payload, offset, raw_len, section_field)
+        actual = _crc(raw)
+        if actual != raw_crc:
+            raise CorruptIndexError(
+                f"section {section_field} checksum mismatch: stored "
+                f"{raw_crc:#010x}, computed {actual:#010x}",
+                offset=offset,
+                field=section_field,
+            )
+        offset += raw_len
+        tokens = np.frombuffer(raw, dtype="<u8").astype(np.uint64)
+        try:
+            planes.append(WordAlignedBitmap.from_tokens(tokens, rows))
+        except InvalidArgumentError as exc:
+            raise CorruptIndexError(
+                f"section {section_field} is not a valid word-aligned "
+                f"token stream: {exc}",
+                offset=offset,
+                field=section_field,
+            ) from exc
+    if offset != len(payload):
+        raise CorruptIndexError(
+            f"{len(payload) - offset} trailing bytes after the last "
+            "token section",
+            offset=offset,
+            field="trailer",
+        )
+    return ParsedIndex(
+        version=VERSION,
+        header=header,
+        kind="compressed",
+        values=values,
+        compressed=planes,
     )
 
 
@@ -403,12 +548,13 @@ def _parse_v1(payload: bytes) -> ParsedIndex:
 # ----------------------------------------------------------------------
 # reading
 # ----------------------------------------------------------------------
-def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
+def loads(payload: bytes, table: Table) -> SerializableIndex:
     """Reconstruct an index from bytes, bound to ``table``.
 
-    Raises :class:`~repro.errors.CorruptIndexError` when the payload
-    itself is damaged, and :class:`~repro.errors.IndexBuildError` when
-    the (intact) payload does not match the supplied table.
+    The payload's ``kind`` tag picks the index class.  Raises
+    :class:`~repro.errors.CorruptIndexError` when the payload itself
+    is damaged, and :class:`~repro.errors.IndexBuildError` when the
+    (intact) payload does not match the supplied table.
     """
     parsed = parse(payload)
     header = parsed.header
@@ -421,6 +567,8 @@ def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
         raise IndexBuildError(
             f"table has no column {header['column']!r}"
         )
+    if parsed.kind == "compressed":
+        return _loads_compressed(parsed, table)
 
     index = EncodedBitmapIndex.__new__(EncodedBitmapIndex)
     # Initialise without a rebuild scan: restore state directly.
@@ -452,10 +600,28 @@ def loads(payload: bytes, table: Table) -> EncodedBitmapIndex:
     return index
 
 
+def _loads_compressed(
+    parsed: ParsedIndex, table: Table
+) -> CompressedBitmapIndex:
+    """Restore a compressed index without the O(n * m) rebuild scan."""
+    from repro.index.base import Index
+
+    index = CompressedBitmapIndex.__new__(CompressedBitmapIndex)
+    Index.__init__(index, table, parsed.header["column"])
+    index._vectors = {
+        value: RunLengthBitmap.from_word_aligned(plane)
+        for value, plane in zip(parsed.values, parsed.compressed)
+    }
+    index._null_vector = RunLengthBitmap.from_word_aligned(
+        parsed.compressed[-1]
+    )
+    return index
+
+
 # ----------------------------------------------------------------------
 # files
 # ----------------------------------------------------------------------
-def save(index: EncodedBitmapIndex, path: str) -> None:
+def save(index: SerializableIndex, path: str) -> None:
     """Atomically write the serialised index to ``path``.
 
     Write-temp + verify + rename: the payload goes to ``path + ".tmp"``
@@ -481,7 +647,7 @@ def save(index: EncodedBitmapIndex, path: str) -> None:
         raise
 
 
-def load(path: str, table: Table) -> EncodedBitmapIndex:
+def load(path: str, table: Table) -> SerializableIndex:
     """Read an index from ``path`` and bind it to ``table``."""
     with open(path, "rb") as handle:
         return loads(handle.read(), table)

@@ -60,6 +60,16 @@ class SimpleBitmapIndex(Index):
                 self._vectors[value] = vector
             vector[row_id] = True
 
+    def rebuild(self) -> None:
+        """Reset and rebuild every vector from the base table (called
+        after a :mod:`repro.shard.reorder` row permutation)."""
+        with self._lock:
+            nbits = len(self.table)
+            self._vectors = {}
+            self._null_vector = BitVector(nbits)
+            self._exists_vector = BitVector(nbits)
+            self._build()
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------

@@ -488,7 +488,7 @@ def verify_payload(payload: bytes, path: str = "<bytes>") -> PayloadReport:
         report.error = exc
         return report
     report.version = parsed.version
-    report.vectors = len(parsed.vectors)
+    report.vectors = len(parsed.vectors) + len(parsed.compressed)
     rows = parsed.header.get("rows")
     report.rows = rows if isinstance(rows, int) else 0
     return report

@@ -14,17 +14,21 @@ from repro.kernels.compiler import (
     COMPILE_CACHE_SIZE,
     GATHER_MAX_WORDS,
     CompiledKernel,
+    PlaneSnapshot,
     clear_compile_cache,
     compile_cache_stats,
     compile_function,
 )
 from repro.kernels.planes import PlaneSet
+from repro.kernels.runs import CompressedPlaneSet
 
 __all__ = [
     "COMPILE_CACHE_SIZE",
     "GATHER_MAX_WORDS",
     "CompiledKernel",
+    "CompressedPlaneSet",
     "PlaneSet",
+    "PlaneSnapshot",
     "clear_compile_cache",
     "compile_cache_stats",
     "compile_function",

@@ -17,7 +17,13 @@ matrix of a :class:`~repro.kernels.planes.PlaneSet`:
 * **adaptive strategy** — short vectors (≤ :data:`GATHER_MAX_WORDS`
   words) use a single gather + ``np.bitwise_and.reduceat`` +
   ``np.bitwise_or.reduce`` (three numpy calls for the whole DNF); long
-  vectors use the per-term loop, whose scratch stays cache-resident.
+  vectors use the per-term loop, whose scratch stays cache-resident;
+* **run strategy** — handed a
+  :class:`~repro.kernels.runs.CompressedPlaneSet` instead of a packed
+  matrix, the same plan executes segment-at-a-time on word-aligned
+  runs: fill runs short-circuit terms in O(1) per segment and literal
+  blocks fall back to vectorised word operations
+  (``docs/compression.md``).
 
 Access accounting is bit-identical to the tree walk: the kernel
 replays the exact per-term literal order ``evaluate_dnf`` would fetch
@@ -41,17 +47,22 @@ agree — a property enforced by the randomized differential suite in
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.bitmap.bitvector import BitVector
 from repro.bitmap.ops import tail_mask
+from repro.bitmap.wah import WordAlignedBitmap
 from repro.boolean.evaluator import AccessCounter
 from repro.boolean.reduction import ReducedFunction
 from repro.cache import LRUCache
 from repro.errors import InvalidArgumentError
 from repro.kernels.planes import PlaneSet
+from repro.kernels.runs import CompressedPlaneSet
+
+#: Either snapshot type a kernel can evaluate against.
+PlaneSnapshot = Union[PlaneSet, CompressedPlaneSet]
 
 #: Word-count crossover between the gather/reduceat strategy and the
 #: per-term loop.  Below this the whole-DNF gather fits comfortably in
@@ -197,10 +208,16 @@ class CompiledKernel:
 
     def evaluate(
         self,
-        planes: PlaneSet,
+        planes: PlaneSnapshot,
         counter: Optional[AccessCounter] = None,
     ) -> BitVector:
-        """Evaluate against a plane snapshot, returning a fresh vector."""
+        """Evaluate against a plane snapshot, returning a fresh vector.
+
+        Accepts either a packed :class:`PlaneSet` or a
+        :class:`~repro.kernels.runs.CompressedPlaneSet`; the same plan
+        (constant fold, factored commons, access order) drives both,
+        so results and ``c_e`` accounting are bit-identical.
+        """
         if planes.width != self.function.width:
             raise InvalidArgumentError(
                 f"plane set width {planes.width} != function width "
@@ -214,6 +231,9 @@ class CompiledKernel:
             return BitVector(nbits)
         if self._constant is True:
             return BitVector.ones(nbits)
+
+        if isinstance(planes, CompressedPlaneSet):
+            return self._evaluate_runs(planes)
 
         matrix = planes.matrix
         nwords = planes.nwords
@@ -262,6 +282,44 @@ class CompiledKernel:
         for row in self._common_rows:
             np.bitwise_and(result, matrix[row], out=result)
         return result
+
+    def _evaluate_runs(self, planes: CompressedPlaneSet) -> BitVector:
+        """Run strategy: combine word-aligned runs segment-at-a-time.
+
+        A term accumulator that collapses to an all-zero fill stops
+        reading that term's remaining literals, and the OR loop stops
+        once every word is a one-fill; literal blocks fall back to the
+        vectorised word operations inside the segment merge
+        (:mod:`repro.bitmap.wah`).  The result is materialised — and
+        its tail masked — exactly once at the end.
+        """
+        nbits = planes.nbits
+        if planes.nwords == 0:
+            return BitVector(nbits)
+        acc: Optional[WordAlignedBitmap] = None
+        if self._term_rows:
+            for rows in self._term_rows:
+                term_acc = planes.plane(rows[0])
+                for row in rows[1:]:
+                    term_acc = term_acc & planes.plane(row)
+                    if term_acc.is_zero():
+                        break
+                acc = term_acc if acc is None else acc | term_acc
+                if acc.is_ones_words():
+                    break
+        for row in self._common_rows:
+            plane = planes.plane(row)
+            acc = plane if acc is None else acc & plane
+            if acc.is_zero():
+                break
+        if acc is None:
+            # Unreachable in practice: residues constant-true with no
+            # common literals folds to a constant earlier.  Guarded for
+            # plan-shape safety.
+            return BitVector.ones(nbits)
+        words = acc.to_words()
+        words[-1] &= tail_mask(nbits)
+        return BitVector._from_words(words, nbits)
 
     def _evaluate_gather(self, matrix: np.ndarray) -> np.ndarray:
         """Gather strategy: three numpy calls for the whole DNF."""

@@ -389,3 +389,83 @@ class UncountedEvalRule(Rule):
             )
             if not has_positional and not has_keyword:
                 yield self.finding(ctx, node)
+
+
+#: Decompression entry points a run iterator replaces.
+_DECOMPRESS_METHODS = frozenset({"to_bitvector", "to_words"})
+
+#: Substrings that mark a receiver as a run-compressed bitmap.
+_RUNNISH_FRAGMENTS = ("compressed", "wah", "rle")
+
+#: Whole identifier tokens that mark the same (substring matching
+#: would drag in ``prune``/``truncate``-style names).
+_RUNNISH_TOKENS = frozenset({"run", "runs"})
+
+
+def _runnish(name: str) -> bool:
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in _RUNNISH_FRAGMENTS):
+        return True
+    return any(
+        token in _RUNNISH_TOKENS for token in lowered.split("_")
+    )
+
+
+def _receiver_name(call: ast.Call) -> str:
+    """The name of the object a method call decompresses."""
+    if not isinstance(call.func, ast.Attribute):
+        return ""
+    receiver = call.func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr
+    if isinstance(receiver, ast.Call):
+        return call_name(receiver) or ""
+    return ""
+
+
+@register_rule
+class RunDecompressLoopRule(Rule):
+    """EBI106: whole-vector decompression inside a ``src/repro`` loop.
+
+    Calling ``to_bitvector()`` / ``to_words()`` on a run-compressed
+    bitmap (``RunLengthBitmap``, ``WordAlignedBitmap``,
+    ``CompressedPlaneSet`` planes) inside a loop inflates every
+    iteration to O(n) bits, forfeiting exactly the compression the
+    reorder pass bought (docs/compression.md).  Logical work belongs
+    on the runs themselves: segment-merge operators (``&``, ``|``),
+    ``runs`` / ``segments`` iteration, or one materialisation hoisted
+    out of the loop.
+    """
+
+    id = "EBI106"
+    name = "run-decompress-in-loop"
+    description = (
+        "run-compressed bitmap decompressed inside a loop; operate "
+        "on the runs (segment merge / run iteration) or hoist the "
+        "one materialisation out of the loop"
+    )
+    rationale = (
+        "Performance contract: run kernels cost O(segments) per "
+        "vector; a per-iteration decompress rebuilds O(n) bits every "
+        "pass and defeats word-aligned compression."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for sub in ast.walk(loop):
+                if (
+                    isinstance(sub, ast.Call)
+                    and id(sub) not in seen
+                    and call_name(sub) in _DECOMPRESS_METHODS
+                    and _runnish(_receiver_name(sub))
+                ):
+                    seen.add(id(sub))
+                    yield self.finding(ctx, sub)

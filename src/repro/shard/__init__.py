@@ -23,11 +23,19 @@ from repro.shard.partition import (
     SpannedColumn,
     partition_bounds,
 )
+from repro.shard.reorder import (
+    ORDERINGS,
+    column_priority,
+    reorder_partitioned,
+    reorder_table,
+    row_permutation,
+)
 from repro.shard.scan import ColumnArrayCache, try_vector_scan
 
 __all__ = [
     "DEFAULT_PARTITIONS",
     "DEFAULT_WORKERS",
+    "ORDERINGS",
     "ColumnArrayCache",
     "ParallelExecutor",
     "Partition",
@@ -36,6 +44,10 @@ __all__ = [
     "PartitionedQueryResult",
     "PartitionedTable",
     "SpannedColumn",
+    "column_priority",
     "partition_bounds",
+    "reorder_partitioned",
+    "reorder_table",
+    "row_permutation",
     "try_vector_scan",
 ]

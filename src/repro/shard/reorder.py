@@ -1,0 +1,195 @@
+"""Build-time row reordering for word-aligned bitmap compression.
+
+The paper's encodings fix *codes*; this module fixes *row order*.
+Sorting the fact table clusters equal codes, so the bit planes of an
+encoded bitmap index collapse into long fills under word-aligned run
+compression (:mod:`repro.bitmap.wah`) — the effect measured by Lemire
+& Kaser (*Sorting improves word-aligned bitmap indexes*) and the
+histogram-aware follow-up (see ``PAPERS.md`` and
+``docs/compression.md``).
+
+Three orderings plus the identity are provided:
+
+``lex``
+    Sort rows lexicographically by the selected columns' value codes
+    (codes follow the natural value order).
+``gray``
+    Sort rows along the reflected Gray path of the concatenated code
+    bits: adjacent distinct codes differ in one bit, so each bit plane
+    flips at most once per code transition — fewer, longer runs than
+    ``lex`` on the low-order planes.
+``hist``
+    Histogram-aware: column priority is ascending cardinality and
+    value codes are assigned by descending frequency, so the heaviest
+    values form the longest fills.
+``unordered``
+    The identity permutation (the bench baseline).
+
+A reorder is physical: :func:`reorder_table` computes the permutation
+and applies it through :meth:`repro.table.table.Table.apply_permutation`,
+which rewrites the columns, remaps the void set and rebuilds every
+attached index under the table's write lock — the same atomic
+hot-swap discipline as compaction, so lookups before and after see
+consistent (row-permuted) results and identical ``c_e``.
+:func:`reorder_partitioned` applies the pass per partition, leaving
+partition boundaries (word-aligned by construction) untouched; the
+per-partition permutations are recorded in the database manifest by
+:meth:`repro.database.Database.reorder`.
+
+>>> from repro.table.table import Table
+>>> table = Table("T", ["A", "B"])
+>>> for a, b in [("y", 1), ("x", 1), ("y", 0), ("x", 0)]:
+...     _ = table.append({"A": a, "B": b})
+>>> row_permutation(table, ["A", "B"], "lex")
+[3, 1, 2, 0]
+>>> reorder_table(table, ["A", "B"], "lex")
+[3, 1, 2, 0]
+>>> [table.row(i)["A"] for i in range(4)]
+['x', 'x', 'y', 'y']
+>>> gray_table = Table("G", ["V"])
+>>> for value in [2, 3, 0, 1]:
+...     _ = gray_table.append({"V": value})
+>>> row_permutation(gray_table, ["V"], "gray")
+[2, 3, 1, 0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.encoding.gray import inverse_gray
+from repro.errors import InvalidArgumentError
+from repro.shard.partition import PartitionedTable
+from repro.table.table import Table
+
+#: The supported ordering strategies.
+ORDERINGS = ("unordered", "lex", "gray", "hist")
+
+
+def _order_key(values: Sequence[Any]) -> Callable[[Any], Any]:
+    """A total order over a column's non-NULL domain.
+
+    Natural value order when the domain is homogeneous and comparable;
+    otherwise a deterministic ``(type name, repr)`` fallback.
+    """
+    domain = [value for value in set(values) if value is not None]
+    try:
+        sorted(domain)
+    except TypeError:
+        return lambda value: (type(value).__name__, repr(value))
+    return lambda value: value
+
+
+def _value_codes(
+    table: Table, column_name: str, ordering: str
+) -> Dict[Any, int]:
+    """Per-value sort codes for one column.
+
+    ``lex``/``gray`` rank values in natural order; ``hist`` ranks them
+    by descending frequency (ties broken in natural order) so the most
+    frequent value gets code 0 and therefore the longest fills.  NULL
+    always sorts last within its frequency class.
+    """
+    raw = table.column(column_name).values()
+    key = _order_key(raw)
+
+    def null_last(value: Any) -> Any:
+        return (value is None, None if value is None else key(value))
+
+    if ordering == "hist":
+        freq: Dict[Any, int] = {}
+        for value in raw:
+            freq[value] = freq.get(value, 0) + 1
+        ranked = sorted(freq, key=lambda v: (-freq[v],) + null_last(v))
+    else:
+        ranked = sorted(set(raw), key=null_last)
+    return {value: code for code, value in enumerate(ranked)}
+
+
+def column_priority(
+    table: Table,
+    columns: Optional[Sequence[str]] = None,
+    ordering: str = "lex",
+) -> List[str]:
+    """The column order the sort key is built in.
+
+    ``lex``/``gray`` respect the caller's order (defaulting to the
+    table's column order); ``hist`` re-ranks by ascending cardinality —
+    low-cardinality columns first produce the longest outer runs, the
+    histogram-aware heuristic's core move.
+    """
+    names = list(columns) if columns is not None else table.column_names
+    for name in names:
+        table.column(name)  # raises TableError on unknown columns
+    if ordering == "hist":
+        return sorted(names, key=lambda n: table.column(n).cardinality())
+    return names
+
+
+def row_permutation(
+    table: Table,
+    columns: Optional[Sequence[str]] = None,
+    ordering: str = "lex",
+) -> List[int]:
+    """The permutation (new position -> old row id) for ``ordering``.
+
+    Pure computation — nothing is applied.  The sort is stable, so
+    rows with equal keys keep their arrival order (appends within one
+    value stay clustered and deterministic).
+    """
+    if ordering not in ORDERINGS:
+        raise InvalidArgumentError(
+            f"unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+        )
+    nrows = len(table)
+    if ordering == "unordered" or nrows == 0:
+        return list(range(nrows))
+    names = column_priority(table, columns, ordering)
+    keys = [0] * nrows
+    for name in names:
+        codes = _value_codes(table, name, ordering)
+        top = max(codes.values()) if codes else 0
+        shift = max(1, top.bit_length())
+        row_codes = [codes[v] for v in table.column(name).values()]
+        for row_id in range(nrows):
+            keys[row_id] = (keys[row_id] << shift) | row_codes[row_id]
+    if ordering == "gray":
+        keys = [inverse_gray(code) for code in keys]
+    return sorted(range(nrows), key=keys.__getitem__)
+
+
+def reorder_table(
+    table: Table,
+    columns: Optional[Sequence[str]] = None,
+    ordering: str = "lex",
+) -> List[int]:
+    """Compute and physically apply a row reorder; returns the
+    permutation (new position -> old row id).
+
+    The identity permutation (always under ``"unordered"``) is a
+    no-op: columns and indexes are left untouched.
+    """
+    order = row_permutation(table, columns, ordering)
+    if order != list(range(len(order))):
+        table.apply_permutation(order)
+    return order
+
+
+def reorder_partitioned(
+    table: PartitionedTable,
+    columns: Optional[Sequence[str]] = None,
+    ordering: str = "lex",
+) -> List[List[int]]:
+    """Apply the reorder pass independently to every partition.
+
+    Each partition's rows are permuted *within* the partition, so the
+    word-aligned partition boundaries — and every partition-local
+    index's row universe — are preserved.  Returns one local
+    permutation per partition (new local position -> old local row
+    id), the shape stored in the manifest by
+    :meth:`repro.database.Database.reorder`.
+    """
+    return [
+        reorder_table(partition.table, columns, ordering)
+        for partition in table.partitions
+    ]

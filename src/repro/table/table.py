@@ -211,6 +211,36 @@ class Table:
                 continue
             yield {name: self.column(name)[row_id] for name in names}
 
+    def apply_permutation(self, order: Sequence[int]) -> None:
+        """Physically reorder the rows: new row ``j`` takes its values
+        from old row ``order[j]``.
+
+        The column rewrite, the void-set remap and every attached
+        index's :meth:`~repro.index.base.Index.rebuild` all run under
+        the write lock, so a concurrent writer can never interleave
+        with a half-permuted table (the same batch-atomicity contract
+        as :meth:`append_rows`).  Used by :mod:`repro.shard.reorder`;
+        raises :class:`~repro.errors.TableError` if ``order`` is not a
+        permutation of the current row ids, and ``NotImplementedError``
+        if an attached index kind cannot rebuild.
+        """
+        with self._write_lock:
+            nrows = len(self)
+            order = list(order)
+            if sorted(order) != list(range(nrows)):
+                raise TableError(
+                    f"order is not a permutation of {nrows} row ids"
+                )
+            for name, column in list(self._columns.items()):
+                values = column.values()
+                self._columns[name] = Column(
+                    name, [values[i] for i in order]
+                )
+            inverse = {old: new for new, old in enumerate(order)}
+            self._void = {inverse[row_id] for row_id in self._void}
+            for observer in self._observers:
+                observer.rebuild()
+
     # ------------------------------------------------------------------
     # index attachment
     # ------------------------------------------------------------------

@@ -293,6 +293,89 @@ def test_ebi105_ignores_nested_function_bodies():
 
 
 # ----------------------------------------------------------------------
+# EBI106 — run-compressed bitmap decompressed inside a loop
+# ----------------------------------------------------------------------
+def test_ebi106_flags_decompress_in_loop():
+    bad = """
+        def total(compressed_planes):
+            total = 0
+            for compressed in compressed_planes:
+                total += compressed.to_bitvector().count()
+            return total
+    """
+    found = findings_for("EBI106", bad, module="repro.aggregate.fake")
+    assert len(found) == 1
+    assert "decompressed inside a loop" in found[0].message
+
+
+def test_ebi106_flags_to_words_on_wah_receiver():
+    bad = """
+        def scan(index, queries):
+            while queries:
+                queries.pop()
+                use(index.wah_plane.to_words())
+    """
+    assert findings_for("EBI106", bad, module="repro.kernels.fake")
+
+
+def test_ebi106_flags_chained_plane_call():
+    bad = """
+        def pages(runs, touched):
+            for i in touched:
+                yield runs.plane(i).to_bitvector()
+    """
+    # receiver is the ``runs.plane(i)`` call — named by the callee.
+    assert not findings_for("EBI106", bad, module="repro.bench.fake")
+    bad_runs = """
+        def pages(snapshot, touched):
+            for i in touched:
+                yield snapshot.runs(i).to_bitvector()
+    """
+    assert findings_for("EBI106", bad_runs, module="repro.bench.fake")
+
+
+def test_ebi106_accepts_run_level_work_and_hoisting():
+    good = """
+        def merge(compressed_planes, selection):
+            result = selection
+            for compressed in compressed_planes:
+                result = result & compressed
+            return result.to_bitvector()
+
+        def runwise(rle):
+            for bit, length in rle.runs:
+                yield bit, length
+
+        def hoisted(compressed, positions):
+            vector = compressed.to_bitvector()
+            for j in positions:
+                yield vector[j]
+    """
+    assert not findings_for("EBI106", good, module="repro.aggregate.fake")
+
+
+def test_ebi106_ignores_non_runnish_receivers():
+    good = """
+        def prune(pruned_set, trunk):
+            for entry in trunk:
+                use(pruned_set.to_bitvector())
+                use(entry.page.to_words())
+    """
+    # substring "run" inside prune/trunk must not count; only whole
+    # tokens and the compressed/wah/rle fragments do.
+    assert not findings_for("EBI106", good, module="repro.aggregate.fake")
+
+
+def test_ebi106_exempt_outside_repro_package():
+    bad = """
+        def total(compressed_planes):
+            for compressed in compressed_planes:
+                use(compressed.to_bitvector())
+    """
+    assert not findings_for("EBI106", bad, module=None)
+
+
+# ----------------------------------------------------------------------
 # EBI201 — code 0 is reserved for the VOID sentinel (Theorem 2.1)
 # ----------------------------------------------------------------------
 def test_ebi201_flags_assign_zero_to_real_value():

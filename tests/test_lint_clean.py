@@ -67,6 +67,12 @@ def test_every_shipped_rule_fails_a_violating_fixture():
             "        pass\n",
             "repro.aggregate.fake",
         ),
+        "EBI106": (
+            "def scan(runs):\n"
+            "    for i in range(4):\n"
+            "        v = runs.to_bitvector()\n",
+            "repro.kernels.fake",
+        ),
         "EBI201": (
             "def build(t):\n    t.assign(\"red\", 0)\n",
             "repro.encoding.fake",
