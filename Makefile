@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test doctest bench bench-json parallel-bench kernel-bench compression-bench tables validate examples lint typecheck race-check crash-check all
+.PHONY: install test doctest bench bench-json parallel-bench kernel-bench compression-bench serving-bench tables validate examples lint typecheck race-check crash-check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,8 +36,8 @@ crash-check:
 doctest:
 	PYTHONPATH=src python -m pytest --doctest-modules \
 		src/repro/query src/repro/storage src/repro/obs \
-		src/repro/bench src/repro/shard src/repro/kernels \
-		src/repro/cache.py src/repro/database.py
+		src/repro/bench src/repro/shard src/repro/serving \
+		src/repro/kernels src/repro/cache.py src/repro/database.py
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -56,6 +56,13 @@ kernel-bench:
 compression-bench:
 	PYTHONPATH=src python -m repro.cli bench --case compression \
 		--suite compression
+
+# Query-serving tier: result-cache/process-pool bit-identity and
+# throughput lines plus the served zipf multi-tenant workload
+# (docs/serving.md).
+serving-bench:
+	PYTHONPATH=src python -m repro.cli bench --case serving \
+		--suite serving
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

@@ -16,7 +16,7 @@ import os
 import random
 import tempfile
 
-from repro import Database, Equals, InList, Range
+from repro import Database, Equals, InList, QueryOptions, Range
 
 
 def build() -> Database:
@@ -58,7 +58,7 @@ def main() -> None:
         )
 
     # 2. Worker count never changes the answer — only the schedule.
-    one = db.query("fact", predicate, workers=1)
+    one = db.query("fact", predicate, QueryOptions(workers=1))
     print(
         f"\nworkers=1 vs workers=4 identical: "
         f"{one.vector == result.vector}"

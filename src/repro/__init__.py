@@ -77,8 +77,16 @@ from repro.query import (
     NotPredicate,
 )
 from repro.query.executor import Executor, QueryResult
+from repro.query.options import QueryOptions
 from repro.query.planner import Plan, Planner
 from repro.database import Database
+from repro.serving import (
+    QuotaManager,
+    ResultCache,
+    Server,
+    ServerStats,
+    SyntheticWorkload,
+)
 from repro.shard import (
     ParallelExecutor,
     PartitionedIndex,
@@ -155,6 +163,7 @@ __all__ = [
     "OrPredicate",
     "NotPredicate",
     "Executor",
+    "QueryOptions",
     "QueryResult",
     "Plan",
     "Planner",
@@ -164,6 +173,12 @@ __all__ = [
     "PartitionedIndex",
     "PartitionedQueryResult",
     "PartitionedTable",
+    # serving tier
+    "QuotaManager",
+    "ResultCache",
+    "Server",
+    "ServerStats",
+    "SyntheticWorkload",
     # extensions (paper Section 5 future work)
     "CompressedBitmapIndex",
     "BitmapJoinIndex",

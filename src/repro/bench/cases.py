@@ -5,15 +5,27 @@ Each case mirrors one of the pytest benches under ``benchmarks/``
 execute it headlessly, pair every measurement with the paper model's
 prediction, and serialize the lot into ``BENCH_*.json``.
 
-A case is a plain function ``(tolerance) -> List[Comparison]``; the
-runner (:mod:`repro.bench.runner`) adds timing and the per-case metric
-snapshot around it.
+A case is a plain function ``(tolerance) -> List[Comparison]`` — or,
+when it has serving-tier extras to publish (latency percentiles,
+per-tenant rows; schema version 3), ``(tolerance) -> CaseOutcome``;
+the runner (:mod:`repro.bench.runner`) adds timing and the per-case
+metric snapshot around it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.table.table import Table
 
@@ -25,6 +37,25 @@ from repro.analysis.cost_models import (
     simple_sparsity,
 )
 from repro.bench.compare import Comparison, compare
+from repro.query.options import QueryOptions
+
+
+@dataclass
+class CaseOutcome:
+    """Comparisons plus the optional serving-tier report extras.
+
+    Most cases return a bare comparison list; a case that also has
+    latency quantiles or per-tenant accounting to publish (the
+    ``latency_percentiles`` / ``tenants`` keys of bench schema
+    version 3) returns one of these instead.
+    """
+
+    comparisons: List[Comparison] = field(default_factory=list)
+    #: Overall latency quantiles, name → milliseconds.
+    latency_percentiles: Optional[Dict[str, float]] = None
+    #: Per-tenant accounting rows: a ``tenant`` id plus numeric
+    #: fields (request counts, latency quantiles).
+    tenants: Optional[List[Dict[str, Any]]] = None
 
 
 @dataclass(frozen=True)
@@ -33,7 +64,7 @@ class BenchCase:
 
     name: str
     description: str
-    run: Callable[[float], List[Comparison]]
+    run: Callable[[float], Union[List[Comparison], CaseOutcome]]
     #: Worker-thread counts a partition-parallel case ran with;
     #: serialized as the case's ``workers`` key (schema version 2).
     workers: Optional[Tuple[int, ...]] = None
@@ -369,7 +400,7 @@ def case_parallel_scan(
         for _attempt in range(2):
             wall = time.perf_counter()
             outcomes[count] = executor.execute_many(
-                predicates, workers=count
+                predicates, QueryOptions(workers=count)
             )
             best = min(best, time.perf_counter() - wall)
         timings[count] = best
@@ -543,7 +574,7 @@ def case_kernel_eval(
         for _attempt in range(3):
             clear_all(children)
             start = time.perf_counter()
-            executor.execute_many(predicates, workers=1)
+            executor.execute_many(predicates, QueryOptions(workers=1))
             best = min(best, time.perf_counter() - start)
         return best
 
@@ -560,14 +591,22 @@ def case_kernel_eval(
     clear_all(kernel_children)
     red_hits_before = reduction_cache_stats()[0]
     comp_hits_before = compile_cache_stats()[0]
-    kernel_high = kernel_exec.execute_many(predicates, workers=high)
+    kernel_high = kernel_exec.execute_many(
+        predicates, QueryOptions(workers=high)
+    )
     red_hits = reduction_cache_stats()[0] - red_hits_before
     comp_hits = compile_cache_stats()[0] - comp_hits_before
     # Warm runs for the determinism lines (cache state no longer
     # changes, so only worker count varies between the two).
-    kernel_low = kernel_exec.execute_many(predicates, workers=low)
-    kernel_high = kernel_exec.execute_many(predicates, workers=high)
-    tree_high = tree_exec.execute_many(predicates, workers=high)
+    kernel_low = kernel_exec.execute_many(
+        predicates, QueryOptions(workers=low)
+    )
+    kernel_high = kernel_exec.execute_many(
+        predicates, QueryOptions(workers=high)
+    )
+    tree_high = tree_exec.execute_many(
+        predicates, QueryOptions(workers=high)
+    )
 
     tree_row_mismatches = sum(
         1
@@ -1248,6 +1287,239 @@ def case_compression(tolerance: float, *, n: int) -> List[Comparison]:
     return comparisons
 
 
+# ---------------------------------------------------------------------------
+# serving tier: result cache + process pool + multi-tenant zipf workload
+# ---------------------------------------------------------------------------
+
+#: Reads measured per execution path in the CPU-bound mix.
+SERVING_READS = 120
+
+#: Operations driven through the :class:`repro.serving.Server` for the
+#: latency/throughput segment (reads and cache-invalidating appends).
+SERVING_SERVED_OPS = 400
+
+#: Repeats per path; the best wall time is kept (scheduler noise).
+SERVING_REPEATS = 3
+
+
+def case_serving(tolerance: float, *, rows: int) -> CaseOutcome:
+    """The serving tier end to end (docs/serving.md).
+
+    Three segments over one zipf-skewed multi-tenant workload
+    (:class:`repro.serving.workload.SyntheticWorkload`):
+
+    1. **Bit-identity** — the result cache's warm hits and the
+       process-pool backend must answer bit-identically (rows *and*
+       ``c_e``) to uncached thread-pool execution.
+    2. **CPU-bound mix** — single-query throughput of the uncached
+       thread pool vs the process pool vs the result cache; the
+       cached and process paths must each beat the thread baseline.
+    3. **Served workload** — the same mix driven through a live
+       :class:`repro.serving.Server` (reads submitted per tenant,
+       appends invalidating the cache mid-stream); queries/sec plus
+       p50/p99 latency land in the report's serving keys.
+    """
+    from repro.database import Database
+    from repro.obs.metrics import get_registry
+    from repro.serving.result_cache import results_identical
+    from repro.serving.server import Server
+    from repro.serving.workload import ReadOp, SyntheticWorkload
+
+    workload = SyntheticWorkload(
+        seed=11, tenants=4, rows=rows, partitions=4
+    )
+    db = Database()
+    workload.build(db)
+    table = workload.TABLE
+    reads = [
+        op
+        for op in workload.operations(4 * SERVING_READS)
+        if isinstance(op, ReadOp)
+    ][:SERVING_READS]
+    predicates = [op.predicate for op in reads]
+
+    thread_opts = QueryOptions(workers=4, use_cache=False)
+    process_opts = QueryOptions(backend="process", use_cache=False)
+    cached_opts = QueryOptions(workers=4, use_cache=True)
+    comparisons: List[Comparison] = []
+    try:
+        # -- segment 1: bit-identity ------------------------------------
+        uncached = [db.query(table, p, thread_opts) for p in predicates]
+        for p in predicates:  # cold pass fills the cache
+            db.query(table, p, cached_opts)
+        warm = [db.query(table, p, cached_opts) for p in predicates]
+        via_process = [
+            db.query(table, p, process_opts) for p in predicates
+        ]
+        row_mismatches = sum(
+            1
+            for u, w in zip(uncached, warm)
+            if len(u.vector) != len(w.vector)
+            or u.vector.words.tobytes() != w.vector.words.tobytes()
+        )
+        ce_mismatches = sum(
+            1
+            for u, w in zip(uncached, warm)
+            if u.cost.vectors_accessed != w.cost.vectors_accessed
+        )
+        cache_misses = sum(1 for w in warm if not w.cached)
+        process_mismatches = sum(
+            1
+            for u, v in zip(uncached, via_process)
+            if not results_identical(u, v)
+        )
+        comparisons.extend(
+            [
+                compare(
+                    "cached vs uncached row mismatches",
+                    row_mismatches,
+                    0,
+                    unit="queries",
+                    tolerance=tolerance,
+                ),
+                compare(
+                    "cached vs uncached c_e mismatches",
+                    ce_mismatches,
+                    0,
+                    unit="queries",
+                    tolerance=tolerance,
+                ),
+                compare(
+                    "warm queries not served from cache",
+                    cache_misses,
+                    0,
+                    unit="queries",
+                    tolerance=tolerance,
+                ),
+                compare(
+                    "process vs thread mismatches (rows or c_e)",
+                    process_mismatches,
+                    0,
+                    unit="queries",
+                    tolerance=tolerance,
+                ),
+            ]
+        )
+
+        # -- segment 2: CPU-bound single-query mix ----------------------
+        def loop_wall(opts: QueryOptions) -> float:
+            start = time.perf_counter()
+            for p in predicates:
+                db.query(table, p, opts)
+            return time.perf_counter() - start
+
+        walls: Dict[str, float] = {}
+        for label, opts in (
+            ("thread", thread_opts),
+            ("process", process_opts),
+            ("cached", cached_opts),
+        ):
+            best = loop_wall(opts)
+            for _ in range(SERVING_REPEATS - 1):
+                best = min(best, loop_wall(opts))
+            walls[label] = best
+        qps = {
+            label: SERVING_READS / wall for label, wall in walls.items()
+        }
+        comparisons.extend(
+            [
+                compare(
+                    "result-cache q/s vs uncached thread q/s",
+                    qps["cached"],
+                    qps["thread"],
+                    mode="ge",
+                    unit="q/s",
+                    tolerance=tolerance,
+                ),
+                compare(
+                    "process-pool q/s vs uncached thread q/s",
+                    qps["process"],
+                    qps["thread"],
+                    mode="ge",
+                    unit="q/s",
+                    tolerance=tolerance,
+                ),
+            ]
+        )
+
+        # -- segment 3: served zipf multi-tenant read/write -------------
+        operations = list(workload.operations(SERVING_SERVED_OPS))
+        served_reads = sum(
+            1 for op in operations if isinstance(op, ReadOp)
+        )
+        with Server(
+            database=db,
+            workers=2,
+            queue_capacity=64,
+            policy="block",
+            default_timeout=120.0,
+        ) as server:
+            pending = []
+            start = time.perf_counter()
+            for op in operations:
+                if isinstance(op, ReadOp):
+                    pending.append(
+                        server.submit(
+                            table,
+                            op.predicate,
+                            options=QueryOptions(tenant=op.tenant),
+                        )
+                    )
+                else:
+                    db.append(table, op.row)
+            for request in pending:
+                request.result(timeout=120.0)
+            served_wall = time.perf_counter() - start
+            stats = server.stats()
+        served_qps = stats.completed / max(served_wall, 1e-9)
+        comparisons.extend(
+            [
+                compare(
+                    "served requests completed",
+                    stats.completed,
+                    served_reads,
+                    unit="requests",
+                    tolerance=tolerance,
+                ),
+                compare(
+                    "served requests failed",
+                    stats.failed,
+                    0,
+                    unit="requests",
+                    tolerance=tolerance,
+                ),
+            ]
+        )
+        registry = get_registry()
+        registry.gauge("serving.bench.thread_qps").set(qps["thread"])
+        registry.gauge("serving.bench.process_qps").set(qps["process"])
+        registry.gauge("serving.bench.cached_qps").set(qps["cached"])
+        registry.gauge("serving.bench.served_qps").set(served_qps)
+        latency = {
+            f"{name}_ms": value * 1000.0
+            for name, value in stats.latency_percentiles.items()
+        }
+        tenants = [
+            {
+                "tenant": row.tenant,
+                "completed": row.completed,
+                "failed": row.failed,
+                **{
+                    f"{name}_ms": value * 1000.0
+                    for name, value in row.latency_percentiles.items()
+                },
+            }
+            for row in stats.tenants.values()
+        ]
+        return CaseOutcome(
+            comparisons=comparisons,
+            latency_percentiles=latency,
+            tenants=tenants,
+        )
+    finally:
+        db.close()
+
+
 QUICK_CASES: List[BenchCase] = [
     BenchCase(
         name="reduction",
@@ -1382,6 +1654,30 @@ def compression_case(quick: bool) -> BenchCase:
     )
 
 
+#: Row counts for the serving case per suite flavor.  Small tables
+#: keep per-query compute sub-millisecond, which is the serving
+#: regime: fixed per-call overhead (thread-pool creation on the
+#: thread baseline, IPC on the process pool) decides the ranking.
+SERVING_SMOKE_ROWS = 20_480
+SERVING_FULL_ROWS = 65_536
+
+
+def serving_case(quick: bool) -> BenchCase:
+    """Build the serving-tier case for a suite flavor."""
+    n = SERVING_SMOKE_ROWS if quick else SERVING_FULL_ROWS
+    return BenchCase(
+        name="serving_smoke" if quick else "serving_64k",
+        description=(
+            f"query-serving tier over {n} rows: result-cache and "
+            "process-pool throughput vs the uncached thread pool, "
+            "bit-identity (rows and c_e), and served qps/p50/p99 "
+            "under a zipf multi-tenant read/write workload "
+            "(docs/serving.md)"
+        ),
+        run=lambda tolerance: case_serving(tolerance, rows=n),
+    )
+
+
 def cases_for(
     quick: bool, workers: Optional[Sequence[int]] = None
 ) -> List[BenchCase]:
@@ -1394,4 +1690,5 @@ def cases_for(
     cases.append(parallel_case(quick, workers))
     cases.append(kernel_case(quick, workers))
     cases.append(compression_case(quick))
+    cases.append(serving_case(quick))
     return cases

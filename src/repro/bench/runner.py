@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.bench.cases import BenchCase, cases_for
+from repro.bench.cases import BenchCase, CaseOutcome, cases_for
 from repro.bench.compare import Comparison
 from repro.bench.schema import SCHEMA_VERSION, assert_valid
 from repro.errors import InvalidArgumentError
@@ -39,6 +39,11 @@ class CaseReport:
     error: Optional[str] = None
     #: Worker-thread counts, for partition-parallel cases (schema v2).
     workers: Optional[Tuple[int, ...]] = None
+    #: Overall latency quantiles (name → ms), for serving cases
+    #: (schema v3).
+    latency_percentiles: Optional[Dict[str, float]] = None
+    #: Per-tenant accounting rows, for serving cases (schema v3).
+    tenants: Optional[List[Dict[str, Any]]] = None
 
     @property
     def ok(self) -> bool:
@@ -58,6 +63,12 @@ class CaseReport:
         }
         if self.workers is not None:
             payload["workers"] = list(self.workers)
+        if self.latency_percentiles is not None:
+            payload["latency_percentiles"] = dict(
+                self.latency_percentiles
+            )
+        if self.tenants is not None:
+            payload["tenants"] = [dict(row) for row in self.tenants]
         return payload
 
 
@@ -113,23 +124,29 @@ def run_case(case: BenchCase, tolerance: float) -> CaseReport:
     """Run one case under a private registry, timing it."""
     registry = MetricsRegistry()
     error: Optional[str] = None
-    comparisons: List[Comparison] = []
+    outcome = CaseOutcome()
     wall = time.perf_counter()
     cpu = time.process_time()
     with use_registry(registry):
         try:
-            comparisons = case.run(tolerance)
+            returned = case.run(tolerance)
+            if isinstance(returned, CaseOutcome):
+                outcome = returned
+            else:
+                outcome = CaseOutcome(comparisons=list(returned))
         except Exception as exc:  # noqa: BLE001 - reported, not hidden
             error = f"{type(exc).__name__}: {exc}"
     return CaseReport(
         name=case.name,
         description=case.description,
-        comparisons=comparisons,
+        comparisons=outcome.comparisons,
         metrics=registry.collect(),
         wall_seconds=time.perf_counter() - wall,
         cpu_seconds=time.process_time() - cpu,
         error=error,
         workers=case.workers,
+        latency_percentiles=outcome.latency_percentiles,
+        tenants=outcome.tenants,
     )
 
 

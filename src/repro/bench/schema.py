@@ -6,10 +6,10 @@ incompatible layouts instead of silently misreading them.  Validation
 is hand-rolled — the container has no ``jsonschema`` — and reports
 *all* violations, not just the first.
 
-Layout (version 2)::
+Layout (version 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "suite": "smoke",
       "quick": true,
       "tolerance": 0.25,
@@ -23,6 +23,19 @@ Layout (version 2)::
           "ok": true,
           "metrics": {"evaluator.vector_reads": 42, ...},
           "workers": [1, 4],          # optional: parallel cases only
+          "latency_percentiles": {    # optional: serving cases only
+            "p50_ms": 1.4,
+            "p99_ms": 9.8
+          },
+          "tenants": [                # optional: serving cases only
+            {
+              "tenant": "tenant-0",
+              "completed": 412,
+              "failed": 3,
+              "p50_ms": 1.3,
+              "p99_ms": 10.2
+            }
+          ],
           "results": [
             {
               "label": "delta=8 measured c_s",
@@ -44,8 +57,12 @@ Layout (version 2)::
 ``docs/benchmarks.md`` for the full contract.
 
 Version history: version 2 added the optional per-case ``workers``
-key — the thread counts a partition-parallel case ran with.  Cases
-without it serialize exactly as in version 1.
+key — the thread counts a partition-parallel case ran with.  Version
+3 added the optional serving-tier keys: ``latency_percentiles`` (a
+string → milliseconds map for the case's overall latency quantiles)
+and ``tenants`` (per-tenant accounting rows — tenant id, request
+counts, latency quantiles).  Cases without them serialize exactly as
+in earlier versions.
 """
 
 from __future__ import annotations
@@ -54,7 +71,7 @@ from typing import Any, Dict, List, Tuple, Union
 
 from repro.errors import BenchSchemaError
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 COMPARISON_MODES = ("eq", "le", "ge", "approx")
 
@@ -81,9 +98,12 @@ _CASE_KEYS: _Spec = {
     "results": list,
 }
 
-#: Keys a case may carry but need not (added in schema version 2).
+#: Keys a case may carry but need not (``workers`` since schema
+#: version 2; ``latency_percentiles`` and ``tenants`` since 3).
 _CASE_OPTIONAL_KEYS: _Spec = {
     "workers": list,
+    "latency_percentiles": dict,
+    "tenants": list,
 }
 
 _RESULT_KEYS: _Spec = {
@@ -172,6 +192,46 @@ def validate_payload(payload: Any) -> List[str]:
                     problems.append(
                         f"{where}.workers[{j}]: expected int >= 1"
                     )
+        percentiles = case.get("latency_percentiles")
+        if isinstance(percentiles, dict):
+            if not percentiles:
+                problems.append(
+                    f"{where}.latency_percentiles: must not be empty"
+                )
+            for name, value in percentiles.items():
+                if not isinstance(name, str):
+                    problems.append(
+                        f"{where}.latency_percentiles: non-string key"
+                    )
+                elif isinstance(value, bool) or not isinstance(
+                    value, _NUMBER
+                ):
+                    problems.append(
+                        f"{where}.latency_percentiles[{name!r}]: "
+                        "expected number"
+                    )
+        tenants = case.get("tenants")
+        if isinstance(tenants, list):
+            if not tenants:
+                problems.append(f"{where}.tenants: must not be empty")
+            for j, tenant in enumerate(tenants):
+                twhere = f"{where}.tenants[{j}]"
+                if not isinstance(tenant, dict):
+                    problems.append(f"{twhere}: expected object")
+                    continue
+                if not isinstance(tenant.get("tenant"), str):
+                    problems.append(
+                        f"{twhere}.tenant: expected string"
+                    )
+                for name, value in tenant.items():
+                    if name == "tenant":
+                        continue
+                    if isinstance(value, bool) or not isinstance(
+                        value, _NUMBER
+                    ):
+                        problems.append(
+                            f"{twhere}[{name!r}]: expected number"
+                        )
         metrics = case.get("metrics")
         if isinstance(metrics, dict):
             for name, value in metrics.items():

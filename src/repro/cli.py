@@ -187,6 +187,7 @@ def cmd_fsck(args: argparse.Namespace) -> int:
 def cmd_explain(args: argparse.Namespace) -> int:
     from repro.database import Database
     from repro.obs.demo import SCENARIOS, model_comparison
+    from repro.query.options import QueryOptions
     from repro.query.planner import Planner
 
     scenario = SCENARIOS[args.scenario]()
@@ -198,7 +199,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
         return 0
     print()
     result = db.query(
-        scenario.table.name, scenario.predicate, trace=True
+        scenario.table.name, scenario.predicate, QueryOptions(trace=True)
     )
     # The cost-model comparison wants the Plan object itself — an
     # internals concern the facade deliberately doesn't expose.
@@ -261,6 +262,171 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.database import Database
+    from repro.errors import (
+        QuotaExceededError,
+        RequestTimeoutError,
+        ServerOverloadedError,
+    )
+    from repro.query.options import QueryOptions
+    from repro.serving.server import Server
+    from repro.serving.workload import ReadOp, SyntheticWorkload
+
+    if args.directory is not None:
+        db = Database.recover(args.directory)
+        names = db.tables()
+        if args.table is not None:
+            if args.table not in names:
+                print(
+                    f"no table {args.table!r} in {args.directory} "
+                    f"(found: {', '.join(names) or 'none'})"
+                )
+                return 2
+            table_name = args.table
+        elif len(names) == 1:
+            table_name = names[0]
+        else:
+            print(
+                "directory holds several tables; pick one with "
+                f"--table (found: {', '.join(names)})"
+            )
+            return 2
+        table = db.table(table_name)
+        column = args.column
+        if column is None:
+            for name in table.column_names:
+                if db.catalog.indexes_on(table_name, name):
+                    column = name
+                    break
+        if column is None:
+            print(f"no indexed column on {table_name}; use --column")
+            return 2
+        values = sorted(
+            (
+                value
+                for value in table.column(column).distinct_values()
+                if value is not None
+            ),
+            key=repr,
+        )
+        if not values:
+            print(f"{table_name}.{column} holds no values to query")
+            return 2
+        # A recovered directory is served read-only: the driver never
+        # appends to (or re-logs the WAL of) a database it was handed.
+        workload = SyntheticWorkload(
+            seed=args.seed,
+            tenants=args.tenants,
+            values=values,
+            read_fraction=1.0,
+            table=table_name,
+            column=column,
+        )
+    else:
+        db = Database()
+        workload = SyntheticWorkload(
+            seed=args.seed,
+            tenants=args.tenants,
+            rows=args.rows,
+            read_fraction=args.read_fraction,
+            partitions=args.partitions,
+        )
+        workload.build(db)
+
+    server = Server(
+        database=db,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        default_timeout=args.timeout,
+        use_cache=not args.no_cache,
+    )
+    pending = []
+    rejected = 0
+    started = time.perf_counter()
+    try:
+        for op in workload.operations(args.requests):
+            if isinstance(op, ReadOp):
+                try:
+                    pending.append(
+                        server.submit(
+                            workload.TABLE,
+                            op.predicate,
+                            options=QueryOptions(
+                                tenant=op.tenant, backend=args.backend
+                            ),
+                        )
+                    )
+                except (
+                    QuotaExceededError,
+                    RequestTimeoutError,
+                    ServerOverloadedError,
+                ):
+                    rejected += 1
+            else:
+                db.append(workload.TABLE, op.row)
+        for request in pending:
+            try:
+                request.result(timeout=args.timeout)
+            except Exception:  # noqa: BLE001 - counted in stats below
+                pass
+        elapsed = time.perf_counter() - started
+        stats = server.stats()
+    finally:
+        server.close()
+        db.close()
+
+    reads = len(pending) + rejected
+    writes = args.requests - reads
+    qps = stats.completed / elapsed if elapsed > 0 else 0.0
+    cache = db.result_cache
+    print(
+        f"served {workload.TABLE!r} on {workload.COLUMN!r} "
+        f"(policy={args.policy}, workers={args.workers}, "
+        f"backend={args.backend}, "
+        f"cache={'off' if args.no_cache else 'on'}):"
+    )
+    print(
+        f"  reads {reads} (admission-rejected {rejected}), "
+        f"writes {writes}"
+    )
+    print(
+        f"  completed {stats.completed}, failed {stats.failed} "
+        f"(shed {stats.shed}, timed out {stats.timed_out})"
+    )
+    print(f"  wall {elapsed:.2f} s — {qps:.1f} q/s")
+    print(
+        "  latency "
+        + ", ".join(
+            f"{name} {value * 1000:.2f} ms"
+            for name, value in stats.latency_percentiles.items()
+        )
+    )
+    print(
+        f"  result cache: {cache.hits} hits, {cache.misses} misses, "
+        f"{cache.fills()} fills"
+    )
+    if stats.tenants:
+        print()
+        _print_rows(
+            ["tenant", "completed", "failed", "p50 ms", "p99 ms"],
+            [
+                (
+                    row.tenant,
+                    row.completed,
+                    row.failed,
+                    f"{row.latency_percentiles.get('p50', 0.0) * 1000:.2f}",
+                    f"{row.latency_percentiles.get('p99', 0.0) * 1000:.2f}",
+                )
+                for row in stats.tenants.values()
+            ],
+        )
+    return 1 if stats.failed else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -384,6 +550,90 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: smoke for --quick, full otherwise)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="stand up the serving tier (bounded queue, quotas, "
+        "result cache) over a database and drive a seeded zipf "
+        "multi-tenant workload through it (see docs/serving.md)",
+    )
+    p_serve.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="a directory written by Database.save, served read-only; "
+        "omit to build an in-memory synthetic table",
+    )
+    p_serve.add_argument(
+        "--table",
+        default=None,
+        help="table to serve from a recovered directory (default: "
+        "the only table)",
+    )
+    p_serve.add_argument(
+        "--column",
+        default=None,
+        help="indexed column the synthetic predicates select on "
+        "(default: the first indexed column)",
+    )
+    p_serve.add_argument(
+        "--requests",
+        type=int,
+        default=400,
+        help="operations to drive through the server (default 400)",
+    )
+    p_serve.add_argument(
+        "--rows",
+        type=int,
+        default=4096,
+        help="synthetic table size when no directory is given",
+    )
+    p_serve.add_argument("--tenants", type=int, default=4)
+    p_serve.add_argument(
+        "--partitions",
+        type=int,
+        default=4,
+        help="partition count of the synthetic table (default 4)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.9,
+        help="share of operations that are reads; the rest append "
+        "(synthetic mode only — recovered directories are read-only)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="server worker threads (default 2)",
+    )
+    p_serve.add_argument("--queue-capacity", type=int, default=64)
+    p_serve.add_argument(
+        "--policy",
+        choices=("reject", "block", "shed"),
+        default="block",
+        help="admission policy when the queue is full (default block)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="partition-executor backend for served queries",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="end-to-end request deadline in seconds (default 30)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve strictly uncached answers",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_lint = sub.add_parser(
         "lint",

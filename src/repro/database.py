@@ -37,6 +37,8 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
+from contextlib import ExitStack
 from typing import (
     Any,
     Callable,
@@ -69,8 +71,18 @@ from repro.index.verify import FsckReport, verify_index
 from repro.index.verify import repair as repair_index
 from repro.obs.metrics import MetricsRegistry
 from repro.query.executor import Executor, QueryResult
+from repro.query.options import (
+    QueryOptions,
+    kernel_override,
+    resolve_options,
+)
 from repro.query.predicates import Predicate
-from repro.query.snapshot import pinned_rows
+from repro.query.snapshot import pinned_rows, published_rows
+from repro.serving.result_cache import (
+    CacheKey,
+    ResultCache,
+    cache_key,
+)
 from repro.storage.wal import FileWriteAheadLog, WalRecord
 from repro.shard.executor import ParallelExecutor
 from repro.shard.index import PartitionedIndex
@@ -135,6 +147,17 @@ class Database:
         self._wal: Optional[FileWriteAheadLog] = None
         #: Monotonic manifest generation; bumped by every save.
         self._generation = 0
+        #: Per-table data epoch: bumped on *entry and exit* of every
+        #: mutation path (append/update/delete/compact/reorder and
+        #: index DDL), so a query overlapping a mutation can never
+        #: observe the same epoch before and after executing — the
+        #: store-side double-check in :meth:`query` then refuses the
+        #: fill and the result cache stays coherent.
+        self._epochs: Dict[str, int] = {}
+        #: Result cache keyed on canonicalised retrieval expressions
+        #: (:mod:`repro.serving.result_cache`); consulted only when a
+        #: query opts in via ``QueryOptions(use_cache=True)``.
+        self.result_cache = ResultCache()  # ebi: shared-readonly
 
     # ------------------------------------------------------------------
     # construction
@@ -185,11 +208,19 @@ class Database:
             table = PartitionedTable.from_columns(
                 name, data, partitions=partitions
             )
-            self._partitioned[name] = table
+            # Register with the catalog *before* recording the
+            # partitioned-table entry: registration is the step that
+            # rejects duplicate names, and recording first would leave
+            # ``_partitioned`` (and through it ``table()`` and the
+            # executor map) pointing at an unregistered table when it
+            # raises — the stale-facade bug the lifecycle regression
+            # test pins down.
             self.catalog.register_table(cast(Table, table))
+            self._partitioned[name] = table
         else:
             table = Table.from_columns(name, dict(data))
             self.catalog.register_table(table)
+        self._bump_epoch(name)
         return table
 
     def table(self, name: str) -> AnyTable:
@@ -231,6 +262,7 @@ class Database:
                 f"{sorted(INDEX_KINDS)}"
             )
         table = self.table(table_name)
+        self._bump_epoch(table_name)
         index: Index
         if isinstance(table, PartitionedTable):
             child_factory = factory or self._child_factory(
@@ -248,6 +280,7 @@ class Database:
         self._index_specs.append(
             {"table": table_name, "column": column_name, "kind": kind}
         )
+        self._bump_epoch(table_name)
         return index
 
     @staticmethod
@@ -273,33 +306,84 @@ class Database:
         self,
         table_name: str,
         predicate: Predicate,
-        *,
-        workers: Optional[int] = None,
-        trace: bool = False,
+        options: Optional[QueryOptions] = None,
+        **legacy: Any,
     ) -> QueryResult:
         """Plan and run one selection.
 
-        Partitioned tables run on the partition-parallel executor
-        (``workers=`` overrides its thread count) and return a
-        :class:`~repro.shard.executor.PartitionedQueryResult`; plain
-        tables run on the classic planned executor.
+        Everything per-call travels in
+        :class:`~repro.query.options.QueryOptions` (the old bare
+        ``workers=`` / ``trace=`` keywords are deprecated shims):
+        worker count and backend for partitioned tables (which return
+        a :class:`~repro.shard.executor.PartitionedQueryResult`),
+        kernel override, snapshot pin, timeout, tenant stamp — and
+        ``use_cache=True``, which serves repeat retrievals from
+        :attr:`result_cache` bit-identically (rows *and* ``c_e``) to
+        uncached execution.  Traced or snapshot-pinned queries bypass
+        the cache.
         """
-        if table_name in self._partitioned:
-            return self._executor(table_name).execute(
-                predicate, workers=workers, trace=trace
+        opts = resolve_options(options, legacy, where="query")
+        start = time.perf_counter()
+        key: Optional[CacheKey] = None
+        epoch = 0
+        if (
+            opts.use_cache
+            and not opts.trace
+            and opts.snapshot_rows is None
+        ):
+            epoch = self._epoch(table_name)
+            key = cache_key(
+                self.catalog,
+                table_name,
+                predicate,
+                epoch=epoch,
+                published=published_rows(self.table(table_name)),
             )
+            if key is not None:
+                hit = self.result_cache.lookup(key)
+                if hit is not None:
+                    hit.tenant = opts.tenant
+                    hit.wall_seconds = time.perf_counter() - start
+                    return hit
+        result = self._query_uncached(table_name, predicate, opts)
+        if (
+            key is not None
+            and not result.degraded
+            and self._epoch(table_name) == epoch
+        ):
+            # The double-check refuses stale fills: any mutation that
+            # overlapped this execution moved the epoch (mutators bump
+            # on entry *and* exit), so a result computed over a
+            # half-mutated universe can never land under a live key.
+            self.result_cache.store(key, result)
+        result.tenant = opts.tenant
+        result.wall_seconds = time.perf_counter() - start
+        return result
+
+    def _query_uncached(
+        self,
+        table_name: str,
+        predicate: Predicate,
+        opts: QueryOptions,
+    ) -> QueryResult:
+        if table_name in self._partitioned:
+            return self._executor(table_name).execute(predicate, opts)
         executor = Executor(self.catalog, registry=self.registry)
-        return executor.select(
-            self.catalog.table(table_name), predicate, trace=trace
-        )
+        table = self.catalog.table(table_name)
+        with ExitStack() as stack:
+            stack.enter_context(kernel_override(opts.use_kernels))
+            if opts.snapshot_rows is not None:
+                stack.enter_context(
+                    pinned_rows(table, rows=opts.snapshot_rows)
+                )
+            return executor.select(table, predicate, trace=opts.trace)
 
     def query_many(  # ebi: worker-entry
         self,
         table_name: str,
         predicates: Sequence[Predicate],
-        *,
-        workers: Optional[int] = None,
-        trace: bool = False,
+        options: Optional[QueryOptions] = None,
+        **legacy: Any,
     ) -> List[QueryResult]:
         """Run a batch of selections, sharing leaf-vector reads.
 
@@ -308,25 +392,34 @@ class Database:
         the same leaf predicate pay its index read once (for
         partitioned tables this happens per partition, inside
         :meth:`~repro.shard.executor.ParallelExecutor.execute_many`).
+        Per-call configuration travels in ``options`` exactly as for
+        :meth:`query`; the batch never consults the result cache —
+        its own leaf sharing is the batch-shaped equivalent.
         """
+        opts = resolve_options(options, legacy, where="query_many")
         predicates = list(predicates)
         if table_name in self._partitioned:
             return list(
                 self._executor(table_name).execute_many(
-                    predicates, workers=workers, trace=trace
+                    predicates, opts
                 )
             )
         executor = Executor(self.catalog, registry=self.registry)
         table = self.catalog.table(table_name)
         # Pin the published-row watermark for the whole batch so a
         # concurrent ingester cannot produce torn results (queries
-        # early in the batch seeing fewer rows than later ones).
-        with pinned_rows(table):
+        # early in the batch seeing fewer rows than later ones); a
+        # caller-supplied ``snapshot_rows`` pins tighter.
+        with ExitStack() as stack:
+            stack.enter_context(kernel_override(opts.use_kernels))
+            stack.enter_context(
+                pinned_rows(table, rows=opts.snapshot_rows)
+            )
             plans = executor.planner.plan_many(table, predicates)
             leaf_cache: Dict[Predicate, Any] = {}
             return [
                 executor.execute(
-                    plan, trace=trace, leaf_cache=leaf_cache
+                    plan, trace=opts.trace, leaf_cache=leaf_cache
                 )
                 for plan in plans
             ]
@@ -357,6 +450,7 @@ class Database:
         if not normalised:
             return []
         with self._ingest_lock:
+            self._bump_epoch(table_name)
             crash_point("database.ingest.pre-log")
             if self._wal is not None:
                 # WAL-before-apply is the durability invariant: the
@@ -376,6 +470,7 @@ class Database:
             crash_point("database.ingest.logged")
             row_ids = table.append_rows(normalised)  # ebilint: disable=EBI303
             crash_point("database.ingest.applied")
+            self._bump_epoch(table_name)
         return row_ids
 
     def update(
@@ -384,6 +479,7 @@ class Database:
         """Overwrite one attribute, WAL-first (idempotent on replay)."""
         table = self.table(table_name)
         with self._ingest_lock:
+            self._bump_epoch(table_name)
             crash_point("database.ingest.pre-log")
             if self._wal is not None:
                 # Log-before-apply, fsync under the ingest lock — see
@@ -402,11 +498,13 @@ class Database:
             crash_point("database.ingest.logged")
             table.update(row_id, column, value)  # ebilint: disable=EBI303
             crash_point("database.ingest.applied")
+            self._bump_epoch(table_name)
 
     def delete(self, table_name: str, row_id: int) -> None:
         """Soft-delete one row, WAL-first (idempotent on replay)."""
         table = self.table(table_name)
         with self._ingest_lock:
+            self._bump_epoch(table_name)
             crash_point("database.ingest.pre-log")
             if self._wal is not None:
                 # Log-before-apply, fsync under the ingest lock — see
@@ -419,6 +517,7 @@ class Database:
             crash_point("database.ingest.logged")
             table.delete(row_id)  # ebilint: disable=EBI303
             crash_point("database.ingest.applied")
+            self._bump_epoch(table_name)
 
     def compact(self) -> int:
         """Fold every encoded index's delta tier into packed planes.
@@ -426,10 +525,20 @@ class Database:
         Returns the number of indexes that actually compacted.  Also
         runs implicitly when a delta crosses its size threshold.
         """
+        # Epochs bump around the whole pass (entry and exit, like
+        # every mutation path) so a concurrent cached query can never
+        # fill against a half-compacted index set.
+        tables = sorted(
+            {index.table.name for index in self.catalog.all_indexes()}
+        )
+        for name in tables:
+            self._bump_epoch(name)
         compacted = 0
         for _, index in self._encoded_indexes():
             if index.compact():
                 compacted += 1
+        for name in tables:
+            self._bump_epoch(name)
         return compacted
 
     def reorder(
@@ -456,6 +565,7 @@ class Database:
         """
         table = self.table(table_name)
         with self._ingest_lock:
+            self._bump_epoch(table_name)
             if isinstance(table, PartitionedTable):
                 permutations = reorder_partitioned(
                     table, columns, ordering
@@ -478,6 +588,7 @@ class Database:
                 # be replayed (its row ids would target the old
                 # order), so the save must be atomic with the reorder.
                 self.save(self._directory)  # ebilint: disable=EBI303
+            self._bump_epoch(table_name)
         return permutations
 
     def reorder_metadata(
@@ -500,19 +611,30 @@ class Database:
             )
         return dict(zip(names, values))
 
-    def explain(self, table_name: str, predicate: Predicate) -> str:
+    def explain(
+        self,
+        table_name: str,
+        predicate: Predicate,
+        options: Optional[QueryOptions] = None,
+        **legacy: Any,
+    ) -> str:
         """EXPLAIN without reading any vectors.
 
         Partitioned tables render one plan per partition with row
-        spans; plain tables render the classic single plan.
+        spans; plain tables render the classic single plan.  Accepts
+        the same ``options`` object as :meth:`query` (so call sites
+        can reuse one), though planning only consults the kernel
+        override.
         """
-        if table_name in self._partitioned:
-            return self._executor(table_name).explain(predicate)
-        executor = Executor(self.catalog, registry=self.registry)
-        plan = executor.planner.plan(
-            self.catalog.table(table_name), predicate
-        )
-        return plan.explain()
+        opts = resolve_options(options, legacy, where="explain")
+        with kernel_override(opts.use_kernels):
+            if table_name in self._partitioned:
+                return self._executor(table_name).explain(predicate)
+            executor = Executor(self.catalog, registry=self.registry)
+            plan = executor.planner.plan(
+                self.catalog.table(table_name), predicate
+            )
+            return plan.explain()
 
     def _executor(self, table_name: str) -> ParallelExecutor:
         with self._lock:
@@ -526,7 +648,50 @@ class Database:
         )
         with self._lock:
             executor = self._executors.setdefault(table_name, built)
+        if executor is not built:
+            # Lost the race: release the just-built executor's backend
+            # resources instead of leaking a process pool.
+            built.close()
         return executor
+
+    # ------------------------------------------------------------------
+    # epochs and lifecycle
+    # ------------------------------------------------------------------
+    def _epoch(self, table_name: str) -> int:
+        with self._lock:
+            return self._epochs.get(table_name, 0)
+
+    def _bump_epoch(self, table_name: str) -> None:
+        with self._lock:
+            self._epochs[table_name] = (
+                self._epochs.get(table_name, 0) + 1
+            )
+
+    def epoch(self, table_name: str) -> int:
+        """The table's current data epoch (monotonic; moves on every
+        mutation path).  Part of the result-cache key; exposed so the
+        serving tier and tests can assert on invalidation."""
+        return self._epoch(table_name)
+
+    def close(self) -> None:
+        """Release executor backends (worker-process pools, spill
+        directories), the result cache and the WAL.  Idempotent; the
+        database object itself remains queryable — executors are
+        rebuilt lazily if used again."""
+        with self._lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for executor in executors:
+            executor.close()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # integrity

@@ -159,6 +159,56 @@ class PlanningError(QueryError):
     """The planner could not produce a plan for a query."""
 
 
+class QueryTimeoutError(QueryError):
+    """A query exceeded its ``QueryOptions.timeout_seconds`` deadline.
+
+    The executor stops collecting partition results and abandons the
+    in-flight ones (their worker pool is shut down without waiting);
+    no partial result is returned.
+    """
+
+    def __init__(self, message: str, timeout_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.timeout_seconds = timeout_seconds
+
+
+class WorkerCrashError(QueryError):
+    """A process-pool worker died mid-query.
+
+    Raised by the ``process`` execution backend when a worker process
+    exits (or its pipe breaks) before returning its partition results.
+    The strategy tears the pool down; the next query rebuilds it.
+    """
+
+
+class ServingError(ReproError):
+    """Errors from the query-serving tier (``repro.serving``)."""
+
+
+class AdmissionError(ServingError):
+    """A request was refused at admission, before any execution."""
+
+
+class ServerOverloadedError(AdmissionError):
+    """The bounded request queue was full and the admission policy
+    chose to refuse the request (``reject``) or evict another
+    (``shed`` — the evicted request observes this error too)."""
+
+
+class QuotaExceededError(AdmissionError):
+    """The request's tenant is over its configured request quota."""
+
+
+class ServerClosedError(ServingError):
+    """A request arrived at (or was still queued in) a server that has
+    been shut down."""
+
+
+class RequestTimeoutError(ServingError):
+    """A served request missed its deadline — queue wait plus
+    execution exceeded ``QueryOptions.timeout_seconds``."""
+
+
 class BenchError(ReproError):
     """Errors from the benchmark harness (``repro.bench``)."""
 

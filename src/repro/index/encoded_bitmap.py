@@ -49,6 +49,7 @@ from repro.kernels import (
     compile_function,
 )
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.query.options import kernel_override_value
 from repro.query.predicates import Equals, InList, IsNull, Predicate, Range
 from repro.query.snapshot import snapshot_rows
 from repro.table.table import Table
@@ -164,7 +165,7 @@ class EncodedBitmapIndex(Index):
         (:func:`repro.index.serialization.loads`) restores an index via
         ``__new__`` and must initialise the same state.
         """
-        self.use_kernels = use_kernels
+        self._use_kernels = use_kernels
         if plane_format not in ("packed", "compressed"):
             raise InvalidArgumentError(
                 f"bad plane_format {plane_format!r}"
@@ -200,6 +201,26 @@ class EncodedBitmapIndex(Index):
         self._delta_seq = 0
         self._base_rows = 0
         self.compactions = 0
+
+    @property
+    def use_kernels(self) -> bool:
+        """Whether lookups take the compiled-kernel path.
+
+        The per-query thread-local override installed by
+        :func:`repro.query.options.kernel_override` (the
+        ``QueryOptions.use_kernels`` knob) wins over the index's own
+        construction-time setting, so ablation runs can force the
+        legacy tree walk for one query without mutating shared index
+        state.
+        """
+        override = kernel_override_value()
+        if override is not None:
+            return override
+        return self._use_kernels
+
+    @use_kernels.setter
+    def use_kernels(self, value: bool) -> None:
+        self._use_kernels = bool(value)
 
     # ------------------------------------------------------------------
     # construction

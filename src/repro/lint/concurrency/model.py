@@ -64,6 +64,7 @@ TAG_SHARED_READONLY = "shared-readonly"
 TAG_VERSIONED = "versioned"
 TAG_THREAD_LOCAL = "thread-local"
 TAG_WORKER_ENTRY = "worker-entry"
+TAG_PROCESS_ENTRY = "process-entry"
 
 #: Method names treated as mutating their receiver when called as
 #: ``self.attr.<name>(...)`` (or on a local alias of ``self.attr``).
@@ -118,6 +119,7 @@ VIRTUAL_FALLBACK_BLACKLIST: FrozenSet[str] = frozenset(
         "remove",
         "render",
         "reset",
+        "set",
         "snapshot",
         "sort",
         "split",
@@ -259,6 +261,11 @@ class MethodInfo:
     calls: List[CallSite] = field(default_factory=list)
     version_accesses: List[VersionAccess] = field(default_factory=list)
     worker_entry: bool = False
+    #: ``# ebi: process-entry``: the function is submitted to a
+    #: *process* pool.  Spawned workers share no memory with the
+    #: parent's threads, so the thread-shared-state analysis must not
+    #: treat the submit target as a thread worker entry.
+    process_entry: bool = False
     #: Effects computed by the transitive fixpoint.
     effects: Set[str] = field(default_factory=set)
     #: Locks acquired here or in any (transitive) callee.
@@ -789,6 +796,9 @@ def build_model(contexts: Sequence[LintContext]) -> ProgramModel:
                 info.worker_entry = _has_tag(
                     ctx, node, TAG_WORKER_ENTRY
                 )
+                info.process_entry = _has_tag(
+                    ctx, node, TAG_PROCESS_ENTRY
+                )
                 model.functions[info.qualname] = info
                 model.functions_by_name.setdefault(
                     info.name, []
@@ -816,6 +826,9 @@ def build_model(contexts: Sequence[LintContext]) -> ProgramModel:
                 )
                 info.worker_entry = _has_tag(
                     cls.ctx, node, TAG_WORKER_ENTRY
+                )
+                info.process_entry = _has_tag(
+                    cls.ctx, node, TAG_PROCESS_ENTRY
                 )
                 cls.methods[node.name] = info
         _collect_attrs(cls)
@@ -1070,13 +1083,13 @@ def _detect_worker_entries(model: ProgramModel) -> None:
                 attr = _self_attr(target)
                 if attr is not None and info.cls is not None:
                     resolved = info.cls.resolve_method(attr)
-                    if resolved is not None:
+                    if resolved is not None and not resolved.process_entry:
                         resolved.worker_entry = True
                 elif isinstance(target, ast.Name):
                     fn = model.functions.get(
                         f"{info.ctx.module}:{target.id}"
                     )
-                    if fn is not None:
+                    if fn is not None and not fn.process_entry:
                         fn.worker_entry = True
             elif name == "Thread":
                 for kw in call.keywords:

@@ -100,3 +100,83 @@ class DeprecatedIndexConstructorRule(Rule):
         if isinstance(func, ast.Name):
             return func.id
         return None
+
+
+#: :class:`repro.query.options.QueryOptions` field names.  Passing any
+#: of them as a bare keyword to a query entry point is the pre-redesign
+#: calling convention (kept only as a ``DeprecationWarning`` shim for
+#: ``workers=``/``trace=``; the rest were never bare kwargs and raise).
+_QUERY_OPTION_FIELDS = frozenset(
+    {
+        "workers",
+        "trace",
+        "backend",
+        "use_kernels",
+        "timeout_seconds",
+        "snapshot_rows",
+        "tenant",
+        "use_cache",
+    }
+)
+
+#: Query entry points and which bare keywords are forbidden on each.
+#: ``execute`` deliberately excludes ``trace=`` —
+#: ``Executor.select(predicate, trace=...)``-style single-index APIs
+#: legitimately keep a trace flag, and plan-level ``execute`` helpers
+#: would false-positive; the partition executor's ``execute_many`` has
+#: no such collision.
+_QUERY_ENTRY_POINTS = {
+    "query": _QUERY_OPTION_FIELDS,
+    "query_many": _QUERY_OPTION_FIELDS,
+    "explain": _QUERY_OPTION_FIELDS,
+    "execute": frozenset({"workers", "backend"}),
+    "execute_many": frozenset({"workers", "backend", "trace"}),
+}
+
+
+@register_rule
+class BareQueryKwargRule(Rule):
+    """EBI207: in-repo code must pass query options as ``QueryOptions``.
+
+    The request-API redesign funnels every per-query knob through one
+    keyword-only :class:`~repro.query.options.QueryOptions` value.
+    The old scattered kwargs (``workers=``, ``trace=``) survive only
+    as :class:`DeprecationWarning` shims for external callers — the
+    same contract EBI206 enforces for index constructors — and *new*
+    bare kwargs (``backend=``, ``tenant=``, ...) never existed, so a
+    call using one is a latent ``InvalidArgumentError``.
+    """
+
+    id = "EBI207"
+    name = "bare-query-kwarg"
+    description = (
+        "bare query keyword on a query entry point; pass a "
+        "QueryOptions (e.g. query(name, pred, "
+        "QueryOptions(workers=2)))"
+    )
+    rationale = (
+        "API contract: the kwarg shims on query()/execute() are "
+        "deprecation aids for external callers; in-repo use keeps "
+        "them load-bearing forever and new bare kwargs raise at "
+        "run time."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = DeprecatedIndexConstructorRule._called_name(
+                node.func
+            )
+            forbidden = _QUERY_ENTRY_POINTS.get(name or "")
+            if forbidden is None:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in forbidden:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}() called with bare {keyword.arg}=; "
+                        f"pass QueryOptions({keyword.arg}=...) "
+                        "instead",
+                    )

@@ -53,6 +53,14 @@ class QueryResult:
     metrics: Dict[str, Union[int, float]] = field(default_factory=dict)
     #: Per-query trace, present when the query ran with ``trace=True``.
     trace: Optional[QueryTrace] = None
+    #: True when the rows and cost came out of the database's result
+    #: cache instead of being executed (``QueryOptions.use_cache``).
+    cached: bool = False
+    #: Tenant the query was accounted to, when one was supplied.
+    tenant: Optional[str] = None
+    #: Wall-clock seconds the call took end to end (0.0 when the
+    #: entry point predates the serving tier and never timed itself).
+    wall_seconds: float = 0.0
 
     def row_ids(self) -> List[int]:
         return [int(i) for i in self.vector.indices()]

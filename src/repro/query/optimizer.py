@@ -21,11 +21,13 @@ Example (doctest) — selecting codes {1, 2} on k = 2 vectors is an XOR
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.boolean.reduction import ReducedFunction, reduce_values
 from repro.query.predicates import (
     AndPredicate,
+    Equals,
+    InList,
     NotPredicate,
     OrPredicate,
     Predicate,
@@ -60,6 +62,79 @@ def dont_care_variants(
 
     for subset in subsets:
         yield subset, reduce_values(codes, width, dont_cares=subset)
+
+
+def normalize_predicate(predicate: Predicate) -> Predicate:
+    """Collapse same-column OR unions of Equals/InList into one leaf.
+
+    ``A = b OR A = c`` and ``A IN {b, c}`` select the same rows, but
+    served leaf by leaf the OR form pays one full-minterm lookup per
+    term while the IN form reduces the *union* of codes at once (the
+    paper's Q2 / Definition 2.5 shape, where Quine-McCluskey can
+    cancel variables across terms).  Normalising before planning makes
+    canonically-equal predicates execute with identical access cost
+    instead of depending on how the query happened to be spelled.
+
+    Value order is first occurrence, so equal inputs normalise to
+    equal (hashable) predicates.  Operands that are not Equals/InList
+    leaves — ranges, NULL tests, nested conjunctions — are kept in
+    place, each normalised recursively.
+
+    >>> from repro.query.predicates import Equals, Range
+    >>> normalize_predicate(Equals("A", "b") | Equals("A", "c"))
+    InList(column='A', values=('b', 'c'))
+    >>> normalize_predicate(Equals("A", "b") | Range("q", 1, 2))
+    OrPredicate(operands=(Equals(column='A', value='b'), \
+Range(column='q', low=1, high=2, low_inclusive=True, \
+high_inclusive=True)))
+    """
+    if isinstance(predicate, AndPredicate):
+        return AndPredicate(
+            tuple(normalize_predicate(op) for op in predicate.operands)
+        )
+    if isinstance(predicate, NotPredicate):
+        return NotPredicate(normalize_predicate(predicate.operand))
+    if not isinstance(predicate, OrPredicate):
+        return predicate
+    # Flatten nested ORs first: ``(a OR b) OR c`` — the shape the
+    # ``|`` operator builds — must unify leaves across nesting levels.
+    flattened: List[Predicate] = []
+    pending = list(predicate.operands)
+    while pending:
+        operand = normalize_predicate(pending.pop(0))
+        if isinstance(operand, OrPredicate):
+            flattened.extend(operand.operands)
+        else:
+            flattened.append(operand)
+    merged: List[Predicate] = []
+    unions: Dict[str, List[Any]] = {}
+    slots: Dict[str, int] = {}
+    for operand in flattened:
+        if isinstance(operand, Equals):
+            column, values = operand.column, [operand.value]
+        elif isinstance(operand, InList):
+            column, values = operand.column, list(operand.values)
+        else:
+            merged.append(operand)
+            continue
+        if column not in slots:
+            slots[column] = len(merged)
+            merged.append(operand)  # placeholder, rewritten below
+            unions[column] = []
+        bucket = unions[column]
+        for value in values:
+            if value not in bucket:
+                bucket.append(value)
+    for column, position in slots.items():
+        values = unions[column]
+        merged[position] = (
+            Equals(column, values[0])
+            if len(values) == 1
+            else InList(column, values)
+        )
+    if len(merged) == 1:
+        return merged[0]
+    return OrPredicate(tuple(merged))
 
 
 def collect_leaves(predicate: Predicate) -> List[Predicate]:

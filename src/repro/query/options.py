@@ -1,0 +1,219 @@
+"""``QueryOptions`` — the one way to configure a query.
+
+Before the serving tier landed, every per-call knob travelled as its
+own bare keyword argument (``workers=``, ``trace=``) scattered across
+:meth:`repro.database.Database.query`, ``query_many``, ``explain`` and
+the partition-parallel executor — and each new knob (tenant ids,
+timeouts, the process-pool backend, the result cache) would have
+widened every one of those signatures again.  ``QueryOptions`` folds
+the whole per-call surface into a single keyword-only dataclass; the
+old bare keywords remain as :class:`DeprecationWarning` shims for
+external callers (see :func:`resolve_options`), and ebilint rule
+EBI207 keeps in-repo code off the shims so the deprecation period can
+actually end.
+
+Example::
+
+    >>> opts = QueryOptions(workers=2, tenant="acme")
+    >>> opts.workers, opts.tenant
+    (2, 'acme')
+    >>> QueryOptions(trace=True).replace(use_cache=True).trace
+    True
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Any, Iterator, List, Mapping, Optional
+
+from repro.errors import InvalidArgumentError
+
+#: Execution backends the partition-parallel executor understands.
+BACKENDS = ("thread", "process")
+
+#: Per-call keywords the pre-``QueryOptions`` API accepted; still
+#: honoured as deprecated shims by the query entry points.
+LEGACY_QUERY_KWARGS = ("workers", "trace")
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Keyword-only bundle of every per-query knob.
+
+    Parameters
+    ----------
+    workers:
+        Worker count for partition-parallel execution; ``None`` uses
+        the executor's default.
+    trace:
+        Attach a :class:`~repro.obs.trace.QueryTrace` to the result.
+        Traced queries bypass the result cache (a cached trace would
+        describe work that did not happen) and always run on the
+        thread backend.
+    backend:
+        ``"thread"`` (default) or ``"process"`` — the latter runs
+        partitions on a :class:`~repro.shard.process.ProcessPoolStrategy`
+        worker pool, escaping the GIL for the pure-Python planning and
+        reduction work.
+    use_kernels:
+        Per-query override of the compiled-kernel path: ``None``
+        keeps each index's own setting, ``False`` forces the legacy
+        tree walk for this query only (ablation runs).
+    timeout_seconds:
+        Deadline for the call.  Enforced between partition futures by
+        the parallel executor and across queue wait + execution by
+        :class:`repro.serving.Server`; a plain single-table query
+        checks it only before starting.
+    snapshot_rows:
+        Consistency pin: evaluate against the first ``snapshot_rows``
+        rows only, as :func:`repro.query.snapshot.pinned_rows` would.
+        ``None`` pins nothing (plain reads see the live table).
+    tenant:
+        Workload-accounting identity.  Stamped onto the result and
+        used by the serving tier for quotas and per-tenant metrics.
+    use_cache:
+        Serve from / fill the database's result cache (keyed on the
+        canonicalised retrieval expression; see
+        :class:`repro.serving.result_cache.ResultCache`).
+    """
+
+    workers: Optional[int] = None
+    trace: bool = False
+    backend: str = "thread"
+    use_kernels: Optional[bool] = None
+    timeout_seconds: Optional[float] = None
+    snapshot_rows: Optional[int] = None
+    tenant: Optional[str] = None
+    use_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise InvalidArgumentError(
+                f"worker count must be >= 1, got {self.workers}"
+            )
+        if self.backend not in BACKENDS:
+            raise InvalidArgumentError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        if (
+            self.timeout_seconds is not None
+            and self.timeout_seconds <= 0
+        ):
+            raise InvalidArgumentError(
+                f"timeout_seconds must be > 0, got "
+                f"{self.timeout_seconds}"
+            )
+        if self.snapshot_rows is not None and self.snapshot_rows < 0:
+            raise InvalidArgumentError(
+                f"snapshot_rows must be >= 0, got {self.snapshot_rows}"
+            )
+
+    def replace(self, **changes: Any) -> "QueryOptions":
+        """A copy with the given fields changed (validation re-runs)."""
+        return replace(self, **changes)
+
+
+#: The default options — what a bare ``db.query(table, predicate)``
+#: runs with.
+DEFAULT_OPTIONS = QueryOptions()
+
+_OPTION_FIELDS = frozenset(f.name for f in fields(QueryOptions))
+
+
+def resolve_options(
+    options: Optional[QueryOptions],
+    legacy: Mapping[str, Any],
+    *,
+    where: str,
+    stacklevel: int = 3,
+) -> QueryOptions:
+    """Fold deprecated bare keywords into a :class:`QueryOptions`.
+
+    ``legacy`` is the ``**kwargs`` dict a shimmed entry point
+    collected.  Known legacy keys (:data:`LEGACY_QUERY_KWARGS`) raise
+    a :class:`DeprecationWarning` naming the replacement; unknown keys
+    raise :class:`~repro.errors.InvalidArgumentError` immediately.
+    Passing both ``options=`` and a legacy keyword is rejected — a
+    call must be all-new or all-old, never a merge whose precedence
+    the reader has to guess.
+    """
+    if not legacy:
+        return options if options is not None else DEFAULT_OPTIONS
+    unknown = sorted(set(legacy) - _OPTION_FIELDS)
+    if unknown:
+        raise InvalidArgumentError(
+            f"{where}() got unexpected keyword argument(s) "
+            f"{', '.join(map(repr, unknown))}; supported options are "
+            f"the QueryOptions fields {sorted(_OPTION_FIELDS)}"
+        )
+    if options is not None:
+        raise InvalidArgumentError(
+            f"{where}() got both options= and the deprecated bare "
+            f"keyword(s) {sorted(legacy)}; pass everything via "
+            "options=QueryOptions(...)"
+        )
+    warnings.warn(
+        f"{where}({', '.join(sorted(legacy))}=...) is deprecated; "
+        f"pass options=QueryOptions({', '.join(sorted(legacy))}=...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return QueryOptions(**dict(legacy))
+
+
+# ---------------------------------------------------------------------
+# per-query compiled-kernel override
+# ---------------------------------------------------------------------
+_kernel_local = threading.local()
+
+
+def _override_stack() -> List[bool]:
+    stack: Optional[List[bool]] = getattr(_kernel_local, "stack", None)
+    if stack is None:
+        stack = []
+        _kernel_local.stack = stack
+    return stack
+
+
+@contextmanager
+def kernel_override(value: Optional[bool]) -> Iterator[None]:
+    """Thread-locally force the kernel path on or off.
+
+    ``None`` is a no-op (indexes keep their own ``use_kernels``
+    setting).  Overrides nest; the innermost wins.  The executors wrap
+    per-partition work in this so ``QueryOptions.use_kernels``
+    propagates into worker threads.
+    """
+    if value is None:
+        yield
+        return
+    stack = _override_stack()
+    stack.append(bool(value))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def kernel_override_value() -> Optional[bool]:
+    """The calling thread's innermost override, or ``None``."""
+    stack = getattr(_kernel_local, "stack", None)
+    if not stack:
+        return None
+    return bool(stack[-1])
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_OPTIONS",
+    "LEGACY_QUERY_KWARGS",
+    "QueryOptions",
+    "kernel_override",
+    "kernel_override_value",
+    "resolve_options",
+]

@@ -21,6 +21,7 @@ from typing import List, Optional
 from typing import TYPE_CHECKING
 
 from repro.errors import PlanningError
+from repro.query.optimizer import normalize_predicate
 from repro.query.predicates import (
     AndPredicate,
     Equals,
@@ -156,7 +157,15 @@ class Planner:
 
     # ------------------------------------------------------------------
     def plan(self, table: Table, predicate: Predicate) -> Plan:
-        """Build a plan; falls back to a scan when no index serves."""
+        """Build a plan; falls back to a scan when no index serves.
+
+        The predicate is normalised first (see
+        :func:`repro.query.optimizer.normalize_predicate`): same-column
+        OR unions of equality/IN leaves collapse into one IN-list, so
+        ``A = b OR A = c`` plans — and costs — exactly like
+        ``A IN {b, c}``.
+        """
+        predicate = normalize_predicate(predicate)
         plan = Plan(table=table, predicate=predicate)
         try:
             self._collect_steps(table, predicate, plan)

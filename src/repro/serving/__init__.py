@@ -1,0 +1,64 @@
+"""Query-serving tier: result cache, admission control, workloads.
+
+The serving package turns a :class:`repro.Database` into a long-lived
+multi-tenant query service:
+
+* :mod:`repro.serving.result_cache` — results keyed on *reduced*
+  retrieval expressions (the paper's bijective-mapping argument makes
+  the matched-value set a sound cache key), invalidated by the
+  database's per-table epoch counter.
+* :mod:`repro.serving.queue` — bounded admission queue with
+  ``reject`` / ``block`` / ``shed`` policies.
+* :mod:`repro.serving.quotas` — per-tenant in-flight ceilings and
+  accounting through :mod:`repro.obs`.
+* :mod:`repro.serving.server` — the worker-pool server tying the
+  above together, with p50/p99 latency summaries.
+* :mod:`repro.serving.workload` — seeded zipf-skewed multi-tenant
+  workloads for the bench and the ``repro serve`` CLI.
+
+Every constructor in the package takes keyword-only configuration —
+part of the request-API redesign that also introduced
+:class:`repro.query.options.QueryOptions`.
+"""
+
+from repro.serving.queue import POLICIES, BoundedRequestQueue
+from repro.serving.quotas import DEFAULT_TENANT, QuotaManager
+from repro.serving.result_cache import (
+    ResultCache,
+    cache_key,
+    canonical_expression,
+    results_identical,
+)
+from repro.serving.server import (
+    Request,
+    Server,
+    ServerStats,
+    TenantStats,
+    percentile,
+)
+from repro.serving.workload import (
+    ReadOp,
+    SyntheticWorkload,
+    WriteOp,
+    ZipfSampler,
+)
+
+__all__ = [
+    "POLICIES",
+    "DEFAULT_TENANT",
+    "BoundedRequestQueue",
+    "QuotaManager",
+    "ReadOp",
+    "Request",
+    "ResultCache",
+    "Server",
+    "ServerStats",
+    "SyntheticWorkload",
+    "TenantStats",
+    "WriteOp",
+    "ZipfSampler",
+    "cache_key",
+    "canonical_expression",
+    "percentile",
+    "results_identical",
+]

@@ -1,0 +1,170 @@
+"""Bounded admission queue for the serving tier.
+
+The queue is where the server converts *load* into *policy*.  Three
+admission policies cover the classic trade-offs:
+
+``reject``
+    Full queue fails the new request immediately
+    (:class:`~repro.errors.ServerOverloadedError`) — lowest latency
+    for admitted work, hard feedback for callers.
+``block``
+    The producer waits for space until its deadline
+    (:class:`~repro.errors.RequestTimeoutError` on expiry) — classic
+    backpressure.
+``shed``
+    The *oldest* queued request is dropped to make room — freshest
+    work wins, which suits interactive dashboards where a stale
+    query's answer is worthless by the time it would run.
+
+The queue never touches metrics registries or the requests'
+callbacks itself: :meth:`BoundedRequestQueue.put` *returns* the shed
+items so the caller (:class:`repro.serving.server.Server`) can fail
+them and account for the drop outside any lock — the EBI303 lock
+hygiene rule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from repro.errors import (
+    InvalidArgumentError,
+    RequestTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+
+#: Admission policies, in the order documented above.
+POLICIES = ("reject", "block", "shed")
+
+T = TypeVar("T")
+
+
+class BoundedRequestQueue(Generic[T]):
+    """A FIFO of pending requests with a hard capacity.
+
+    Parameters (keyword-only)
+    -------------------------
+    capacity:
+        Maximum queued (not yet running) requests.
+    policy:
+        One of :data:`POLICIES`; what :meth:`put` does when full.
+    """
+
+    def __init__(
+        self, *, capacity: int, policy: str = "block"
+    ) -> None:
+        if capacity < 1:
+            raise InvalidArgumentError(
+                f"queue capacity must be >= 1, got {capacity}"
+            )
+        if policy not in POLICIES:
+            raise InvalidArgumentError(
+                f"unknown admission policy {policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        self.capacity = capacity  # ebi: shared-readonly
+        self.policy = policy  # ebi: shared-readonly
+        self._items: Deque[T] = deque()
+        self._closed = False
+        self._lock = threading.Lock()
+        #: Both conditions share ``_lock`` so every wait/notify happens
+        #: under the same guard the item deque uses.
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    def put(
+        self, item: T, *, timeout: Optional[float] = None
+    ) -> List[T]:
+        """Enqueue ``item``, applying the admission policy when full.
+
+        Returns the list of requests *shed* to make room (empty unless
+        the policy is ``shed`` and the queue was full).  Raises
+        :class:`ServerOverloadedError` (policy ``reject``),
+        :class:`RequestTimeoutError` (policy ``block``, deadline
+        expired while waiting for space) or :class:`ServerClosedError`.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        shed: List[T] = []
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("server is closed")
+            while len(self._items) >= self.capacity:
+                if self.policy == "reject":
+                    raise ServerOverloadedError(
+                        f"queue full ({self.capacity} pending)"
+                    )
+                if self.policy == "shed":
+                    shed.append(self._items.popleft())
+                    continue
+                remaining: Optional[float] = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise RequestTimeoutError(
+                            "timed out waiting for queue space"
+                        )
+                self._not_full.wait(remaining)
+                if self._closed:
+                    raise ServerClosedError("server is closed")
+            self._items.append(item)
+            self._not_empty.notify()
+        return shed
+
+    def get(self, *, timeout: Optional[float] = None) -> T:
+        """Pop the oldest request, waiting up to ``timeout`` seconds.
+
+        Raises :class:`ServerClosedError` once the queue is closed
+        *and* drained (workers use this as their exit signal), and
+        :class:`RequestTimeoutError` when the wait expires.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    raise ServerClosedError("queue closed")
+                remaining: Optional[float] = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise RequestTimeoutError(
+                            "timed out waiting for a request"
+                        )
+                self._not_empty.wait(remaining)
+            item = self._items.popleft()
+            self._not_full.notify()
+        return item
+
+    def close(self) -> List[T]:
+        """Stop admissions and return everything still queued.
+
+        Wakes every waiting producer and consumer; the caller fails
+        the returned requests (outside this queue's lock).
+        """
+        with self._lock:
+            self._closed = True
+            drained = list(self._items)
+            self._items.clear()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        return drained
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+
+__all__ = ["POLICIES", "BoundedRequestQueue"]

@@ -1,0 +1,116 @@
+"""Per-tenant quotas and accounting for the serving tier.
+
+A tenant is any string identity a request carries
+(:attr:`repro.query.options.QueryOptions.tenant`).  The manager
+enforces a concurrent in-flight ceiling per tenant and keeps
+admitted / rejected / completed counts, published to the metrics
+registry as ``serving.tenant.<id>.admitted`` etc. — the same
+registry the rest of the stack reports through, so one bench snapshot
+sees executor, cache and tenant accounting together.
+
+Counter publication happens *outside* the manager's lock (EBI303):
+the lock protects only the in-flight map, and metric increments are
+issued after it is released.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.errors import InvalidArgumentError, QuotaExceededError
+from repro.obs.metrics import get_registry
+
+#: Tenant identity used when a request carries none.
+DEFAULT_TENANT = "anonymous"
+
+
+class QuotaManager:
+    """Concurrent-request ceilings and accounting per tenant.
+
+    Parameters (keyword-only)
+    -------------------------
+    default_limit:
+        In-flight ceiling for tenants without an explicit entry.
+        ``None`` means unlimited.
+    limits:
+        Per-tenant overrides (``{"analytics": 2}``); an explicit
+        ``None`` value grants that tenant an unlimited lane.
+    """
+
+    def __init__(
+        self,
+        *,
+        default_limit: Optional[int] = None,
+        limits: Optional[Dict[str, Optional[int]]] = None,
+    ) -> None:
+        if default_limit is not None and default_limit < 1:
+            raise InvalidArgumentError(
+                f"default_limit must be >= 1 or None, got {default_limit}"
+            )
+        for tenant, limit in (limits or {}).items():
+            if limit is not None and limit < 1:
+                raise InvalidArgumentError(
+                    f"limit for tenant {tenant!r} must be >= 1 or "
+                    f"None, got {limit}"
+                )
+        self.default_limit = default_limit  # ebi: shared-readonly
+        self._limits: Dict[str, Optional[int]] = dict(limits or {})  # ebi: shared-readonly
+        self._inflight: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def limit_for(self, tenant: str) -> Optional[int]:
+        """The in-flight ceiling for ``tenant`` (``None`` = unlimited)."""
+        if tenant in self._limits:
+            return self._limits[tenant]
+        return self.default_limit
+
+    def acquire(self, tenant: Optional[str]) -> str:
+        """Claim an in-flight slot for ``tenant``.
+
+        Returns the resolved tenant id (``anonymous`` when ``None``).
+        Raises :class:`~repro.errors.QuotaExceededError` when the
+        tenant is already at its ceiling — admission control, not
+        queueing: a quota breach is the tenant's own backlog, so it
+        must not consume shared queue capacity.
+        """
+        resolved = tenant or DEFAULT_TENANT
+        limit = self.limit_for(resolved)
+        with self._lock:
+            current = self._inflight.get(resolved, 0)
+            admitted = limit is None or current < limit
+            if admitted:
+                self._inflight[resolved] = current + 1
+        registry = get_registry()
+        if not admitted:
+            registry.counter(
+                f"serving.tenant.{resolved}.rejected"
+            ).inc()
+            raise QuotaExceededError(
+                f"tenant {resolved!r} at its in-flight limit ({limit})"
+            )
+        registry.counter(f"serving.tenant.{resolved}.admitted").inc()
+        return resolved
+
+    def release(self, tenant: str) -> None:
+        """Return the slot claimed by :meth:`acquire`."""
+        with self._lock:
+            current = self._inflight.get(tenant, 0)
+            if current <= 1:
+                self._inflight.pop(tenant, None)
+            else:
+                self._inflight[tenant] = current - 1
+        get_registry().counter(
+            f"serving.tenant.{tenant}.completed"
+        ).inc()
+
+    def inflight(self, tenant: Optional[str] = None) -> int:
+        """In-flight requests for one tenant, or the total."""
+        with self._lock:
+            if tenant is not None:
+                return self._inflight.get(tenant, 0)
+            return sum(self._inflight.values())
+
+
+__all__ = ["DEFAULT_TENANT", "QuotaManager"]

@@ -37,13 +37,23 @@ keys; supply a shared-mapping factory to unlock the sharing.
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.bitmap.bitvector import BitVector
-from repro.errors import InvalidArgumentError
+from repro.errors import InvalidArgumentError, QueryTimeoutError
 from repro.index.base import LookupCost
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -55,10 +65,18 @@ from repro.obs.metrics import (
 from repro.obs.trace import QueryTrace, StageTiming
 from repro.query.executor import Executor, QueryResult
 from repro.query.optimizer import shared_leaf_counts
+from repro.query.options import (
+    QueryOptions,
+    kernel_override,
+    resolve_options,
+)
 from repro.query.predicates import Predicate
 from repro.query.snapshot import bounded_rows, pinned_rows
 from repro.shard.partition import Partition, PartitionedTable
 from repro.shard.scan import ColumnArrayCache, try_vector_scan
+
+if TYPE_CHECKING:
+    from repro.shard.process import ProcessPoolStrategy
 
 #: Default worker-thread count (matches the default partition count).
 DEFAULT_WORKERS = 4
@@ -131,6 +149,8 @@ class ParallelExecutor:
         self.table = table  # ebi: shared-readonly
         self.workers = workers  # ebi: shared-readonly
         self.registry = registry  # ebi: shared-readonly
+        self._process_lock = threading.Lock()
+        self._process: Optional["ProcessPoolStrategy"] = None
 
     def _registry(self) -> MetricsRegistry:
         return self.registry if self.registry is not None else get_registry()
@@ -141,63 +161,89 @@ class ParallelExecutor:
     def execute(
         self,
         predicate: Predicate,
-        *,
-        workers: Optional[int] = None,
-        trace: bool = False,
+        options: Optional[QueryOptions] = None,
+        **legacy: Any,
     ) -> PartitionedQueryResult:
-        """Evaluate one predicate across every partition and merge."""
-        return self.execute_many(
-            [predicate], workers=workers, trace=trace
-        )[0]
+        """Evaluate one predicate across every partition and merge.
+
+        Configuration travels in ``options``; the pre-``QueryOptions``
+        bare keywords (``workers=``, ``trace=``) still work behind a
+        :class:`DeprecationWarning` shim.
+        """
+        opts = resolve_options(options, legacy, where="execute")
+        return self.execute_many([predicate], opts)[0]
 
     def execute_many(
         self,
         predicates: Sequence[Predicate],
-        *,
-        workers: Optional[int] = None,
-        trace: bool = False,
+        options: Optional[QueryOptions] = None,
+        **legacy: Any,
     ) -> List[PartitionedQueryResult]:
         """Evaluate a batch of predicates, sharing reads per partition.
 
         Every worker task covers *all* predicates for one partition,
         sharing a leaf-vector cache and a column-array cache across
         the batch; results merge per query in partition-id order.
+
+        ``options`` selects the backend (``thread`` / ``process``),
+        worker count, per-query kernel override, snapshot pin and
+        timeout; the old bare ``workers=`` / ``trace=`` keywords are
+        deprecated shims.  Traced queries always run on the thread
+        backend — a trace is built from in-process objects that a
+        worker process cannot send back whole.
         """
+        opts = resolve_options(options, legacy, where="execute_many")
         predicates = list(predicates)
         if not predicates:
             return []
-        nworkers = self.workers if workers is None else workers
-        if nworkers < 1:
-            raise InvalidArgumentError(
-                f"worker count must be >= 1, got {nworkers}"
-            )
+        nworkers = self.workers if opts.workers is None else opts.workers
+        trace = opts.trace
+        deadline: Optional[float] = None
+        if opts.timeout_seconds is not None:
+            deadline = time.monotonic() + opts.timeout_seconds
         registry = self._registry()
         wall = time.perf_counter()
         cpu = time.process_time()
 
         partitions = self.table.partitions
-        if nworkers == 1:
-            outcomes = [
-                self._run_partition(partition, predicates, trace)
-                for partition in partitions
-            ]
-        else:
-            with ThreadPoolExecutor(max_workers=nworkers) as pool:
-                futures = [
-                    pool.submit(
-                        self._run_partition, partition, predicates, trace
+        if opts.backend == "process" and not trace:
+            outcomes = self._process_strategy().run_batch(
+                partitions,
+                predicates,
+                snapshot_rows=opts.snapshot_rows,
+                use_kernels=opts.use_kernels,
+                deadline=deadline,
+                registry=registry,
+            )
+        elif nworkers == 1:
+            outcomes = []
+            for partition in partitions:
+                self._check_deadline(deadline, opts)
+                outcomes.append(
+                    self._run_partition(
+                        partition,
+                        predicates,
+                        trace,
+                        snapshot_rows=opts.snapshot_rows,
+                        use_kernels=opts.use_kernels,
                     )
-                    for partition in partitions
-                ]
-                outcomes = [future.result() for future in futures]
+                )
+        else:
+            outcomes = self._run_threaded(
+                partitions, predicates, trace, nworkers, opts, deadline
+            )
 
         results = self._merge(
             predicates, partitions, outcomes, nworkers, trace
         )
+        elapsed = time.perf_counter() - wall
+        for result in results:
+            result.wall_seconds = elapsed
+            result.tenant = opts.tenant
         if trace:
             timing = StageTiming(
                 name="execute",
-                wall_seconds=time.perf_counter() - wall,
+                wall_seconds=elapsed,
                 cpu_seconds=time.process_time() - cpu,
             )
             for result in results:
@@ -206,6 +252,87 @@ class ParallelExecutor:
 
         self._publish(registry, predicates, outcomes)
         return results
+
+    def _run_threaded(
+        self,
+        partitions: Sequence[Partition],
+        predicates: Sequence[Predicate],
+        trace: bool,
+        nworkers: int,
+        opts: QueryOptions,
+        deadline: Optional[float],
+    ) -> List[Tuple[List["_PartitionRecord"], Dict[str, MetricValue]]]:
+        """Fan partitions out to a thread pool, honouring the deadline.
+
+        On timeout the pool is shut down without waiting (in-flight
+        partitions are abandoned, queued ones cancelled) and
+        :class:`~repro.errors.QueryTimeoutError` is raised — no partial
+        result escapes.
+        """
+        pool = ThreadPoolExecutor(max_workers=nworkers)
+        try:
+            futures: List[Future[Any]] = [
+                pool.submit(
+                    self._run_partition,
+                    partition,
+                    predicates,
+                    trace,
+                    snapshot_rows=opts.snapshot_rows,
+                    use_kernels=opts.use_kernels,
+                )
+                for partition in partitions
+            ]
+            outcomes = []
+            for future in futures:
+                remaining: Optional[float] = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    outcomes.append(future.result(timeout=remaining))
+                except FuturesTimeout:
+                    raise QueryTimeoutError(
+                        f"query exceeded its "
+                        f"{opts.timeout_seconds}s deadline while "
+                        f"awaiting partition results",
+                        timeout_seconds=opts.timeout_seconds or 0.0,
+                    ) from None
+            return outcomes
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _check_deadline(
+        deadline: Optional[float], opts: QueryOptions
+    ) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise QueryTimeoutError(
+                f"query exceeded its {opts.timeout_seconds}s deadline",
+                timeout_seconds=opts.timeout_seconds or 0.0,
+            )
+
+    def _process_strategy(self) -> "ProcessPoolStrategy":
+        """The lazily-built, reused process-pool backend."""
+        from repro.shard.process import ProcessPoolStrategy
+
+        with self._process_lock:
+            if self._process is None:
+                self._process = ProcessPoolStrategy()
+            return self._process
+
+    def close(self) -> None:
+        """Release backend resources (the worker-process pool and its
+        spill directory).  Idempotent; the executor stays usable — the
+        next process-backend query simply rebuilds the pool."""
+        with self._process_lock:
+            process, self._process = self._process, None
+        if process is not None:
+            process.close()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def explain(self, predicate: Predicate) -> str:
         """Partition-aware EXPLAIN: one plan per partition, no reads."""
@@ -237,39 +364,17 @@ class ParallelExecutor:
         partition: Partition,
         predicates: Sequence[Predicate],
         trace: bool,
+        *,
+        snapshot_rows: Optional[int] = None,
+        use_kernels: Optional[bool] = None,
     ) -> Tuple[List[_PartitionRecord], Dict[str, MetricValue]]:
-        registry = MetricsRegistry()
-        records: List[_PartitionRecord] = []
-        # Pin the partition's published-row watermark for the whole
-        # batch: every predicate sees the same row universe even while
-        # a concurrent ingester appends to the tail partition
-        # (repro.query.snapshot).
-        with use_registry(registry), pinned_rows(partition.table):
-            executor = Executor(partition.catalog)
-            arrays = ColumnArrayCache(partition.table)
-            leaf_cache: Dict[Predicate, BitVector] = {}
-            for predicate in predicates:
-                start = time.perf_counter()
-                plan = executor.planner.plan(partition.table, predicate)
-                result: Optional[QueryResult] = None
-                vector_scan = False
-                if plan.fallback_scan and not plan.degraded_columns:
-                    result = self._vector_scan(
-                        partition, predicate, arrays, registry
-                    )
-                    vector_scan = result is not None
-                if result is None:
-                    result = executor.execute(
-                        plan, trace=trace, leaf_cache=leaf_cache
-                    )
-                records.append(
-                    _PartitionRecord(
-                        result=result,
-                        wall_seconds=time.perf_counter() - start,
-                        vector_scan=vector_scan,
-                    )
-                )
-        return records, registry.snapshot()
+        return run_partition_batch(
+            partition,
+            predicates,
+            trace,
+            snapshot_rows=snapshot_rows,
+            use_kernels=use_kernels,
+        )
 
     @staticmethod
     def _vector_scan(
@@ -420,3 +525,63 @@ class ParallelExecutor:
         )
         if shared:
             registry.counter("shard.shared_leaves").inc(shared)
+
+
+def run_partition_batch(
+    partition: Partition,
+    predicates: Sequence[Predicate],
+    trace: bool = False,
+    *,
+    snapshot_rows: Optional[int] = None,
+    use_kernels: Optional[bool] = None,
+) -> Tuple[List[_PartitionRecord], Dict[str, MetricValue]]:
+    """Evaluate a predicate batch against one partition.
+
+    The unit of work both backends share: the thread backend calls it
+    on a worker thread, the process backend
+    (:mod:`repro.shard.process`) calls it inside a worker process
+    against a deserialised partition replica.  Runs under a *private*
+    metrics registry (returned as the snapshot half of the result) and
+    a pinned row watermark; ``snapshot_rows`` is a caller-supplied pin
+    in *global* row ids that clamps the partition to its slice of the
+    first ``snapshot_rows`` rows, and ``use_kernels`` thread-locally
+    overrides the compiled-kernel path for the whole batch.
+    """
+    registry = MetricsRegistry()
+    records: List[_PartitionRecord] = []
+    # Pin the partition's published-row watermark for the whole batch:
+    # every predicate sees the same row universe even while a
+    # concurrent ingester appends to the tail partition
+    # (repro.query.snapshot).
+    bound: Optional[int] = None
+    if snapshot_rows is not None:
+        published = partition.table.published_rows()
+        bound = min(max(snapshot_rows - partition.offset, 0), published)
+    with use_registry(registry), kernel_override(
+        use_kernels
+    ), pinned_rows(partition.table, rows=bound):
+        executor = Executor(partition.catalog)
+        arrays = ColumnArrayCache(partition.table)
+        leaf_cache: Dict[Predicate, BitVector] = {}
+        for predicate in predicates:
+            start = time.perf_counter()
+            plan = executor.planner.plan(partition.table, predicate)
+            result: Optional[QueryResult] = None
+            vector_scan = False
+            if plan.fallback_scan and not plan.degraded_columns:
+                result = ParallelExecutor._vector_scan(
+                    partition, predicate, arrays, registry
+                )
+                vector_scan = result is not None
+            if result is None:
+                result = executor.execute(
+                    plan, trace=trace, leaf_cache=leaf_cache
+                )
+            records.append(
+                _PartitionRecord(
+                    result=result,
+                    wall_seconds=time.perf_counter() - start,
+                    vector_scan=vector_scan,
+                )
+            )
+    return records, registry.snapshot()

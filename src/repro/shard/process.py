@@ -1,0 +1,723 @@
+"""Process-pool execution backend for the partition-parallel executor.
+
+Thread workers only escape the GIL inside numpy sections; everything
+else — planning, Quine–McCluskey reduction, kernel compilation,
+per-row fallback scans — serialises on one interpreter lock.  The
+``process`` backend (``QueryOptions(backend="process")``) runs each
+partition batch in a *worker process* instead, so the pure-Python
+share of the work parallelises too, and a long pipeline of batches
+pays interpreter start-up once: the pool is persistent across calls.
+
+The data plane is the existing checksummed serialisation format:
+
+* every index in a partition's catalog ships as its ``.ebi`` payload
+  (:func:`repro.index.serialization.dumps` — CRC-framed end to end),
+* the table chunk ships as a CRC-framed JSON section (column values up
+  to the published-row watermark, void rows, offsets),
+
+spilled to one file per partition under a scratch directory.  Spill
+files are content-addressed by a fingerprint of the partition's
+mutation counter, watermark and index epochs, so an unchanged
+partition is spilled once and re-mapped by workers from their own
+process-local cache on every subsequent batch; any mutation changes
+the fingerprint and forces a respill.  Workers map partitions
+independently and return plain :class:`_PartitionRecord` lists, which
+the caller merges deterministically in partition-id order — the same
+merge, and therefore bit-identical results, as the thread backend.
+
+The pool uses the ``spawn`` start method unconditionally: the parent
+is multi-threaded (servers, ingest threads), and forking a
+multi-threaded process inherits locks in whatever state the other
+threads left them.
+
+Dispatch deliberately bypasses
+:class:`concurrent.futures.ProcessPoolExecutor`: each worker is a
+spawned process on the far end of a duplex pipe, and the submitting
+thread pickles its chunk, writes it, and reads the reply itself.  The
+executor's extra hops — a management thread plus a wakeup pipe on
+every submit and every result — cost more than an entire partition
+batch for point queries, which is exactly the traffic a serving tier
+produces.  With raw pipes the round trip is two syscalls and one
+scheduler hop, so the persistent pool undercuts the thread backend's
+per-call pool construction instead of merely amortising its own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import struct
+import tempfile
+import threading
+import time
+import uuid
+import zlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    CorruptIndexError,
+    InvalidArgumentError,
+    QueryTimeoutError,
+    WorkerCrashError,
+)
+from repro.index import serialization
+from repro.obs.metrics import MetricsRegistry, MetricValue
+from repro.query.predicates import Predicate
+from repro.shard.partition import Partition
+from repro.table.table import Table
+
+#: Spill-file magic ("Encoded Bitmap Spilled Partition").
+MAGIC = b"EBSP"
+#: Section frame: u32 payload length, u32 payload CRC32.
+_FRAME = struct.Struct("<II")
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), _crc(payload)) + payload
+
+
+class _SpillReader:
+    """Sequential reader over CRC-framed sections of a spill file."""
+
+    def __init__(self, data: bytes, path: str) -> None:
+        self._data = data
+        self._path = path
+        self._pos = len(MAGIC)
+        if data[: len(MAGIC)] != MAGIC:
+            raise CorruptIndexError(
+                f"bad spill magic in {path!r}", offset=0, field="magic"
+            )
+
+    def next_section(self) -> bytes:
+        header_end = self._pos + _FRAME.size
+        if header_end > len(self._data):
+            raise CorruptIndexError(
+                f"truncated spill frame in {self._path!r}",
+                offset=self._pos,
+                field="frame",
+            )
+        length, crc = _FRAME.unpack(self._data[self._pos : header_end])
+        payload = self._data[header_end : header_end + length]
+        if len(payload) != length or _crc(payload) != crc:
+            raise CorruptIndexError(
+                f"spill section failed its CRC in {self._path!r}",
+                offset=self._pos,
+                field="section",
+            )
+        self._pos = header_end + length
+        return payload
+
+
+class _PipeWorker:
+    """Parent-side handle for one spawned worker process.
+
+    ``lock`` serialises callers onto the worker's duplex pipe: a
+    dispatching thread holds it from send to matching receive, so
+    replies can never interleave across requests.
+    """
+
+    __slots__ = ("process", "conn", "lock")
+
+    def __init__(self, process: Any, conn: Any) -> None:
+        self.process = process  # ebi: shared-readonly
+        self.conn = conn  # ebi: shared-readonly
+        self.lock = threading.Lock()
+
+    def send(self, message: Tuple[Any, ...]) -> None:
+        """Ship one request down the pipe; caller must hold ``lock``."""
+        blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        self.conn.send_bytes(blob)
+
+    def receive(self, deadline: Optional[float]) -> Any:
+        """Read the matching reply; caller must hold ``lock``."""
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self.conn.poll(remaining):
+                raise QueryTimeoutError(
+                    "query exceeded its deadline while awaiting "
+                    "process-pool partition results",
+                )
+        kind, payload = pickle.loads(self.conn.recv_bytes())
+        if kind == "err":
+            raise payload
+        return payload
+
+    def stop(self) -> None:
+        """Ask the worker to exit, then make sure it did."""
+        try:
+            self.conn.send_bytes(
+                pickle.dumps(("stop", None), protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except OSError:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+
+
+class ProcessPoolStrategy:
+    """Maps partition batches onto a persistent worker-process pool.
+
+    Parameters (keyword-only)
+    -------------------------
+    max_workers:
+        Worker-process count; defaults to the machine's CPU count.
+    spill_dir:
+        Directory for partition spill files; defaults to a private
+        temporary directory removed by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise InvalidArgumentError(
+                f"worker count must be >= 1, got {max_workers}"
+            )
+        self._max_workers = max_workers or max(1, os.cpu_count() or 1)
+        #: Disambiguates fingerprints across strategy instances: two
+        #: databases with identically-shaped tables must never share a
+        #: worker-cache entry.
+        self._token = uuid.uuid4().hex  # ebi: shared-readonly
+        self._lock = threading.Lock()
+        #: worker slot -> live pipe worker (spawned on first use).
+        self._workers: Dict[int, _PipeWorker] = {}
+        self._spill_dir = spill_dir
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        #: partition id -> (fingerprint digest, spill path)
+        self._spilled: Dict[int, Tuple[str, str]] = {}
+        #: partition id -> raw fingerprint state behind the digest.
+        #: Lets an unchanged partition skip the JSON + SHA-256 work on
+        #: the hot path: state tuples compare by value in nanoseconds.
+        self._fingerprints: Dict[int, Tuple[Any, ...]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        partitions: Sequence[Partition],
+        predicates: Sequence[Predicate],
+        *,
+        snapshot_rows: Optional[int] = None,
+        use_kernels: Optional[bool] = None,
+        deadline: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> List[Tuple[List[Any], Dict[str, MetricValue]]]:
+        """Spill (if stale), fan out, and collect partition outcomes.
+
+        Returns the same ``(records, metrics snapshot)`` pairs as the
+        thread backend's per-partition task, in partition order, so the
+        caller's deterministic merge is backend-agnostic.  On a missed
+        ``deadline`` the pool is torn down (rebuilt lazily on the next
+        call) and :class:`~repro.errors.QueryTimeoutError` is raised.
+        """
+        specs = [self._spill(partition, registry) for partition in partitions]
+        # One task per worker slot, not per partition: contiguous
+        # partition chunks amortise the pipe round trip and the
+        # predicate pickle over the whole chunk, which is what lets a
+        # persistent single-worker pool undercut per-call thread-pool
+        # construction on small machines.
+        tasks = [
+            (path, digest, partition.id, partition.offset)
+            for partition, (digest, path) in zip(partitions, specs)
+        ]
+        nchunks = min(self._max_workers, len(tasks))
+        bounds = [
+            (len(tasks) * i // nchunks, len(tasks) * (i + 1) // nchunks)
+            for i in range(nchunks)
+        ]
+        chunks = [tasks[lo:hi] for lo, hi in bounds if hi > lo]
+        predicates = list(predicates)
+        outcomes: List[Tuple[List[Any], Dict[str, MetricValue]]] = []
+        # Chunk i always talks to worker slot i, so concurrent callers
+        # acquire worker locks in ascending-slot order — they can
+        # queue behind each other but never deadlock.  All sends go
+        # out before the first receive so multi-worker chunks overlap.
+        acquired: List[_PipeWorker] = []
+        try:
+            engaged: List[_PipeWorker] = []
+            for slot, chunk in enumerate(chunks):
+                while True:
+                    worker = self._ensure_worker(slot)
+                    worker.lock.acquire()
+                    with self._lock:
+                        live = self._workers.get(slot) is worker
+                    if live:
+                        acquired.append(worker)
+                        break
+                    # A concurrent teardown replaced this worker while
+                    # we waited on its lock; fetch the current one.
+                    worker.lock.release()
+                worker.send(
+                    ("run", (chunk, predicates, snapshot_rows, use_kernels))
+                )
+                engaged.append(worker)
+            for worker in engaged:
+                outcomes.extend(
+                    _decode_outcome(outcome)
+                    for outcome in worker.receive(deadline)
+                )
+        except QueryTimeoutError:
+            self._teardown_workers()
+            raise
+        except (OSError, EOFError, pickle.UnpicklingError) as exc:
+            self._teardown_workers()
+            raise WorkerCrashError(
+                f"a process-pool worker died mid-query: {exc}"
+            ) from exc
+        finally:
+            for worker in acquired:
+                worker.lock.release()
+        if registry is not None:
+            registry.counter("shard.process.batches").inc()
+        return outcomes
+
+    def close(self) -> None:
+        """Shut the workers down and delete the spill directory."""
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+            tempdir, self._tempdir = self._tempdir, None
+            spilled = list(self._spilled.values())
+            self._spilled.clear()
+            self._fingerprints.clear()
+            self._closed = True
+        for worker in workers:
+            worker.stop()
+        if tempdir is not None:
+            tempdir.cleanup()
+        elif self._spill_dir is not None:
+            for _digest, path in spilled:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_worker(self, slot: int) -> _PipeWorker:
+        with self._lock:
+            if self._closed:
+                raise InvalidArgumentError(
+                    "ProcessPoolStrategy is closed"
+                )
+            worker = self._workers.get(slot)
+            if worker is not None:
+                return worker
+        # Spawn outside the strategy lock — interpreter start-up takes
+        # tens of milliseconds and must not block other dispatchers.
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        fresh = _PipeWorker(process, parent_conn)
+        with self._lock:
+            if self._closed:
+                current = None
+            else:
+                current = self._workers.setdefault(slot, fresh)
+        if current is not fresh:
+            fresh.stop()
+            if current is None:
+                raise InvalidArgumentError(
+                    "ProcessPoolStrategy is closed"
+                )
+        return current
+
+    def _teardown_workers(self) -> None:
+        with self._lock:
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for worker in workers:
+            worker.stop()
+
+    def _spill_root(self) -> str:
+        if self._spill_dir is not None:
+            os.makedirs(self._spill_dir, exist_ok=True)
+            return self._spill_dir
+        with self._lock:
+            if self._tempdir is None:
+                self._tempdir = tempfile.TemporaryDirectory(
+                    prefix="ebi-spill-"
+                )
+            return self._tempdir.name
+
+    # ------------------------------------------------------------------
+    # spilling (parent side)
+    # ------------------------------------------------------------------
+    def _spill(
+        self,
+        partition: Partition,
+        registry: Optional[MetricsRegistry],
+    ) -> Tuple[str, str]:
+        """Write the partition's spill file if its fingerprint moved.
+
+        Returns ``(digest, path)``.  The file is written outside the
+        strategy lock (the lock only guards the bookkeeping maps); two
+        racing spills of the same fingerprint converge on the same
+        content-addressed path via an atomic replace.
+        """
+        table = partition.table
+        published = table.published_rows()
+        indexes = partition.catalog.all_indexes()
+        state: Tuple[Any, ...] = (
+            published,
+            table.mutation_count(),
+            tuple(
+                tuple(index.epoch())
+                if hasattr(index, "epoch")
+                else (getattr(index, "_data_version", 0),)
+                for index in indexes
+            ),
+        )
+        with self._lock:
+            known = self._spilled.get(partition.id)
+            if (
+                known is not None
+                and self._fingerprints.get(partition.id) == state
+            ):
+                return known
+        fingerprint = {
+            "token": self._token,
+            "partition": partition.id,
+            "published": state[0],
+            "mutations": state[1],
+            "epochs": [list(epoch) for epoch in state[2]],
+        }
+        digest = hashlib.sha256(
+            json.dumps(fingerprint, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:20]
+        if known is not None and known[0] == digest:
+            with self._lock:
+                self._fingerprints[partition.id] = state
+            return known
+        path = self._write_spill(partition, published, indexes, digest)
+        if registry is not None:
+            registry.counter("shard.process.spills").inc()
+        with self._lock:
+            previous = self._spilled.get(partition.id)
+            self._spilled[partition.id] = (digest, path)
+            self._fingerprints[partition.id] = state
+        if previous is not None and previous[1] != path:
+            try:
+                os.unlink(previous[1])
+            except OSError:
+                pass
+        return digest, path
+
+    def _write_spill(
+        self,
+        partition: Partition,
+        published: int,
+        indexes: Sequence[Any],
+        digest: str,
+    ) -> str:
+        table = partition.table
+        payloads: List[bytes] = []
+        columns: List[str] = []
+        for index in indexes:
+            if not isinstance(
+                index,
+                (
+                    serialization.EncodedBitmapIndex,
+                    serialization.CompressedBitmapIndex,
+                ),
+            ):
+                raise InvalidArgumentError(
+                    f"the process backend needs serialisable indexes; "
+                    f"partition {partition.id} has a "
+                    f"{type(index).__name__} on "
+                    f"{index.column_name!r} with no payload format"
+                )
+            payloads.append(serialization.dumps(index))
+            columns.append(index.column_name)
+        header = {
+            "version": 1,
+            "table": table.name,
+            "partition": partition.id,
+            "offset": partition.offset,
+            "published": published,
+            "void": sorted(
+                row_id
+                for row_id in table.void_rows()
+                if row_id < published
+            ),
+            "data": {
+                name: table.column(name).values()[:published]
+                for name in table.column_names
+            },
+            "index_columns": columns,
+        }
+        try:
+            header_bytes = json.dumps(
+                header, allow_nan=False
+            ).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise InvalidArgumentError(
+                "the process backend needs JSON-serialisable column "
+                f"values in table {table.name!r}: {exc}"
+            ) from exc
+        blob = bytearray(MAGIC)
+        blob += _frame(header_bytes)
+        for payload in payloads:
+            blob += _frame(payload)
+        root = self._spill_root()
+        path = os.path.join(root, f"p{partition.id}-{digest}.ebsp")
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "wb") as handle:
+            handle.write(bytes(blob))
+        os.replace(tmp, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# wire codec
+# ----------------------------------------------------------------------
+# Partition outcomes cross the pipe as tuples of primitives (bit-vector
+# words as raw bytes, cost counters as ints) rather than pickled
+# dataclass graphs: reconstructing ``QueryResult``/``LookupCost``
+# instances through ``__reduce__`` costs more than the partition batch
+# itself for point queries, and the serving tier's qps rides on this
+# round trip.
+
+
+def _encode_outcome(
+    outcome: Tuple[List[Any], Dict[str, MetricValue]],
+) -> Tuple[List[Tuple[Any, ...]], Dict[str, MetricValue]]:
+    records, metrics = outcome
+    encoded = [
+        (
+            rec.result.vector.words.tobytes(),
+            len(rec.result.vector),
+            rec.result.cost.vectors_accessed,
+            rec.result.cost.node_accesses,
+            rec.result.cost.rows_checked,
+            rec.result.used_scan,
+            rec.result.degraded,
+            tuple(rec.result.metrics.items()),
+            rec.wall_seconds,
+            rec.vector_scan,
+        )
+        for rec in records
+    ]
+    return encoded, metrics
+
+
+def _decode_outcome(
+    outcome: Tuple[List[Tuple[Any, ...]], Dict[str, MetricValue]],
+) -> Tuple[List[Any], Dict[str, MetricValue]]:
+    import numpy as np
+
+    from repro.index.base import LookupCost
+    from repro.query.executor import QueryResult
+    from repro.shard.executor import _PartitionRecord
+
+    from repro.bitmap.bitvector import BitVector
+
+    encoded, metrics = outcome
+    records = []
+    for (
+        words,
+        nbits,
+        vectors_accessed,
+        node_accesses,
+        rows_checked,
+        used_scan,
+        degraded,
+        metric_items,
+        wall_seconds,
+        vector_scan,
+    ) in encoded:
+        vector = BitVector._from_words(
+            np.frombuffer(words, dtype=np.uint64).copy(), nbits
+        )
+        result = QueryResult(
+            vector=vector,
+            cost=LookupCost(
+                vectors_accessed=vectors_accessed,
+                node_accesses=node_accesses,
+                rows_checked=rows_checked,
+            ),
+            used_scan=used_scan,
+            degraded=degraded,
+            metrics=dict(metric_items),
+        )
+        records.append(
+            _PartitionRecord(
+                result=result,
+                wall_seconds=wall_seconds,
+                vector_scan=vector_scan,
+            )
+        )
+    return records, metrics
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in a spawned process)
+# ----------------------------------------------------------------------
+def _worker_main(conn: Any) -> None:  # ebi: process-entry
+    """Request loop of a spawned worker process.
+
+    Executes ``("run", chunk)`` messages until the pipe closes or a
+    ``("stop", None)`` message arrives.  Execution errors are pickled
+    back with their type intact so the parent re-raises exactly what
+    a thread-backend worker would have raised.
+    """
+    while True:
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        try:
+            kind, payload = pickle.loads(blob)
+        except Exception:
+            return
+        if kind != "run":
+            return
+        tasks, predicates, snapshot_rows, use_kernels = payload
+        reply: Tuple[str, Any]
+        try:
+            reply = (
+                "ok",
+                [
+                    _encode_outcome(outcome)
+                    for outcome in _worker_execute_chunk(
+                        tasks, predicates, snapshot_rows, use_kernels
+                    )
+                ],
+            )
+        except BaseException as exc:
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = WorkerCrashError(
+                    f"unpicklable worker error: {exc!r}"
+                )
+            reply = ("err", exc)
+        try:
+            conn.send_bytes(
+                pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except (EOFError, OSError):
+            return
+
+#: Deserialised partitions by fingerprint digest, per worker process.
+_worker_cache: Dict[str, Partition] = {}
+#: digest currently live per partition id (superseded entries drop).
+_worker_latest: Dict[int, str] = {}
+_worker_cache_lock = threading.Lock()
+
+
+def _load_partition(
+    path: str, digest: str, partition_id: int, offset: int
+) -> Tuple[Partition, bool]:
+    """The worker's partition replica for ``digest`` (cached)."""
+    with _worker_cache_lock:
+        cached = _worker_cache.get(digest)
+    if cached is not None:
+        return cached, True
+    with open(path, "rb") as handle:
+        reader = _SpillReader(handle.read(), path)
+    header = json.loads(reader.next_section().decode("utf-8"))
+    table = Table.from_columns(header["table"], header["data"])
+    for row_id in header["void"]:
+        table.delete(row_id)
+    partition = Partition(partition_id, offset, table)
+    for _column in header["index_columns"]:
+        payload = reader.next_section()
+        index = serialization.loads(payload, table)
+        partition.catalog.register_index(index)
+    with _worker_cache_lock:
+        stale = _worker_latest.get(partition_id)
+        if stale is not None and stale != digest:
+            _worker_cache.pop(stale, None)
+        _worker_latest[partition_id] = digest
+        _worker_cache[digest] = partition
+    return partition, False
+
+
+def _worker_execute(  # ebi: process-entry
+    path: str,
+    digest: str,
+    predicates: List[Predicate],
+    snapshot_rows: Optional[int],
+    use_kernels: Optional[bool],
+    partition_id: int,
+    offset: int,
+) -> Tuple[List[Any], Dict[str, MetricValue]]:
+    """One partition batch, inside a worker process.
+
+    Rebuilds (or re-maps from the process-local cache) the partition
+    replica, then runs the exact unit of work the thread backend runs
+    (:func:`repro.shard.executor.run_partition_batch`), so results are
+    bit-identical across backends by construction.
+    """
+    from repro.shard.executor import run_partition_batch
+
+    partition, cache_hit = _load_partition(
+        path, digest, partition_id, offset
+    )
+    records, snapshot = run_partition_batch(
+        partition,
+        predicates,
+        False,
+        snapshot_rows=snapshot_rows,
+        use_kernels=use_kernels,
+    )
+    metrics: Dict[str, MetricValue] = dict(snapshot)
+    key = (
+        "shard.process.worker_cache_hits"
+        if cache_hit
+        else "shard.process.worker_cache_misses"
+    )
+    metrics[key] = int(metrics.get(key, 0) or 0) + 1
+    return records, metrics
+
+
+def _worker_execute_chunk(  # ebi: process-entry
+    tasks: List[Tuple[str, str, int, int]],
+    predicates: List[Predicate],
+    snapshot_rows: Optional[int],
+    use_kernels: Optional[bool],
+) -> List[Tuple[List[Any], Dict[str, MetricValue]]]:
+    """A contiguous chunk of partitions, one IPC round trip.
+
+    Order within the chunk is preserved, so the caller's concatenation
+    over contiguous chunks reproduces partition order exactly.
+    """
+    return [
+        _worker_execute(
+            path,
+            digest,
+            predicates,
+            snapshot_rows,
+            use_kernels,
+            partition_id,
+            offset,
+        )
+        for path, digest, partition_id, offset in tasks
+    ]
+
+
+__all__ = ["ProcessPoolStrategy"]

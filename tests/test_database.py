@@ -10,6 +10,7 @@ import pytest
 from repro.database import Database
 from repro.errors import CorruptIndexError, SchemaError
 from repro.index.encoded_bitmap import EncodedBitmapIndex
+from repro.query.options import QueryOptions
 from repro.query.predicates import Equals, InList, Range
 from repro.shard.executor import PartitionedQueryResult
 from repro.table.catalog import Catalog
@@ -104,8 +105,8 @@ class TestQueries:
         db = make_db()
         predicate = Equals("product", 3)
         db.query("sales", predicate)  # warm reduction caches
-        one = db.query("sales", predicate, workers=1)
-        four = db.query("sales", predicate, workers=4)
+        one = db.query("sales", predicate, QueryOptions(workers=1))
+        four = db.query("sales", predicate, QueryOptions(workers=4))
         assert one.vector == four.vector
         assert one.metrics == four.metrics
 
@@ -137,7 +138,9 @@ class TestQueries:
 
     def test_trace_round_trip(self):
         db = make_db()
-        result = db.query("sales", Equals("product", 1), trace=True)
+        result = db.query(
+            "sales", Equals("product", 1), QueryOptions(trace=True)
+        )
         assert result.trace is not None
         assert "PARTITIONED" in result.trace.plan_text
 

@@ -7,7 +7,16 @@ from repro.boolean.reduction import reduce_values
 from repro.query.optimizer import (
     cheapest_variant,
     dont_care_variants,
+    normalize_predicate,
     operation_count,
+)
+from repro.query.predicates import (
+    AndPredicate,
+    Equals,
+    InList,
+    NotPredicate,
+    OrPredicate,
+    Range,
 )
 
 
@@ -79,3 +88,63 @@ class TestCheapestVariant:
         # codes 2..7 are OFF and must stay excluded
         for value in range(2, 8):
             assert not best.evaluate_value(value)
+
+
+class TestNormalizePredicate:
+    def test_or_of_equals_becomes_in_list(self):
+        result = normalize_predicate(
+            Equals("a", 1) | Equals("a", 2) | Equals("a", 3)
+        )
+        assert result == InList("a", [1, 2, 3])
+
+    def test_mixed_equals_and_in_list_union(self):
+        result = normalize_predicate(
+            InList("a", [1, 2]) | Equals("a", 2) | InList("a", [3])
+        )
+        assert result == InList("a", [1, 2, 3])
+
+    def test_value_order_is_first_occurrence(self):
+        left = normalize_predicate(Equals("a", 2) | Equals("a", 1))
+        right = normalize_predicate(InList("a", [2, 1]))
+        assert left == right == InList("a", [2, 1])
+
+    def test_single_value_union_collapses_to_equals(self):
+        result = normalize_predicate(Equals("a", 1) | InList("a", [1]))
+        assert result == Equals("a", 1)
+
+    def test_other_columns_kept_as_operands(self):
+        result = normalize_predicate(
+            Equals("a", 1) | Equals("b", 2) | Equals("a", 3)
+        )
+        assert isinstance(result, OrPredicate)
+        assert set(result.operands) == {
+            InList("a", [1, 3]),
+            Equals("b", 2),
+        }
+
+    def test_non_value_leaves_untouched(self):
+        ranged = Range("a", 1, 5)
+        result = normalize_predicate(Equals("a", 9) | ranged)
+        assert isinstance(result, OrPredicate)
+        assert ranged in result.operands
+
+    def test_recurses_through_and_and_not(self):
+        inner = Equals("a", 1) | Equals("a", 2)
+        result = normalize_predicate(~(inner & Equals("b", 3)))
+        assert result == NotPredicate(
+            AndPredicate((InList("a", [1, 2]), Equals("b", 3)))
+        )
+
+    def test_semantics_preserved(self):
+        predicate = (
+            Equals("a", 1) | Equals("a", 2) | Range("b", 0, 5)
+        ) & ~Equals("c", "x")
+        normalized = normalize_predicate(predicate)
+        rows = [
+            {"a": a, "b": b, "c": c}
+            for a in (0, 1, 2)
+            for b in (None, 3, 9)
+            for c in ("x", "y")
+        ]
+        for row in rows:
+            assert normalized.matches(row) == predicate.matches(row)

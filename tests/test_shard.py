@@ -8,6 +8,7 @@ import pytest
 from repro.errors import InvalidArgumentError, TableError
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.query.executor import Executor
+from repro.query.options import QueryOptions
 from repro.query.predicates import Equals, InList, Range
 from repro.shard import (
     ParallelExecutor,
@@ -130,7 +131,7 @@ class TestParallelExecutor:
             ParallelExecutor(parted, workers=0)
         executor = ParallelExecutor(parted)
         with pytest.raises(InvalidArgumentError):
-            executor.execute(Equals("product", 1), workers=0)
+            executor.execute(Equals("product", 1), QueryOptions(workers=0))
 
     def test_indexed_rows_match_reference(self):
         plain, parted = make_tables()
@@ -173,7 +174,7 @@ class TestDeterminism:
         registry = MetricsRegistry()
         with use_registry(registry):
             results = executor.execute_many(
-                list(self.PREDICATES), workers=workers
+                list(self.PREDICATES), QueryOptions(workers=workers)
             )
         return results, registry.collect()
 
@@ -239,7 +240,7 @@ class TestBatchExecution:
         def lookups(predicates):
             registry = MetricsRegistry()
             with use_registry(registry):
-                executor.execute_many(predicates, workers=1)
+                executor.execute_many(predicates, QueryOptions(workers=1))
             return registry.collect().get("index.lookups", 0)
 
         once = lookups([predicate])
