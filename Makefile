@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workspace.
 
-.PHONY: install test doctest bench bench-json parallel-bench kernel-bench compression-bench serving-bench tables validate examples lint typecheck race-check crash-check all
+.PHONY: install test doctest bench bench-json parallel-bench kernel-bench compression-bench serving-bench scale-bench tables validate examples lint typecheck race-check crash-check all
 
 install:
 	pip install -e . --no-build-isolation
@@ -63,6 +63,13 @@ compression-bench:
 serving-bench:
 	PYTHONPATH=src python -m repro.cli bench --case serving \
 		--suite serving
+
+# Out-of-core streaming: mapped planes under a 25% plane-byte budget
+# against the fully-resident reference, page reads vs the Section 3
+# model envelope (docs/out_of_core.md).
+scale-bench:
+	PYTHONPATH=src python -m repro.cli bench --case scale \
+		--suite scale
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

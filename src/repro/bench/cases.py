@@ -1520,6 +1520,228 @@ def case_serving(tolerance: float, *, rows: int) -> CaseOutcome:
         db.close()
 
 
+# ---------------------------------------------------------------------------
+# out-of-core scale: memory-mapped planes + partition spill/eviction
+# ---------------------------------------------------------------------------
+
+#: Shape of the out-of-core scale bench (docs/out_of_core.md): a
+#: uniform fact column over ``SCALE_DOMAIN`` values in
+#: ``SCALE_PARTITIONS`` row-range partitions, queried by
+#: ``SCALE_QUERIES`` IN-lists of ``SCALE_DELTA`` values each, under a
+#: residency budget of ``SCALE_BUDGET_FRACTION`` of the total packed
+#: plane bytes — low enough that the serial streaming pass must cycle
+#: every partition through spill/fault each query.
+SCALE_DOMAIN = 64
+SCALE_PARTITIONS = 16
+SCALE_DELTA = 8
+SCALE_QUERIES = 4
+SCALE_BUDGET_FRACTION = 0.25
+#: Acceptance ceiling: the high-water mark of resident plane bytes
+#: must stay at or below this fraction of the fully-resident
+#: footprint, or the bench is not actually out-of-core.
+SCALE_PEAK_FRACTION = 0.5
+
+
+def case_scale(tolerance: float, *, rows: int) -> List[Comparison]:
+    """Out-of-core streaming execution at scale (docs/out_of_core.md).
+
+    Two databases over the same ``rows``-row partitioned fact table:
+    a fully-resident reference (no memory budget) and an out-of-core
+    stack whose :class:`~repro.shard.residency.ResidencyManager`
+    budget is :data:`SCALE_BUDGET_FRACTION` of the total packed plane
+    bytes, forcing the serial streaming executor to spill cold
+    partitions to CRC-headered plane files, fault them back as
+    ``np.memmap``-backed :class:`~repro.kernels.mapped.MappedPlaneSet`
+    snapshots, and prefetch the next partition while the current one
+    evaluates.
+
+    The strict lines pin the out-of-core contract: peak resident
+    plane bytes at or below :data:`SCALE_PEAK_FRACTION` of the
+    fully-resident footprint; measured physical page reads inside the
+    Section 3 model envelope (at least ``c_e_best`` plane-row pages
+    per fault, at most whole-file pages per fault + prefetch); and
+    bit-identical rows *and* ``c_e`` against the fully-resident path.
+    Streaming throughput (rows/sec through the spill/fault cycle) and
+    process peak RSS land as gauges.
+    """
+    import resource
+    import time
+
+    from repro.database import Database
+    from repro.obs.metrics import get_registry
+    from repro.query.predicates import InList
+    from repro.shard.index import PartitionedIndex
+    from repro.storage.page import PAGE_SIZE_DEFAULT
+
+    n = rows
+    values = [(i * 48271) % SCALE_DOMAIN for i in range(n)]
+    selections = [
+        sorted(
+            ((q * 13 + j * 5) % SCALE_DOMAIN)
+            for j in range(SCALE_DELTA)
+        )
+        for q in range(SCALE_QUERIES)
+    ]
+    predicates = [InList("v", selected) for selected in selections]
+    opts = QueryOptions(workers=1)
+
+    def build(budget: Optional[int]) -> Database:
+        db = Database(memory_budget_bytes=budget)
+        db.create_table(
+            "scale", {"v": values}, partitions=SCALE_PARTITIONS
+        )
+        db.create_index("scale", "v")
+        return db
+
+    def pages(nbytes: int) -> int:
+        return -(-nbytes // PAGE_SIZE_DEFAULT)
+
+    reference = build(None)
+    try:
+        index = reference.catalog.indexes_on("scale", "v")[0]
+        assert isinstance(index, PartitionedIndex)
+        child_bytes = [
+            child.planes().matrix.nbytes for child in index.children
+        ]
+        total_plane_bytes = sum(child_bytes)
+        child_words = [
+            child.planes().nwords for child in index.children
+        ]
+        expected = [
+            reference.query("scale", p, opts) for p in predicates
+        ]
+
+        budget = max(
+            1, int(total_plane_bytes * SCALE_BUDGET_FRACTION)
+        )
+        streaming = build(budget)
+        try:
+            # Untimed warm pass: builds the dense planes, then cycles
+            # them through the first spill wave.  The timed pass below
+            # measures steady-state streaming: LRU fault-in + prefetch
+            # against plane files, not first-touch index construction.
+            for p in predicates:
+                streaming.query("scale", p, opts)
+            start = time.perf_counter()
+            measured = [
+                streaming.query("scale", p, opts) for p in predicates
+            ]
+            wall = time.perf_counter() - start
+            report = streaming.residency_report("scale") or {}
+        finally:
+            streaming.close()
+    finally:
+        reference.close()
+
+    rate = (n * SCALE_QUERIES) / max(wall, 1e-9)
+    row_mismatches = sum(
+        1
+        for e, m in zip(expected, measured)
+        if e.row_ids() != m.row_ids()
+    )
+    ce_mismatches = sum(
+        1
+        for e, m in zip(expected, measured)
+        if e.cost.vectors_accessed != m.cost.vectors_accessed
+    )
+
+    faults = report.get("faults", 0)
+    prefetches = report.get("prefetches", 0)
+    physical = report.get("page_reads_physical", 0)
+    # Section 3 envelope, page-granular: a fault serves at least one
+    # query's best-case plane reads (c_e_best plane rows), and fault +
+    # prefetch each touch at most a whole plane file.
+    row_pages_min = min(pages(nwords * 8) for nwords in child_words)
+    file_pages_max = max(pages(nbytes) for nbytes in child_bytes)
+    model_floor = faults * c_e_best(SCALE_DELTA, SCALE_DOMAIN) * (
+        row_pages_min
+    )
+    model_ceiling = (faults + prefetches) * file_pages_max
+
+    registry = get_registry()
+    registry.gauge("scale.bench.rows_per_sec").set(rate)
+    registry.gauge("scale.bench.wall_seconds").set(wall)
+    registry.gauge("scale.bench.rows").set(float(n))
+    registry.gauge("scale.bench.peak_rss_bytes").set(
+        float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024)
+    )
+    for name, value in report.items():
+        registry.gauge(f"scale.residency.{name}").set(float(value))
+
+    return [
+        compare(
+            "out-of-core engaged: partitions spilled to plane files",
+            report.get("spills", 0),
+            1,
+            mode="ge",
+            unit="spills",
+            tolerance=tolerance,
+        ),
+        compare(
+            "streaming pipeline engaged: next-partition prefetches",
+            prefetches,
+            1,
+            mode="ge",
+            unit="prefetches",
+            tolerance=tolerance,
+        ),
+        compare(
+            f"peak resident plane bytes <= "
+            f"{SCALE_PEAK_FRACTION:.0%} of the fully-resident "
+            "footprint",
+            report.get("peak_resident_bytes", 0),
+            SCALE_PEAK_FRACTION * total_plane_bytes,
+            mode="le",
+            unit="bytes",
+            tolerance=tolerance,
+        ),
+        compare(
+            "page reads >= Section 3 floor (c_e_best plane-row pages "
+            "per fault)",
+            physical,
+            model_floor,
+            mode="ge",
+            unit="pages",
+            tolerance=tolerance,
+        ),
+        compare(
+            "page reads <= whole-file pages per fault + prefetch",
+            physical,
+            model_ceiling,
+            mode="le",
+            unit="pages",
+            tolerance=tolerance,
+        ),
+        compare(
+            "rows: queries where streaming differs from "
+            "fully-resident",
+            row_mismatches,
+            0,
+            mode="eq",
+            unit="queries",
+            tolerance=tolerance,
+        ),
+        compare(
+            "c_e: queries where streaming access accounting differs "
+            "from fully-resident",
+            ce_mismatches,
+            0,
+            mode="eq",
+            unit="queries",
+            tolerance=tolerance,
+        ),
+        compare(
+            "streaming scan throughput (measured, floor trivially "
+            "holds)",
+            rate,
+            0.0,
+            mode="ge",
+            unit="rows/s",
+            tolerance=tolerance,
+        ),
+    ]
+
+
 QUICK_CASES: List[BenchCase] = [
     BenchCase(
         name="reduction",
@@ -1600,11 +1822,17 @@ PARALLEL_FULL_ROWS = 1_048_576
 
 
 def parallel_case(
-    quick: bool, workers: Optional[Sequence[int]] = None
+    quick: bool,
+    workers: Optional[Sequence[int]] = None,
+    rows: Optional[int] = None,
 ) -> BenchCase:
     """Build the partition-parallel scan case for a suite flavor."""
     counts: Tuple[int, ...] = tuple(workers) if workers else (1, 4)
-    n = PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS
+    n = (
+        rows
+        if rows is not None
+        else (PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS)
+    )
     return BenchCase(
         name="parallel_scan_smoke" if quick else "parallel_scan_1m",
         description=(
@@ -1620,11 +1848,17 @@ def parallel_case(
 
 
 def kernel_case(
-    quick: bool, workers: Optional[Sequence[int]] = None
+    quick: bool,
+    workers: Optional[Sequence[int]] = None,
+    rows: Optional[int] = None,
 ) -> BenchCase:
     """Build the compiled-kernel ablation case for a suite flavor."""
     counts: Tuple[int, ...] = tuple(workers) if workers else (1, 4)
-    n = PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS
+    n = (
+        rows
+        if rows is not None
+        else (PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS)
+    )
     return BenchCase(
         name="kernel_eval_smoke" if quick else "kernel_eval_1m",
         description=(
@@ -1639,9 +1873,15 @@ def kernel_case(
     )
 
 
-def compression_case(quick: bool) -> BenchCase:
+def compression_case(
+    quick: bool, rows: Optional[int] = None
+) -> BenchCase:
     """Build the compression-frontier case for a suite flavor."""
-    n = PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS
+    n = (
+        rows
+        if rows is not None
+        else (PARALLEL_SMOKE_ROWS if quick else PARALLEL_FULL_ROWS)
+    )
     return BenchCase(
         name="compression_smoke" if quick else "compression_1m",
         description=(
@@ -1662,9 +1902,15 @@ SERVING_SMOKE_ROWS = 20_480
 SERVING_FULL_ROWS = 65_536
 
 
-def serving_case(quick: bool) -> BenchCase:
+def serving_case(
+    quick: bool, rows: Optional[int] = None
+) -> BenchCase:
     """Build the serving-tier case for a suite flavor."""
-    n = SERVING_SMOKE_ROWS if quick else SERVING_FULL_ROWS
+    n = (
+        rows
+        if rows is not None
+        else (SERVING_SMOKE_ROWS if quick else SERVING_FULL_ROWS)
+    )
     return BenchCase(
         name="serving_smoke" if quick else "serving_64k",
         description=(
@@ -1678,17 +1924,51 @@ def serving_case(quick: bool) -> BenchCase:
     )
 
 
+#: Row counts for the out-of-core scale case per suite flavor.  The
+#: full flavor crosses 10M rows (the ISSUE scale target; stream it
+#: with ``--rows`` for larger sweeps), the smoke flavor keeps CI under
+#: a few seconds while still forcing spill/fault cycles.
+SCALE_SMOKE_ROWS = 262_144
+SCALE_FULL_ROWS = 10_485_760
+
+
+def scale_case(quick: bool, rows: Optional[int] = None) -> BenchCase:
+    """Build the out-of-core scale case for a suite flavor."""
+    n = (
+        rows
+        if rows is not None
+        else (SCALE_SMOKE_ROWS if quick else SCALE_FULL_ROWS)
+    )
+    return BenchCase(
+        name="scale_smoke" if quick else "scale_10m",
+        description=(
+            f"out-of-core streaming scan over {n} rows in "
+            f"{SCALE_PARTITIONS} partitions under a "
+            f"{SCALE_BUDGET_FRACTION:.0%} plane-byte residency "
+            "budget: spill/fault page accounting vs the Section 3 "
+            "envelope, peak resident bytes, and bit-identity vs the "
+            "fully-resident path (docs/out_of_core.md)"
+        ),
+        run=lambda tolerance: case_scale(tolerance, rows=n),
+    )
+
+
 def cases_for(
-    quick: bool, workers: Optional[Sequence[int]] = None
+    quick: bool,
+    workers: Optional[Sequence[int]] = None,
+    rows: Optional[int] = None,
 ) -> List[BenchCase]:
     """The case list for a suite flavor.
 
     ``workers`` overrides the thread counts of the partition-parallel
-    and kernel-ablation cases (CLI: ``repro bench --workers 1,4``).
+    and kernel-ablation cases (CLI: ``repro bench --workers 1,4``);
+    ``rows`` overrides the row count of every row-parameterised case
+    (CLI: ``repro bench --rows 1000000``).
     """
     cases = list(QUICK_CASES if quick else FULL_CASES)
-    cases.append(parallel_case(quick, workers))
-    cases.append(kernel_case(quick, workers))
-    cases.append(compression_case(quick))
-    cases.append(serving_case(quick))
+    cases.append(parallel_case(quick, workers, rows))
+    cases.append(kernel_case(quick, workers, rows))
+    cases.append(compression_case(quick, rows))
+    cases.append(serving_case(quick, rows))
+    cases.append(scale_case(quick, rows))
     return cases

@@ -157,6 +157,7 @@ def run_suite(
     suite: Optional[str] = None,
     workers: Optional[Sequence[int]] = None,
     only: Optional[Sequence[str]] = None,
+    rows: Optional[int] = None,
 ) -> SuiteReport:
     """Run a suite and write ``BENCH_<suite>.json``.
 
@@ -164,14 +165,21 @@ def run_suite(
     otherwise; the file lands in ``out_dir`` (default: the current
     working directory, i.e. the repo root when run via ``make`` or
     CI).  ``workers`` overrides the thread counts of the
-    partition-parallel case.  ``only`` keeps just the cases whose name
-    contains one of the given substrings (CLI: ``--case kernel_eval``);
-    pair it with ``suite`` so the filtered run writes its own file
-    instead of overwriting the full suite's.
+    partition-parallel case; ``rows`` overrides the row count of
+    every row-parameterised case (CLI: ``--rows 1000000`` — pair it
+    with ``--suite`` so a sweep writes its own files).  ``only``
+    keeps just the cases whose name contains one of the given
+    substrings (CLI: ``--case kernel_eval``); pair it with ``suite``
+    so the filtered run writes its own file instead of overwriting
+    the full suite's.
     """
+    if rows is not None and rows < 1:
+        raise InvalidArgumentError(
+            f"rows override must be >= 1, got {rows}"
+        )
     name = suite if suite is not None else ("smoke" if quick else "full")
     report = SuiteReport(suite=name, quick=quick, tolerance=tolerance)
-    cases = cases_for(quick, workers=workers)
+    cases = cases_for(quick, workers=workers, rows=rows)
     if only:
         selected = [
             case

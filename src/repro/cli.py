@@ -256,6 +256,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             suite=args.suite,
             workers=workers,
             only=only,
+            rows=args.rows,
         )
     except InvalidArgumentError as exc:
         print(str(exc))
@@ -548,6 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the suite name used in BENCH_<suite>.json "
         "(default: smoke for --quick, full otherwise)",
+    )
+    p_bench.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="override the row count of every row-parameterised case "
+        "(e.g. --rows 1000000; pair with --suite for sweeps)",
     )
     p_bench.set_defaults(func=cmd_bench)
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import threading
 import time
 from contextlib import ExitStack
@@ -88,6 +89,7 @@ from repro.shard.executor import ParallelExecutor
 from repro.shard.index import PartitionedIndex
 from repro.shard.partition import Partition, PartitionedTable
 from repro.shard.reorder import reorder_partitioned, reorder_table
+from repro.shard.residency import ResidencyManager
 from repro.table.catalog import Catalog
 from repro.table.table import Table
 
@@ -120,13 +122,32 @@ class Database:
     registry:
         Optional metrics sink for every query run through the facade;
         defaults to the calling thread's current registry per query.
+    memory_budget_bytes:
+        Out-of-core residency budget (``docs/out_of_core.md``): the
+        combined dense plane bytes partitioned tables may keep in RAM.
+        When set, each partitioned table gets a
+        :class:`~repro.shard.residency.ResidencyManager` that spills
+        cold partitions' plane snapshots to CRC-headered plane files
+        (LRU by last-query epoch) and faults them back in on demand —
+        queries stay bit-identical, plane words page from disk.
+        ``None`` (the default) keeps everything resident.  Persisted
+        in the manifest by :meth:`save`.
     """
 
     def __init__(
-        self, *, registry: Optional[MetricsRegistry] = None
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
+        if memory_budget_bytes is not None and memory_budget_bytes < 0:
+            raise InvalidArgumentError(
+                f"memory_budget_bytes must be >= 0, got "
+                f"{memory_budget_bytes}"
+            )
         self.catalog = Catalog()  # ebi: shared-readonly
         self.registry = registry  # ebi: shared-readonly
+        self.memory_budget_bytes = memory_budget_bytes  # ebi: shared-readonly
         #: Guards the lazily built per-table executor map — ``query``
         #: is part of the facade's thread-safe surface.
         self._lock = threading.Lock()
@@ -158,6 +179,9 @@ class Database:
         #: (:mod:`repro.serving.result_cache`); consulted only when a
         #: query opts in via ``QueryOptions(use_cache=True)``.
         self.result_cache = ResultCache()  # ebi: shared-readonly
+        #: Lazily-built per-table residency managers (only when a
+        #: memory budget is configured and the table is partitioned).
+        self._residency: Dict[str, ResidencyManager] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -280,6 +304,14 @@ class Database:
         self._index_specs.append(
             {"table": table_name, "column": column_name, "kind": kind}
         )
+        if isinstance(index, PartitionedIndex):
+            # A residency manager built before this index existed must
+            # track the new children too.
+            with self._lock:
+                manager = self._residency.get(table_name)
+            if manager is not None:
+                for i, child in enumerate(index.children):
+                    manager.register(i, child)
         self._bump_epoch(table_name)
         return index
 
@@ -644,7 +676,9 @@ class Database:
         # Build outside the lock (executor construction spins up a
         # worker pool); first-one-in wins on concurrent misses.
         built = ParallelExecutor(
-            self._partitioned[table_name], registry=self.registry
+            self._partitioned[table_name],
+            registry=self.registry,
+            residency=self._residency_for(table_name),
         )
         with self._lock:
             executor = self._executors.setdefault(table_name, built)
@@ -653,6 +687,59 @@ class Database:
             # resources instead of leaking a process pool.
             built.close()
         return executor
+
+    # ------------------------------------------------------------------
+    # out-of-core residency (docs/out_of_core.md)
+    # ------------------------------------------------------------------
+    def _residency_for(
+        self, table_name: str
+    ) -> Optional[ResidencyManager]:
+        """The table's residency manager (built on first use).
+
+        ``None`` unless a memory budget is configured and the table is
+        partitioned.  Plane files live under the durable home's
+        ``residency/`` subdirectory when one is attached, else in a
+        throwaway temp directory.
+        """
+        if self.memory_budget_bytes is None:
+            return None
+        if table_name not in self._partitioned:
+            return None
+        with self._lock:
+            manager = self._residency.get(table_name)
+        if manager is not None:
+            return manager
+        if self._directory is not None:
+            directory = os.path.join(
+                self._directory, "residency", table_name
+            )
+        else:
+            directory = tempfile.mkdtemp(
+                prefix=f"ebi-residency-{table_name}-"
+            )
+        built = ResidencyManager(
+            directory, memory_budget_bytes=self.memory_budget_bytes
+        )
+        with self._lock:
+            manager = self._residency.setdefault(table_name, built)
+        if manager is built:
+            for index in self.catalog.all_indexes():
+                if (
+                    isinstance(index, PartitionedIndex)
+                    and index.table.name == table_name
+                ):
+                    for i, child in enumerate(index.children):
+                        manager.register(i, child)
+        return manager
+
+    def residency_report(
+        self, table_name: str
+    ) -> Optional[Dict[str, int]]:
+        """Residency counters for one table (see
+        :meth:`repro.shard.residency.ResidencyManager.report`), or
+        ``None`` when the table has no manager."""
+        manager = self._residency_for(table_name)
+        return None if manager is None else manager.report()
 
     # ------------------------------------------------------------------
     # epochs and lifecycle
@@ -675,14 +762,23 @@ class Database:
 
     def close(self) -> None:
         """Release executor backends (worker-process pools, spill
-        directories), the result cache and the WAL.  Idempotent; the
-        database object itself remains queryable — executors are
-        rebuilt lazily if used again."""
+        directories), residency plane files, the result cache and the
+        WAL.  Idempotent — a second ``close()`` is a no-op, including
+        via ``with``-statement exit after an explicit close.  The
+        database object itself remains queryable: executors and
+        residency managers are rebuilt lazily if used again."""
         with self._lock:
             executors = list(self._executors.values())
             self._executors.clear()
+            managers = list(self._residency.values())
+            self._residency.clear()
         for executor in executors:
             executor.close()
+        for manager in managers:
+            manager.close()
+        # ResultCache mutates under its own internal lock; the
+        # shared-readonly tag covers the binding, not the contents.
+        self.result_cache.clear()  # ebilint: disable=EBI301
         if self._wal is not None:
             self._wal.close()
             self._wal = None
@@ -760,6 +856,8 @@ class Database:
             "tables": [],
             "indexes": list(self._index_specs),
         }
+        if self.memory_budget_bytes is not None:
+            manifest["memory_budget_bytes"] = self.memory_budget_bytes
         for table in self.catalog.tables():
             name = table.name
             entry: Dict[str, Any] = {
@@ -864,7 +962,13 @@ class Database:
                 f"unsupported manifest version "
                 f"{manifest.get('version')!r}"
             )
-        db = cls(registry=registry)
+        budget = manifest.get("memory_budget_bytes")
+        db = cls(
+            registry=registry,
+            memory_budget_bytes=(
+                int(budget) if budget is not None else None
+            ),
+        )
         db._generation = int(manifest.get("generation", 0))
         for entry in manifest["tables"]:
             db._load_table(entry)

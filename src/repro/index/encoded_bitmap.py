@@ -44,9 +44,11 @@ from repro.index.base import (
 from repro.kernels import (
     CompiledKernel,
     CompressedPlaneSet,
+    MappedPlaneSet,
     PlaneSet,
     PlaneSnapshot,
     compile_function,
+    write_plane_file,
 )
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.query.options import kernel_override_value
@@ -201,6 +203,12 @@ class EncodedBitmapIndex(Index):
         self._delta_seq = 0
         self._base_rows = 0
         self.compactions = 0
+        # Out-of-core residency accounting (docs/out_of_core.md):
+        # spills swap the dense snapshot for a memory-mapped one,
+        # promotions copy it back.  Plain attributes, like
+        # ``plane_rebuilds`` — constant per-lookup instrumentation.
+        self.plane_spills = 0
+        self.plane_promotions = 0
 
     @property
     def use_kernels(self) -> bool:
@@ -690,6 +698,76 @@ class EncodedBitmapIndex(Index):
                     self._delta_seq += 1
                 self.plane_rebuilds += 1
             return self._planes
+
+    @property
+    def planes_mapped(self) -> bool:
+        """Whether the current snapshot is memory-mapped (spilled)."""
+        with self._lock:
+            return isinstance(self._planes, MappedPlaneSet)
+
+    def spill_planes(self, path: str) -> Optional[int]:
+        """Swap the dense plane snapshot for a memory-mapped one.
+
+        Writes the current packed snapshot to ``path`` as a
+        CRC-headered plane file (``repro.kernels.mapped``) and installs
+        a read-only ``np.memmap`` view in its place, freeing the dense
+        matrix.  Lookups keep working unchanged — results and ``c_e``
+        are bit-identical — with plane words paging in from disk on
+        demand.
+
+        Returns the plane-file size in bytes, or ``None`` when the
+        snapshot is not a dense ``PlaneSet`` (compressed format, or
+        already mapped) or a concurrent write moved the data version
+        mid-spill (the stale file is left for the caller's directory
+        hygiene; the fresh snapshot stays authoritative).
+
+        The file write happens outside the index lock (the EBI303
+        no-I/O-under-lock discipline); the swap re-validates
+        ``_planes_version`` *and* snapshot identity under the lock, so
+        a racing rebuild can never be clobbered by a stale map.
+        """
+        with self._lock:
+            planes = self._plane_snapshot()
+            version = self._planes_version
+        if not isinstance(planes, PlaneSet):
+            return None
+        nbytes = write_plane_file(planes, path)
+        mapped = MappedPlaneSet.open(path)
+        with self._lock:
+            if (
+                self._planes is planes
+                and self._planes_version == version
+            ):
+                self._planes = mapped
+                self.plane_spills += 1
+                return nbytes
+        mapped.close()
+        return None
+
+    def promote_planes(self) -> Optional[int]:
+        """Copy a memory-mapped snapshot back into dense RAM.
+
+        The inverse of :meth:`spill_planes`, used when the residency
+        budget allows a hot partition back into the dense tier.
+        Returns the dense matrix size in bytes, or ``None`` when the
+        snapshot is not mapped or a concurrent write raced the
+        promotion.
+        """
+        with self._lock:
+            planes = self._planes
+            version = self._planes_version
+        if not isinstance(planes, MappedPlaneSet):
+            return None
+        dense = planes.materialize()
+        with self._lock:
+            if (
+                self._planes is planes
+                and self._planes_version == version
+            ):
+                self._planes = dense
+                self.plane_promotions += 1
+                return dense.nbytes()
+        return None
 
     def _evaluate(
         self,

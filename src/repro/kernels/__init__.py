@@ -19,16 +19,24 @@ from repro.kernels.compiler import (
     compile_cache_stats,
     compile_function,
 )
+from repro.kernels.mapped import (
+    MappedPlaneSet,
+    PLANE_FORMAT_VERSION,
+    write_plane_file,
+)
 from repro.kernels.planes import PlaneSet
 from repro.kernels.runs import CompressedPlaneSet
 
 __all__ = [
     "COMPILE_CACHE_SIZE",
     "GATHER_MAX_WORDS",
+    "PLANE_FORMAT_VERSION",
     "CompiledKernel",
     "CompressedPlaneSet",
+    "MappedPlaneSet",
     "PlaneSet",
     "PlaneSnapshot",
+    "write_plane_file",
     "clear_compile_cache",
     "compile_cache_stats",
     "compile_function",

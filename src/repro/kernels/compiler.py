@@ -58,11 +58,16 @@ from repro.boolean.evaluator import AccessCounter
 from repro.boolean.reduction import ReducedFunction
 from repro.cache import LRUCache
 from repro.errors import InvalidArgumentError
+from repro.kernels.mapped import MappedPlaneSet
 from repro.kernels.planes import PlaneSet
 from repro.kernels.runs import CompressedPlaneSet
 
-#: Either snapshot type a kernel can evaluate against.
-PlaneSnapshot = Union[PlaneSet, CompressedPlaneSet]
+#: Any snapshot type a kernel can evaluate against.  ``PlaneSet`` and
+#: ``MappedPlaneSet`` share the dense word-matrix surface (the mapped
+#: variant pages in from disk on demand); ``CompressedPlaneSet`` takes
+#: the run-at-a-time path.  Rows and ``c_e`` are bit-identical across
+#: all three.
+PlaneSnapshot = Union[PlaneSet, MappedPlaneSet, CompressedPlaneSet]
 
 #: Word-count crossover between the gather/reduceat strategy and the
 #: per-term loop.  Below this the whole-DNF gather fits comfortably in

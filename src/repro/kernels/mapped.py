@@ -1,0 +1,251 @@
+"""Memory-mapped plane snapshots for out-of-core kernel evaluation.
+
+A :class:`MappedPlaneSet` is the on-disk counterpart of
+:class:`~repro.kernels.planes.PlaneSet`: the same ``(2k, nwords)``
+uint64 matrix (planes then pre-materialised negations), but backed by
+``np.memmap`` over a CRC-headered plane file instead of process RAM.
+:meth:`repro.kernels.compiler.CompiledKernel.evaluate` accepts either —
+evaluation never writes into the plane matrix, so results, rows and
+``c_e`` accounting are bit-identical while the OS pages plane words in
+and out on demand.  This is what lets a partition's planes leave RAM
+entirely (``docs/out_of_core.md``) and still serve queries.
+
+File layout (little-endian)::
+
+    offset 0      magic     8s   b"EBIPLANE"
+           8      version   u32  1
+           12     width     u32  k (planes per polarity)
+           16     nbits     u64  logical bit length
+           24     nwords    u64  words per plane row
+           32     payload_crc u32  CRC32 of the matrix bytes
+           36     header_crc  u32  CRC32 of bytes [0, 36)
+    offset 4096   matrix    2*width*nwords little-endian u64 words
+
+The matrix starts at a :data:`~repro.storage.page.PAGE_SIZE_DEFAULT`
+boundary so plane words never share an OS page with the header and the
+Section 3 page-count model (``ceil(bytes / p)`` per plane row) maps
+directly onto real page faults.  The header CRC is verified on every
+:meth:`MappedPlaneSet.open`; the payload CRC is verified by
+:meth:`MappedPlaneSet.verify` (a full sequential read, so it is opt-in
+rather than paid on every fault-in).
+
+>>> import tempfile, os
+>>> from repro.bitmap.bitvector import BitVector
+>>> from repro.kernels.planes import PlaneSet
+>>> planes = PlaneSet.from_vectors(
+...     [BitVector.from_bools([True, False, True])], 3
+... )
+>>> path = os.path.join(tempfile.mkdtemp(), "planes.ebp")
+>>> _ = write_plane_file(planes, path)
+>>> mapped = MappedPlaneSet.open(path)
+>>> (mapped.width, mapped.nbits, mapped.nwords)
+(1, 3, 1)
+>>> bool((mapped.matrix == planes.matrix).all())
+True
+>>> mapped.verify()
+>>> mapped.close()
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ChecksumError, CorruptIndexError, InvalidArgumentError
+from repro.kernels.planes import PlaneSet
+from repro.storage.page import PAGE_SIZE_DEFAULT
+
+#: Plane-file magic; distinguishes plane files from ``.ebi`` payloads.
+PLANE_MAGIC = b"EBIPLANE"
+
+#: On-disk format version.
+PLANE_FORMAT_VERSION = 1
+
+#: Fixed header fields: magic, version, width, nbits, nwords, payload CRC.
+_HEADER = struct.Struct("<8sIIQQI")
+
+#: Trailing header CRC32 (of the ``_HEADER`` bytes).
+_HEADER_CRC = struct.Struct("<I")
+
+#: Matrix offset — one whole page, so plane words are page-aligned.
+PLANE_DATA_OFFSET = PAGE_SIZE_DEFAULT
+
+
+def write_plane_file(planes: PlaneSet, path: Union[str, os.PathLike]) -> int:
+    """Write a dense plane snapshot as a CRC-headered plane file.
+
+    Writes to ``path + ".tmp"`` and atomically renames, fsyncing the
+    file first, so readers never observe a torn plane file.  Returns
+    the total file size in bytes.
+    """
+    matrix = np.ascontiguousarray(planes.matrix, dtype=np.uint64)
+    payload = matrix.tobytes()
+    header = _HEADER.pack(
+        PLANE_MAGIC,
+        PLANE_FORMAT_VERSION,
+        planes.width,
+        planes.nbits,
+        planes.nwords,
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    header += _HEADER_CRC.pack(zlib.crc32(header) & 0xFFFFFFFF)
+    # pid + thread ident: concurrent spills of one partition (two
+    # executor workers enforcing the budget at once) must never share
+    # a temp file, or the rename publishes a torn header.
+    tmp = f"{os.fspath(path)}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "wb") as handle:
+        handle.write(header)
+        handle.write(b"\x00" * (PLANE_DATA_OFFSET - len(header)))
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, os.fspath(path))
+    return PLANE_DATA_OFFSET + len(payload)
+
+
+class MappedPlaneSet:
+    """A plane snapshot whose matrix lives in a memory-mapped file.
+
+    Duck-types the :class:`~repro.kernels.planes.PlaneSet` surface the
+    kernels consume (``matrix``/``width``/``nbits``/``nwords``/
+    ``row``/``nbytes``), with the matrix opened read-only — kernels
+    combine plane rows into fresh result arrays, so nothing ever
+    writes through the map.  Like ``PlaneSet``, negated rows carry
+    garbage past ``nbits``; the kernel masks the final result once.
+    """
+
+    __slots__ = ("matrix", "width", "nbits", "nwords", "path")
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        width: int,
+        nbits: int,
+        path: str,
+    ) -> None:
+        self.matrix = matrix
+        self.width = width
+        self.nbits = nbits
+        self.nwords = int(matrix.shape[1]) if matrix.ndim == 2 else 0
+        self.path = path
+
+    @classmethod
+    def open(cls, path: Union[str, os.PathLike]) -> "MappedPlaneSet":
+        """Map an existing plane file read-only.
+
+        Verifies the header CRC and the declared geometry against the
+        file size; raises
+        :class:`~repro.errors.CorruptIndexError` /
+        :class:`~repro.errors.ChecksumError` on mismatch.  The matrix
+        payload is *not* read here — pages fault in lazily as kernels
+        touch plane rows.
+        """
+        path = os.fspath(path)
+        with open(path, "rb") as handle:
+            raw = handle.read(_HEADER.size + _HEADER_CRC.size)
+        if len(raw) < _HEADER.size + _HEADER_CRC.size:
+            raise CorruptIndexError(f"plane file {path!r}: truncated header")
+        (stored_crc,) = _HEADER_CRC.unpack_from(raw, _HEADER.size)
+        if zlib.crc32(raw[: _HEADER.size]) & 0xFFFFFFFF != stored_crc:
+            raise ChecksumError(f"plane file {path!r}: header CRC mismatch")
+        magic, version, width, nbits, nwords, _payload_crc = _HEADER.unpack_from(
+            raw
+        )
+        if magic != PLANE_MAGIC:
+            raise CorruptIndexError(
+                f"plane file {path!r}: bad magic {magic!r}"
+            )
+        if version != PLANE_FORMAT_VERSION:
+            raise CorruptIndexError(
+                f"plane file {path!r}: unsupported version {version}"
+            )
+        expected = PLANE_DATA_OFFSET + 2 * width * nwords * 8
+        actual = os.path.getsize(path)
+        if actual < expected:
+            raise CorruptIndexError(
+                f"plane file {path!r}: {actual} bytes, need {expected}"
+            )
+        matrix = np.memmap(
+            path,
+            dtype="<u8",
+            mode="r",
+            offset=PLANE_DATA_OFFSET,
+            shape=(2 * width, nwords),
+        )
+        return cls(matrix, width, int(nbits), path)
+
+    def row(self, index: int, positive: bool) -> int:
+        """Matrix row holding plane ``index`` (or its negation)."""
+        if not 0 <= index < self.width:
+            raise InvalidArgumentError(
+                f"plane {index} out of range for width {self.width}"
+            )
+        return index if positive else index + self.width
+
+    def nbytes(self) -> int:
+        """Mapped matrix bytes (what a dense snapshot would occupy in
+        RAM; the resident subset is whatever the OS has paged in)."""
+        return 2 * self.width * self.nwords * 8
+
+    def verify(self) -> None:
+        """Full payload CRC check (sequential read of the whole file).
+
+        Raises :class:`~repro.errors.ChecksumError` on mismatch.
+        """
+        with open(self.path, "rb") as handle:
+            raw = handle.read(_HEADER.size)
+            magic, version, width, nbits, nwords, payload_crc = (
+                _HEADER.unpack(raw)
+            )
+            handle.seek(PLANE_DATA_OFFSET)
+            measured = 0
+            remaining = 2 * width * nwords * 8
+            while remaining:
+                chunk = handle.read(min(remaining, 1 << 20))
+                if not chunk:
+                    raise CorruptIndexError(
+                        f"plane file {self.path!r}: truncated payload"
+                    )
+                measured = zlib.crc32(chunk, measured)
+                remaining -= len(chunk)
+        if measured & 0xFFFFFFFF != payload_crc:
+            raise ChecksumError(
+                f"plane file {self.path!r}: payload CRC mismatch"
+            )
+
+    def materialize(self) -> PlaneSet:
+        """Copy the mapped matrix into a dense in-RAM ``PlaneSet``.
+
+        Used when a partition is promoted back to the dense tier; do
+        not call per query (EBI108 flags full materialisation of
+        mapped planes inside loops).
+        """
+        dense = PlaneSet.__new__(PlaneSet)
+        dense.matrix = np.array(self.matrix, dtype=np.uint64, copy=True)
+        dense.width = self.width
+        dense.nbits = self.nbits
+        dense.nwords = self.nwords
+        return dense
+
+    def close(self) -> None:
+        """Release the underlying map (drops the mmap reference; the
+        OS unmaps once no array views remain)."""
+        mm = getattr(self.matrix, "_mmap", None)
+        self.matrix = np.empty((2 * self.width, 0), dtype=np.uint64)
+        if mm is not None:
+            try:
+                mm.close()
+            except (BufferError, ValueError):
+                # Live views keep the map alive; the GC finishes it.
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"MappedPlaneSet(width={self.width}, nbits={self.nbits}, "
+            f"nwords={self.nwords}, path={self.path!r})"
+        )

@@ -469,3 +469,110 @@ class RunDecompressLoopRule(Rule):
                 ):
                     seen.add(id(sub))
                     yield self.finding(ctx, sub)
+
+
+#: Methods that copy a memory-mapped plane set densely into RAM.
+_MATERIALIZE_METHODS = frozenset({"materialize"})
+
+#: Copy methods that, applied to a mapped receiver, fault the whole
+#: file in (``.copy()`` on the memmap matrix or the plane set).
+_COPY_METHODS = frozenset({"copy"})
+
+#: numpy constructors that densify their argument.
+_DENSIFY_FUNCS = frozenset({"asarray", "array", "ascontiguousarray"})
+
+#: Substrings that mark a receiver as memory-mapped by project
+#: convention (``MappedPlaneSet``, ``np.memmap`` bindings).
+_MAPPEDISH_FRAGMENTS = ("mapped", "memmap", "mmap")
+
+
+def _mappedish(name: str) -> bool:
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _MAPPEDISH_FRAGMENTS)
+
+
+def _arg_root_name(node: ast.AST) -> str:
+    """The leftmost identifier of ``x`` / ``x.attr`` / ``x.attr.attr``."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _mentions_mapped(node: ast.AST) -> bool:
+    return any(_mappedish(name) for name in identifiers_in(node))
+
+
+@register_rule
+class MappedMaterializeLoopRule(Rule):
+    """EBI108: full materialisation of mapped planes inside a loop.
+
+    A ``MappedPlaneSet`` exists so kernels evaluate *through* the
+    ``np.memmap`` view, paying only for the plane rows a reduced
+    function touches (docs/out_of_core.md).  Calling
+    ``materialize()`` / ``.copy()`` on a mapped receiver — or
+    densifying one via ``np.asarray``/``np.array`` — inside a loop
+    faults the entire plane file into fresh RAM every iteration,
+    defeating both the memory budget and the Section 3 page
+    accounting.  Materialise once outside the loop (and only when the
+    residency budget allows a promotion), or keep the evaluation on
+    the mapped rows.
+    """
+
+    id = "EBI108"
+    name = "mapped-materialize-in-loop"
+    description = (
+        "memory-mapped plane set fully materialised inside a loop; "
+        "evaluate through the mapped view or hoist a single "
+        "materialisation out of the loop"
+    )
+    rationale = (
+        "Out-of-core contract: mapped planes are read page-wise, "
+        "charged to the residency budget; a per-iteration densify "
+        "re-reads the whole file and allocates its full footprint "
+        "every pass."
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for sub in ast.walk(loop):
+                if (
+                    not isinstance(sub, ast.Call)
+                    or id(sub) in seen
+                    or AllocInLoopRule._in_nested_function(loop, sub)
+                ):
+                    continue
+                if self._is_mapped_densify(sub):
+                    seen.add(id(sub))
+                    yield self.finding(ctx, sub)
+
+    @staticmethod
+    def _is_mapped_densify(call: ast.Call) -> bool:
+        name = call_name(call)
+        # mapped.materialize() / snapshot.mapped_planes.materialize()
+        if name in _MATERIALIZE_METHODS:
+            receiver = _receiver_name(call)
+            root = (
+                _arg_root_name(call.func.value)
+                if isinstance(call.func, ast.Attribute)
+                else ""
+            )
+            return _mappedish(receiver) or _mappedish(root)
+        # mapped.copy() / mapped.matrix.copy()
+        if name in _COPY_METHODS and isinstance(call.func, ast.Attribute):
+            return _mentions_mapped(call.func.value)
+        # np.asarray(mapped.matrix) / np.array(mapped_planes)
+        if (
+            name in _DENSIFY_FUNCS
+            and call_qualifier(call) in {"np", "numpy"}
+            and call.args
+        ):
+            return _mentions_mapped(call.args[0])
+        return False

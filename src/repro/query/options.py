@@ -78,6 +78,15 @@ class QueryOptions:
         Serve from / fill the database's result cache (keyed on the
         canonicalised retrieval expression; see
         :class:`repro.serving.result_cache.ResultCache`).
+    prefetch:
+        Out-of-core pipelining (``docs/out_of_core.md``): when a
+        :class:`~repro.shard.residency.ResidencyManager` is attached,
+        the streaming executor warms the next partition's spilled
+        plane file while the current one evaluates.  ``None`` (the
+        default) enables it whenever residency is managed; ``False``
+        disables the prefetch for this query (ablation: measures raw
+        fault-in latency); ``True`` is an explicit request and
+        behaves like ``None``.
     """
 
     workers: Optional[int] = None
@@ -88,6 +97,7 @@ class QueryOptions:
     snapshot_rows: Optional[int] = None
     tenant: Optional[str] = None
     use_cache: bool = False
+    prefetch: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:

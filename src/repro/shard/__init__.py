@@ -30,6 +30,7 @@ from repro.shard.reorder import (
     reorder_table,
     row_permutation,
 )
+from repro.shard.residency import ResidencyManager
 from repro.shard.scan import ColumnArrayCache, try_vector_scan
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "PartitionedIndex",
     "PartitionedQueryResult",
     "PartitionedTable",
+    "ResidencyManager",
     "SpannedColumn",
     "column_priority",
     "partition_bounds",

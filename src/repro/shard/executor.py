@@ -77,6 +77,7 @@ from repro.shard.scan import ColumnArrayCache, try_vector_scan
 
 if TYPE_CHECKING:
     from repro.shard.process import ProcessPoolStrategy
+    from repro.shard.residency import ResidencyManager
 
 #: Default worker-thread count (matches the default partition count).
 DEFAULT_WORKERS = 4
@@ -133,6 +134,14 @@ class ParallelExecutor:
     registry:
         Keyword-only metrics registry receiving the merged counters;
         defaults to the calling thread's current registry at each call.
+    residency:
+        Keyword-only optional
+        :class:`~repro.shard.residency.ResidencyManager`.  When set,
+        every partition is acquired through it before evaluation
+        (fault-in + LRU budget enforcement) and the streaming path
+        prefetches the *next* partition's plane file while the current
+        one evaluates — the out-of-core pipeline of
+        ``docs/out_of_core.md``.
     """
 
     def __init__(
@@ -141,6 +150,7 @@ class ParallelExecutor:
         *,
         workers: int = DEFAULT_WORKERS,
         registry: Optional[MetricsRegistry] = None,
+        residency: Optional["ResidencyManager"] = None,
     ) -> None:
         if workers < 1:
             raise InvalidArgumentError(
@@ -149,6 +159,7 @@ class ParallelExecutor:
         self.table = table  # ebi: shared-readonly
         self.workers = workers  # ebi: shared-readonly
         self.registry = registry  # ebi: shared-readonly
+        self.residency = residency  # ebi: shared-readonly
         self._process_lock = threading.Lock()
         self._process: Optional["ProcessPoolStrategy"] = None
 
@@ -216,9 +227,20 @@ class ParallelExecutor:
                 registry=registry,
             )
         elif nworkers == 1:
+            # Streaming pipeline: while partition i evaluates on this
+            # thread, a helper warms partition i+1's spilled plane
+            # file (double buffering — fault-in I/O overlaps kernel
+            # time instead of serialising with it).  A no-op without a
+            # residency manager or when everything is resident.
             outcomes = []
-            for partition in partitions:
+            prefetcher: Optional[threading.Thread] = None
+            for position, partition in enumerate(partitions):
                 self._check_deadline(deadline, opts)
+                prefetcher = (
+                    self._start_prefetch(partitions, position + 1)
+                    if opts.prefetch is not False
+                    else None
+                )
                 outcomes.append(
                     self._run_partition(
                         partition,
@@ -228,6 +250,8 @@ class ParallelExecutor:
                         use_kernels=opts.use_kernels,
                     )
                 )
+                if prefetcher is not None:
+                    prefetcher.join()
         else:
             outcomes = self._run_threaded(
                 partitions, predicates, trace, nworkers, opts, deadline
@@ -359,6 +383,30 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     # per-partition work (runs on a worker thread)
     # ------------------------------------------------------------------
+    def _start_prefetch(
+        self,
+        partitions: Sequence[Partition],
+        position: int,
+    ) -> Optional[threading.Thread]:
+        """Warm the plane file of ``partitions[position]`` off-thread.
+
+        Returns the helper thread (joined after the current partition
+        finishes evaluating) or ``None`` when there is nothing to
+        prefetch — no residency manager, or no next partition.
+        """
+        manager = self.residency
+        if manager is None or position >= len(partitions):
+            return None
+        partition_id = partitions[position].id
+        thread = threading.Thread(
+            target=manager.prefetch,
+            args=(partition_id,),
+            name=f"ebi-prefetch-{partition_id}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
     def _run_partition(
         self,
         partition: Partition,
@@ -368,6 +416,11 @@ class ParallelExecutor:
         snapshot_rows: Optional[int] = None,
         use_kernels: Optional[bool] = None,
     ) -> Tuple[List[_PartitionRecord], Dict[str, MetricValue]]:
+        # Out-of-core hook: fault the partition in (page-accounted)
+        # and let the LRU budget spill colder ones before evaluating.
+        manager = self.residency
+        if manager is not None:
+            manager.acquire(partition.id)
         return run_partition_batch(
             partition,
             predicates,

@@ -205,6 +205,7 @@ class ProcessPoolStrategy:
         #: Lets an unchanged partition skip the JSON + SHA-256 work on
         #: the hot path: state tuples compare by value in nanoseconds.
         self._fingerprints: Dict[int, Tuple[Any, ...]] = {}
+        self._swept = False
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -290,12 +291,19 @@ class ProcessPoolStrategy:
         return outcomes
 
     def close(self) -> None:
-        """Shut the workers down and delete the spill directory."""
+        """Shut the workers down and delete the spill directory.
+
+        Idempotent.  With a caller-supplied ``spill_dir``, every spill
+        artifact this strategy could have produced — live ``.ebsp``
+        files *and* orphaned ``.tmp`` files from interrupted writes —
+        is removed, not just the tracked paths, so repeated runs never
+        accumulate content-addressed leftovers (fingerprints carry a
+        per-instance token, so a new run can never reuse them anyway).
+        """
         with self._lock:
             workers = list(self._workers.values())
             self._workers.clear()
             tempdir, self._tempdir = self._tempdir, None
-            spilled = list(self._spilled.values())
             self._spilled.clear()
             self._fingerprints.clear()
             self._closed = True
@@ -304,11 +312,7 @@ class ProcessPoolStrategy:
         if tempdir is not None:
             tempdir.cleanup()
         elif self._spill_dir is not None:
-            for _digest, path in spilled:
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+            self._sweep_spills(self._spill_dir, keep=frozenset())
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -355,6 +359,21 @@ class ProcessPoolStrategy:
     def _spill_root(self) -> str:
         if self._spill_dir is not None:
             os.makedirs(self._spill_dir, exist_ok=True)
+            with self._lock:
+                sweep = not self._swept
+                self._swept = True
+                keep = frozenset(
+                    os.path.basename(path)
+                    for _digest, path in self._spilled.values()
+                )
+            if sweep:
+                # A caller-supplied spill_dir survives across runs, but
+                # its contents cannot: fingerprints embed this
+                # instance's random token, so no prior run's files are
+                # ever addressable again.  Sweep them (plus any
+                # ``.tmp`` orphans from interrupted writes) before the
+                # first spill of this run lands.
+                self._sweep_spills(self._spill_dir, keep=keep)
             return self._spill_dir
         with self._lock:
             if self._tempdir is None:
@@ -362,6 +381,33 @@ class ProcessPoolStrategy:
                     prefix="ebi-spill-"
                 )
             return self._tempdir.name
+
+    @staticmethod
+    def _sweep_spills(root: str, *, keep: frozenset) -> None:
+        """Remove spill artifacts in ``root`` not named in ``keep``.
+
+        Only files matching the strategy's own naming scheme are
+        touched — ``p<id>-<digest>.ebsp`` spill files and their
+        ``*.ebsp.tmp.*`` write-side temporaries — so a shared
+        directory's unrelated contents survive.
+        """
+        try:
+            names = os.listdir(root)
+        except OSError:
+            return
+        for name in names:
+            stale_tmp = ".ebsp.tmp." in name
+            stale_spill = (
+                name.endswith(".ebsp")
+                and name.startswith("p")
+                and name not in keep
+            )
+            if not (stale_tmp or stale_spill):
+                continue
+            try:
+                os.unlink(os.path.join(root, name))
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # spilling (parent side)
@@ -485,9 +531,16 @@ class ProcessPoolStrategy:
         root = self._spill_root()
         path = os.path.join(root, f"p{partition.id}-{digest}.ebsp")
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
-        with open(tmp, "wb") as handle:
-            handle.write(bytes(blob))
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(bytes(blob))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
 

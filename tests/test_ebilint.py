@@ -376,6 +376,81 @@ def test_ebi106_exempt_outside_repro_package():
 
 
 # ----------------------------------------------------------------------
+# EBI108 — mapped planes fully materialised inside a loop
+# ----------------------------------------------------------------------
+def test_ebi108_flags_materialize_in_loop():
+    bad = """
+        def scan(mapped_planes, queries):
+            for q in queries:
+                dense = mapped_planes.materialize()
+                use(dense, q)
+    """
+    found = findings_for("EBI108", bad, module="repro.query.fake")
+    assert len(found) == 1
+    assert "materialised inside a loop" in found[0].message
+
+
+def test_ebi108_flags_copy_and_asarray_densify():
+    bad_copy = """
+        def pages(snapshot, touched):
+            for i in touched:
+                yield snapshot.mapped.matrix.copy()[i]
+    """
+    assert findings_for("EBI108", bad_copy, module="repro.kernels.fake")
+    bad_asarray = """
+        import numpy as np
+
+        def rows(mapped_planes, indices):
+            while indices:
+                indices.pop()
+                use(np.asarray(mapped_planes.matrix))
+    """
+    assert findings_for(
+        "EBI108", bad_asarray, module="repro.kernels.fake"
+    )
+
+
+def test_ebi108_accepts_hoisted_and_mapped_row_access():
+    good = """
+        import numpy as np
+
+        def hoisted(mapped_planes, queries):
+            dense = mapped_planes.materialize()
+            for q in queries:
+                use(dense, q)
+
+        def rowwise(mapped, rows):
+            for i in rows:
+                yield mapped.matrix[mapped.row(i, True)]
+
+        def dense_copy(planes, rows):
+            for i in rows:
+                use(np.asarray(planes.matrix))
+    """
+    assert not findings_for("EBI108", good, module="repro.query.fake")
+
+
+def test_ebi108_ignores_nested_function_bodies():
+    good = """
+        def build(mapped_planes, queries):
+            thunks = []
+            for q in queries:
+                thunks.append(lambda: mapped_planes.materialize())
+            return thunks
+    """
+    assert not findings_for("EBI108", good, module="repro.query.fake")
+
+
+def test_ebi108_exempt_outside_repro_package():
+    bad = """
+        def scan(mapped_planes, queries):
+            for q in queries:
+                use(mapped_planes.materialize())
+    """
+    assert not findings_for("EBI108", bad, module=None)
+
+
+# ----------------------------------------------------------------------
 # EBI201 — code 0 is reserved for the VOID sentinel (Theorem 2.1)
 # ----------------------------------------------------------------------
 def test_ebi201_flags_assign_zero_to_real_value():

@@ -73,6 +73,12 @@ def test_every_shipped_rule_fails_a_violating_fixture():
             "        v = runs.to_bitvector()\n",
             "repro.kernels.fake",
         ),
+        "EBI108": (
+            "def scan(mapped_planes, queries):\n"
+            "    for q in queries:\n"
+            "        use(mapped_planes.materialize(), q)\n",
+            "repro.kernels.fake",
+        ),
         "EBI201": (
             "def build(t):\n    t.assign(\"red\", 0)\n",
             "repro.encoding.fake",
